@@ -1,0 +1,27 @@
+//! Ablation: FEM reference cost vs mesh resolution — quantifies the
+//! accuracy/runtime trade the `Fidelity` knob exposes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ttsv::prelude::*;
+use ttsv_bench::block;
+
+fn bench(c: &mut Criterion) {
+    let scenario = block(8.0, 0.5);
+    let mut group = c.benchmark_group("ablation_fem_mesh");
+    group.sample_size(10);
+    for (label, res) in [
+        ("coarse", FemResolution::coarse()),
+        ("default", FemResolution::default()),
+        ("fine", FemResolution::fine()),
+    ] {
+        let fem = FemReference::new().with_resolution(res);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &fem, |b, f| {
+            b.iter(|| f.max_delta_t(black_box(&scenario)).expect("solvable"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

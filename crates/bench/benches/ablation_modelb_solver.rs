@@ -1,0 +1,31 @@
+//! Ablation: Model B's banded-LU solver vs conjugate gradients through the
+//! generic network — the design choice DESIGN.md §5 calls out (the ladder
+//! is SPD with half-bandwidth 2, so direct banded elimination is O(n)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ttsv::core::model_b::LadderSolver;
+use ttsv::prelude::*;
+use ttsv_bench::block;
+
+fn bench(c: &mut Criterion) {
+    let scenario = block(5.0, 1.0);
+    let mut group = c.benchmark_group("ablation_modelb_solver");
+    group.sample_size(15);
+    for segments in [100usize, 500, 1000] {
+        let banded = ModelB::with_segments(50, segments);
+        let cg = ModelB::with_segments(50, segments).with_solver(LadderSolver::ConjugateGradient);
+        group.bench_with_input(
+            BenchmarkId::new("banded_lu", segments),
+            &banded,
+            |b, m| b.iter(|| m.max_delta_t(black_box(&scenario)).expect("solvable")),
+        );
+        group.bench_with_input(BenchmarkId::new("network_cg", segments), &cg, |b, m| {
+            b.iter(|| m.max_delta_t(black_box(&scenario)).expect("solvable"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

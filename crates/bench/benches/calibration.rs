@@ -1,0 +1,33 @@
+//! Calibration cost: fitting k1/k2 against a precomputed reference
+//! (the paper's "1.9 minute" methodology step, minus the FEM sweep that is
+//! benchmarked separately in the figure benches).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ttsv::prelude::*;
+use ttsv::validate::calibrate::calibrate_model_a_against;
+use ttsv::validate::experiments::block_training_scenarios;
+
+fn bench(c: &mut Criterion) {
+    let scenarios = block_training_scenarios().expect("valid training set");
+    // A fixed synthetic reference (Model A with the paper's coefficients)
+    // keeps the bench deterministic and FEM-free.
+    let truth = ModelA::with_coefficients(FittingCoefficients::paper_block());
+    let reference: Vec<f64> = scenarios
+        .iter()
+        .map(|s| truth.max_delta_t(s).expect("solvable").as_kelvin())
+        .collect();
+
+    let mut group = c.benchmark_group("calibration");
+    group.sample_size(10);
+    group.bench_function("nelder_mead_fit_k1_k2", |b| {
+        b.iter(|| {
+            calibrate_model_a_against(black_box(&scenarios), black_box(&reference))
+                .expect("calibration converges")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! §IV-E — the DRAM-µP case study, timed per model (the paper reports
+//! FEM 59 min vs Model B(1000) 8.5 s vs closed-form Model A).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ttsv::core::full_chip::CaseStudy;
+use ttsv::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let scenario = CaseStudy::paper().unit_cell_scenario().expect("valid");
+    let model_a = ModelA::with_coefficients(CaseStudy::paper_fitting());
+    let model_b = ModelB::paper_b1000();
+    let one_d = OneDModel::new();
+    let fem_coarse = FemReference::new().with_resolution(FemResolution::coarse());
+    let fem_default = FemReference::new();
+
+    let mut group = c.benchmark_group("case_study");
+    group.sample_size(20);
+    group.bench_function("model_a", |b| {
+        b.iter(|| model_a.max_delta_t(black_box(&scenario)).expect("solvable"))
+    });
+    group.bench_function("model_b_1000", |b| {
+        b.iter(|| model_b.max_delta_t(black_box(&scenario)).expect("solvable"))
+    });
+    group.bench_function("one_d", |b| {
+        b.iter(|| one_d.max_delta_t(black_box(&scenario)).expect("solvable"))
+    });
+    group.sample_size(10);
+    group.bench_function("fem_coarse", |b| {
+        b.iter(|| fem_coarse.max_delta_t(black_box(&scenario)).expect("solvable"))
+    });
+    group.bench_function("fem_default", |b| {
+        b.iter(|| fem_default.max_delta_t(black_box(&scenario)).expect("solvable"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

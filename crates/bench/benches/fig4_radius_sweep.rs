@@ -1,0 +1,47 @@
+//! Fig. 4 — the radius sweep, timed per model.
+//!
+//! Regenerates the Fig. 4 series (Max ΔT vs TTSV radius) per model; the
+//! Criterion timings show the cost hierarchy the paper's Table I alludes
+//! to: 1-D ≪ Model A ≪ Model B ≪ FEM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ttsv::prelude::*;
+use ttsv_bench::block;
+
+const RADII: &[f64] = &[1.0, 3.0, 5.0, 8.0, 14.0, 20.0];
+
+fn sweep(model: &dyn ThermalModel, scenarios: &[Scenario]) -> f64 {
+    scenarios
+        .iter()
+        .map(|s| model.max_delta_t(s).expect("solvable").as_kelvin())
+        .sum()
+}
+
+fn bench(c: &mut Criterion) {
+    let scenarios: Vec<Scenario> = RADII.iter().map(|&r| block(r, 0.5)).collect();
+    let model_a = ModelA::with_coefficients(FittingCoefficients::paper_block());
+    let model_b = ModelB::paper_b100();
+    let one_d = OneDModel::new();
+    let fem = FemReference::new().with_resolution(FemResolution::coarse());
+
+    let mut group = c.benchmark_group("fig4_radius_sweep");
+    group.sample_size(20);
+    group.bench_function("model_a", |b| {
+        b.iter(|| sweep(black_box(&model_a), &scenarios))
+    });
+    group.bench_function("model_b_100", |b| {
+        b.iter(|| sweep(black_box(&model_b), &scenarios))
+    });
+    group.bench_function("one_d", |b| {
+        b.iter(|| sweep(black_box(&one_d), &scenarios))
+    });
+    group.sample_size(10);
+    group.bench_function("fem_coarse", |b| {
+        b.iter(|| sweep(black_box(&fem), &scenarios))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

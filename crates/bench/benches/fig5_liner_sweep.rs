@@ -1,0 +1,60 @@
+//! Fig. 5 — the liner-thickness sweep, timed per model (including every
+//! Model B segmentation the paper plots).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ttsv::prelude::*;
+
+const LINERS: &[f64] = &[0.5, 1.0, 1.5, 2.0, 2.5, 3.0];
+
+fn scenarios() -> Vec<Scenario> {
+    LINERS
+        .iter()
+        .map(|&tl| {
+            Scenario::paper_block()
+                .with_tsv(TtsvConfig::new(
+                    Length::from_micrometers(5.0),
+                    Length::from_micrometers(tl),
+                ))
+                .with_ild_thickness(Length::from_micrometers(7.0))
+                .build()
+                .expect("valid")
+        })
+        .collect()
+}
+
+fn sweep(model: &dyn ThermalModel, scenarios: &[Scenario]) -> f64 {
+    scenarios
+        .iter()
+        .map(|s| model.max_delta_t(s).expect("solvable").as_kelvin())
+        .sum()
+}
+
+fn bench(c: &mut Criterion) {
+    let scenarios = scenarios();
+    let mut group = c.benchmark_group("fig5_liner_sweep");
+    group.sample_size(20);
+
+    let a = ModelA::with_coefficients(FittingCoefficients::paper_block());
+    group.bench_function("model_a", |b| b.iter(|| sweep(black_box(&a), &scenarios)));
+    for (name, model) in [
+        ("model_b_1", ModelB::paper_b1()),
+        ("model_b_20", ModelB::paper_b20()),
+        ("model_b_100", ModelB::paper_b100()),
+        ("model_b_500", ModelB::paper_b500()),
+    ] {
+        group.bench_function(name, |b| b.iter(|| sweep(black_box(&model), &scenarios)));
+    }
+    let one_d = OneDModel::new();
+    group.bench_function("one_d", |b| b.iter(|| sweep(black_box(&one_d), &scenarios)));
+
+    group.sample_size(10);
+    let fem = FemReference::new().with_resolution(FemResolution::coarse());
+    group.bench_function("fem_coarse", |b| {
+        b.iter(|| sweep(black_box(&fem), &scenarios))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

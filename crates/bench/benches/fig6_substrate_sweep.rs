@@ -1,0 +1,44 @@
+//! Fig. 6 — the substrate-thickness sweep (the non-monotonic one), timed
+//! per model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ttsv::prelude::*;
+use ttsv_bench::block_with_tsi;
+
+const THICKNESSES: &[f64] = &[5.0, 10.0, 20.0, 30.0, 45.0, 60.0, 80.0];
+
+fn sweep(model: &dyn ThermalModel, scenarios: &[Scenario]) -> f64 {
+    scenarios
+        .iter()
+        .map(|s| model.max_delta_t(s).expect("solvable").as_kelvin())
+        .sum()
+}
+
+fn bench(c: &mut Criterion) {
+    let scenarios: Vec<Scenario> = THICKNESSES.iter().map(|&t| block_with_tsi(t)).collect();
+    let model_a = ModelA::with_coefficients(FittingCoefficients::paper_block());
+    let model_b = ModelB::paper_b100();
+    let one_d = OneDModel::new();
+    let fem = FemReference::new().with_resolution(FemResolution::coarse());
+
+    let mut group = c.benchmark_group("fig6_substrate_sweep");
+    group.sample_size(20);
+    group.bench_function("model_a", |b| {
+        b.iter(|| sweep(black_box(&model_a), &scenarios))
+    });
+    group.bench_function("model_b_100", |b| {
+        b.iter(|| sweep(black_box(&model_b), &scenarios))
+    });
+    group.bench_function("one_d", |b| {
+        b.iter(|| sweep(black_box(&one_d), &scenarios))
+    });
+    group.sample_size(10);
+    group.bench_function("fem_coarse", |b| {
+        b.iter(|| sweep(black_box(&fem), &scenarios))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Fig. 7 — the via-division sweep (eq. 22), timed per model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ttsv::prelude::*;
+use ttsv_bench::block_divided;
+
+const COUNTS: &[usize] = &[1, 2, 4, 9, 16];
+
+fn sweep(model: &dyn ThermalModel, scenarios: &[Scenario]) -> f64 {
+    scenarios
+        .iter()
+        .map(|s| model.max_delta_t(s).expect("solvable").as_kelvin())
+        .sum()
+}
+
+fn bench(c: &mut Criterion) {
+    let scenarios: Vec<Scenario> = COUNTS.iter().map(|&n| block_divided(n)).collect();
+    let model_a = ModelA::with_coefficients(FittingCoefficients::paper_block());
+    let model_b = ModelB::paper_b100();
+    let one_d = OneDModel::new();
+    let fem = FemReference::new().with_resolution(FemResolution::coarse());
+
+    let mut group = c.benchmark_group("fig7_division_sweep");
+    group.sample_size(20);
+    group.bench_function("model_a", |b| {
+        b.iter(|| sweep(black_box(&model_a), &scenarios))
+    });
+    group.bench_function("model_b_100", |b| {
+        b.iter(|| sweep(black_box(&model_b), &scenarios))
+    });
+    group.bench_function("one_d", |b| {
+        b.iter(|| sweep(black_box(&one_d), &scenarios))
+    });
+    group.sample_size(10);
+    group.bench_function("fem_coarse", |b| {
+        b.iter(|| sweep(black_box(&fem), &scenarios))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

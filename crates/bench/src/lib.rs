@@ -1,0 +1,78 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The benches regenerate the paper's tables/figures through the same
+//! experiment code the `repro` binary uses; this crate only hosts small
+//! scenario constructors so the individual bench files stay terse.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ttsv::prelude::*;
+
+/// The paper-block scenario with the given via radius and liner (µm).
+///
+/// # Panics
+///
+/// Panics on invalid geometry (benches use known-good values).
+#[must_use]
+pub fn block(radius_um: f64, liner_um: f64) -> Scenario {
+    Scenario::paper_block()
+        .with_tsv(TtsvConfig::new(
+            Length::from_micrometers(radius_um),
+            Length::from_micrometers(liner_um),
+        ))
+        .build()
+        .expect("valid bench scenario")
+}
+
+/// A paper-block scenario matching the Fig. 6 sweep at the given substrate
+/// thickness (µm).
+///
+/// # Panics
+///
+/// Panics on invalid geometry.
+#[must_use]
+pub fn block_with_tsi(t_si_um: f64) -> Scenario {
+    Scenario::paper_block()
+        .with_tsv(TtsvConfig::new(
+            Length::from_micrometers(8.0),
+            Length::from_micrometers(1.0),
+        ))
+        .with_ild_thickness(Length::from_micrometers(7.0))
+        .with_upper_si_thickness(Length::from_micrometers(t_si_um))
+        .build()
+        .expect("valid bench scenario")
+}
+
+/// A Fig. 7 division scenario: one r₀ = 10 µm via split into `n`.
+///
+/// # Panics
+///
+/// Panics on invalid geometry.
+#[must_use]
+pub fn block_divided(n: usize) -> Scenario {
+    Scenario::paper_block()
+        .with_tsv(TtsvConfig::divided(
+            Length::from_micrometers(10.0),
+            Length::from_micrometers(1.0),
+            n,
+        ))
+        .with_upper_si_thickness(Length::from_micrometers(20.0))
+        .build()
+        .expect("valid bench scenario")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_build() {
+        assert_eq!(block(8.0, 0.5).stack().plane_count(), 3);
+        assert_eq!(
+            block_with_tsi(20.0).stack().planes()[1].t_si().as_micrometers(),
+            20.0
+        );
+        assert_eq!(block_divided(9).tsv().count(), 9);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for the analytical models.
+
+use ttsv_linalg::LinalgError;
+use ttsv_network::NetworkError;
+
+/// Errors from building or solving the analytical TTSV models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Geometry or load description is physically inconsistent.
+    InvalidScenario {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// The underlying resistive-network solve failed.
+    Network(NetworkError),
+    /// A direct linear solve failed.
+    Linalg(LinalgError),
+}
+
+impl core::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CoreError::InvalidScenario { reason } => write!(f, "invalid scenario: {reason}"),
+            CoreError::Network(e) => write!(f, "network solve failed: {e}"),
+            CoreError::Linalg(e) => write!(f, "linear solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Network(e) => Some(e),
+            CoreError::Linalg(e) => Some(e),
+            CoreError::InvalidScenario { .. } => None,
+        }
+    }
+}
+
+impl From<NetworkError> for CoreError {
+    fn from(e: NetworkError) -> Self {
+        CoreError::Network(e)
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        assert!(CoreError::InvalidScenario {
+            reason: "no planes".into()
+        }
+        .to_string()
+        .contains("no planes"));
+        assert!(
+            CoreError::Network(NetworkError::NoReference)
+                .to_string()
+                .contains("reference")
+        );
+        assert!(
+            CoreError::Linalg(LinalgError::Singular { pivot: 2 })
+                .to_string()
+                .contains("singular")
+        );
+    }
+}

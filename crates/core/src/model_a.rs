@@ -1,0 +1,461 @@
+//! Model A — the compact per-plane resistive network (paper §II).
+//!
+//! Each plane contributes a bulk node and a via node at its top interface,
+//! connected by three resistances (Fig. 2); the top plane has a single
+//! merged node whose via branch is the series `R_{fill} + R_{lat}`
+//! (eq. 1). Heat `q_j` enters at each plane's bulk node, and the whole
+//! stack drains through the lumped substrate resistance `R_s` (eq. 16),
+//! giving `T₀ = R_s·Σq` (eq. 6).
+
+use ttsv_network::{NodeId, Terminal, ThermalNetwork};
+use ttsv_units::{Power, TemperatureDelta};
+
+use crate::error::CoreError;
+use crate::fitting::FittingCoefficients;
+use crate::resistances::{model_a_resistances, ModelAResistances};
+use crate::scenario::{Scenario, ThermalModel};
+
+/// The compact analytical TTSV model with fitting coefficients.
+///
+/// ```
+/// use ttsv_core::prelude::*;
+///
+/// let scenario = Scenario::paper_block().build()?;
+/// let model = ModelA::with_coefficients(FittingCoefficients::paper_block());
+/// let solution = model.solve(&scenario)?;
+/// assert!(solution.max_delta_t() > solution.t0()); // heat flows upward
+/// # Ok::<(), CoreError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ModelA {
+    fit: FittingCoefficients,
+}
+
+impl ModelA {
+    /// Model A with unity coefficients (no FEM correction).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Model A with explicit fitting coefficients.
+    #[must_use]
+    pub fn with_coefficients(fit: FittingCoefficients) -> Self {
+        Self { fit }
+    }
+
+    /// The coefficients in use.
+    #[must_use]
+    pub fn coefficients(&self) -> &FittingCoefficients {
+        &self.fit
+    }
+
+    /// Solves the compact network for a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Network`] if the KCL solve fails (cannot happen
+    /// for validated scenarios) and propagates scenario validation errors.
+    pub fn solve(&self, scenario: &Scenario) -> Result<ModelASolution, CoreError> {
+        let resistances = model_a_resistances(scenario.stack(), scenario.tsv(), &self.fit);
+        let n = scenario.stack().plane_count();
+
+        let mut net = ThermalNetwork::new();
+        let t0 = net.add_node("substrate.top (T0)");
+        net.add_resistor(t0, Terminal::Ground, resistances.substrate);
+
+        // Bulk/via node per non-top plane; single merged node for the top.
+        let mut bulk: Vec<NodeId> = Vec::with_capacity(n);
+        let mut via: Vec<Option<NodeId>> = Vec::with_capacity(n);
+        for j in 0..n {
+            if j + 1 == n {
+                bulk.push(net.add_node(format!("plane{}.top", j + 1)));
+                via.push(None);
+            } else {
+                bulk.push(net.add_node(format!("plane{}.bulk", j + 1)));
+                via.push(Some(net.add_node(format!("plane{}.via", j + 1))));
+            }
+        }
+
+        for j in 0..n {
+            let r = &resistances.planes[j];
+            let (below_bulk, below_via) = if j == 0 {
+                (t0, t0)
+            } else {
+                (bulk[j - 1], via[j - 1].expect("below top"))
+            };
+            if let Some(v) = via[j] {
+                // Non-top plane: three separate resistors.
+                net.add_resistor(bulk[j], below_bulk, r.bulk);
+                net.add_resistor(v, below_via, r.fill);
+                net.add_resistor(bulk[j], v, r.liner_lateral);
+            } else {
+                // Top plane: bulk resistor plus the series via branch
+                // R_fill + R_lat from the merged node (eq. 1).
+                net.add_resistor(bulk[j], below_bulk, r.bulk);
+                net.add_resistor(bulk[j], below_via, r.fill + r.liner_lateral);
+            }
+            net.add_source(bulk[j], scenario.plane_powers()[j]);
+        }
+
+        let solution = net.solve()?;
+        let t0_val = solution.temperature(t0);
+        let bulk_temps: Vec<TemperatureDelta> =
+            bulk.iter().map(|b| solution.temperature(*b)).collect();
+        let via_temps: Vec<Option<TemperatureDelta>> = via
+            .iter()
+            .map(|v| v.map(|v| solution.temperature(v)))
+            .collect();
+        let max = bulk_temps
+            .iter()
+            .chain(via_temps.iter().flatten())
+            .chain(std::iter::once(&t0_val))
+            .copied()
+            .fold(TemperatureDelta::ZERO, TemperatureDelta::max);
+
+        Ok(ModelASolution {
+            resistances,
+            t0: t0_val,
+            bulk: bulk_temps,
+            via: via_temps,
+            max,
+        })
+    }
+
+    /// Solves the three-plane system by direct transcription of the paper's
+    /// eqs. (1)–(6) into a 5×5 linear system — an independent cross-check of
+    /// the network formulation used by [`ModelA::solve`].
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidScenario`] if the stack does not have exactly
+    ///   three planes.
+    /// * [`CoreError::Linalg`] if the 5×5 solve fails.
+    pub fn solve_three_plane_direct(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<ModelASolution, CoreError> {
+        if scenario.stack().plane_count() != 3 {
+            return Err(CoreError::InvalidScenario {
+                reason: format!(
+                    "solve_three_plane_direct needs exactly 3 planes, got {}",
+                    scenario.stack().plane_count()
+                ),
+            });
+        }
+        let res = model_a_resistances(scenario.stack(), scenario.tsv(), &self.fit);
+        let [q1, q2, q3] = [
+            scenario.plane_powers()[0].as_watts(),
+            scenario.plane_powers()[1].as_watts(),
+            scenario.plane_powers()[2].as_watts(),
+        ];
+        let (r1, r2, r3) = (
+            res.planes[0].bulk.as_kelvin_per_watt(),
+            res.planes[0].fill.as_kelvin_per_watt(),
+            res.planes[0].liner_lateral.as_kelvin_per_watt(),
+        );
+        let (r4, r5, r6) = (
+            res.planes[1].bulk.as_kelvin_per_watt(),
+            res.planes[1].fill.as_kelvin_per_watt(),
+            res.planes[1].liner_lateral.as_kelvin_per_watt(),
+        );
+        let (r7, r8, r9) = (
+            res.planes[2].bulk.as_kelvin_per_watt(),
+            res.planes[2].fill.as_kelvin_per_watt(),
+            res.planes[2].liner_lateral.as_kelvin_per_watt(),
+        );
+        let rs = res.substrate.as_kelvin_per_watt();
+
+        // Eq. (6): T0 = Rs · Σq.
+        let t0 = rs * (q1 + q2 + q3);
+
+        // Unknowns x = [T1, T2, T3, T4, T5]; transcribe eqs. (1)–(5).
+        let mut a = [[0.0f64; 5]; 5];
+        let mut b = [0.0f64; 5];
+        // (1)  q3 = (T5 − T3)/R7 + (T5 − T4)/(R8 + R9)
+        a[0][4] = 1.0 / r7 + 1.0 / (r8 + r9);
+        a[0][2] = -1.0 / r7;
+        a[0][3] = -1.0 / (r8 + r9);
+        b[0] = q3;
+        // (2)  q2 + (T5 − T3)/R7 = (T3 − T4)/R6 + (T3 − T1)/R4
+        a[1][2] = 1.0 / r7 + 1.0 / r6 + 1.0 / r4;
+        a[1][4] = -1.0 / r7;
+        a[1][3] = -1.0 / r6;
+        a[1][0] = -1.0 / r4;
+        b[1] = q2;
+        // (3)  (T3 − T4)/R6 + (T5 − T4)/(R8 + R9) = (T4 − T2)/R5
+        a[2][3] = 1.0 / r6 + 1.0 / (r8 + r9) + 1.0 / r5;
+        a[2][2] = -1.0 / r6;
+        a[2][4] = -1.0 / (r8 + r9);
+        a[2][1] = -1.0 / r5;
+        b[2] = 0.0;
+        // (4)  q1 + (T3 − T1)/R4 = (T1 − T2)/R3 + (T1 − T0)/R1
+        a[3][0] = 1.0 / r4 + 1.0 / r3 + 1.0 / r1;
+        a[3][2] = -1.0 / r4;
+        a[3][1] = -1.0 / r3;
+        b[3] = q1 + t0 / r1;
+        // (5)  (T1 − T2)/R3 + (T4 − T2)/R5 = (T2 − T0)/R2
+        a[4][1] = 1.0 / r3 + 1.0 / r5 + 1.0 / r2;
+        a[4][0] = -1.0 / r3;
+        a[4][3] = -1.0 / r5;
+        b[4] = t0 / r2;
+
+        let rows: Vec<&[f64]> = a.iter().map(|r| r.as_slice()).collect();
+        let x = ttsv_linalg::DenseMatrix::from_rows(&rows).solve(&b)?;
+
+        let t = TemperatureDelta::from_kelvin;
+        let bulk = vec![t(x[0]), t(x[2]), t(x[4])];
+        let via = vec![Some(t(x[1])), Some(t(x[3])), None];
+        let max = x
+            .iter()
+            .fold(t0, |m, &v| m.max(v));
+        Ok(ModelASolution {
+            resistances: res,
+            t0: t(t0),
+            bulk,
+            via,
+            max: t(max),
+        })
+    }
+}
+
+impl ThermalModel for ModelA {
+    fn name(&self) -> String {
+        "Model A".to_string()
+    }
+
+    fn max_delta_t(&self, scenario: &Scenario) -> Result<TemperatureDelta, CoreError> {
+        Ok(self.solve(scenario)?.max_delta_t())
+    }
+}
+
+/// Model A node temperatures and the resistances that produced them.
+#[derive(Debug, Clone)]
+pub struct ModelASolution {
+    resistances: ModelAResistances,
+    t0: TemperatureDelta,
+    bulk: Vec<TemperatureDelta>,
+    via: Vec<Option<TemperatureDelta>>,
+    max: TemperatureDelta,
+}
+
+impl ModelASolution {
+    /// Temperature at the top of the lumped first substrate (paper's `T₀`).
+    #[must_use]
+    pub fn t0(&self) -> TemperatureDelta {
+        self.t0
+    }
+
+    /// Bulk-node temperature of each plane (top plane: the merged node,
+    /// paper's `T₅`).
+    #[must_use]
+    pub fn bulk_temperatures(&self) -> &[TemperatureDelta] {
+        &self.bulk
+    }
+
+    /// Via-node temperature of each plane (`None` for the top plane, whose
+    /// via node is merged).
+    #[must_use]
+    pub fn via_temperatures(&self) -> &[Option<TemperatureDelta>] {
+        &self.via
+    }
+
+    /// The maximum temperature rise (the paper's `Max ΔT`).
+    #[must_use]
+    pub fn max_delta_t(&self) -> TemperatureDelta {
+        self.max
+    }
+
+    /// The resistances used for the solve (eqs. 7–16).
+    #[must_use]
+    pub fn resistances(&self) -> &ModelAResistances {
+        &self.resistances
+    }
+
+    /// Heat flowing down the via stack out of plane 1's via into the
+    /// substrate: `(T₂ − T₀)/R₂` — a measure of how much the TTSV helps.
+    #[must_use]
+    pub fn via_heat(&self) -> Power {
+        match self.via.first().copied().flatten() {
+            Some(t2) => (t2 - self.t0) / self.resistances.planes[0].fill,
+            None => Power::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::TtsvConfig;
+    use ttsv_units::Length;
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    fn fig5_scenario(r_um: f64, tl_um: f64) -> Scenario {
+        Scenario::paper_block()
+            .with_tsv(TtsvConfig::new(um(r_um), um(tl_um)))
+            .with_ild_thickness(um(7.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn network_and_direct_transcription_agree() {
+        let model = ModelA::with_coefficients(FittingCoefficients::paper_block());
+        for (r, tl) in [(5.0, 0.5), (5.0, 3.0), (10.0, 1.0), (2.0, 0.5)] {
+            let s = fig5_scenario(r, tl);
+            let net = model.solve(&s).unwrap();
+            let direct = model.solve_three_plane_direct(&s).unwrap();
+            assert!(
+                (net.max_delta_t().as_kelvin() - direct.max_delta_t().as_kelvin()).abs()
+                    < 1e-9 * net.max_delta_t().as_kelvin(),
+                "r={r} tl={tl}: network {} vs direct {}",
+                net.max_delta_t(),
+                direct.max_delta_t()
+            );
+            for j in 0..3 {
+                let a = net.bulk_temperatures()[j].as_kelvin();
+                let b = direct.bulk_temperatures()[j].as_kelvin();
+                assert!((a - b).abs() < 1e-9 * a.max(1.0), "plane {j}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn t0_equals_rs_times_total_power() {
+        // Eq. (6) must hold in the network solution too.
+        let model = ModelA::new();
+        let s = fig5_scenario(5.0, 0.5);
+        let sol = model.solve(&s).unwrap();
+        let rs = sol.resistances().substrate;
+        let want = (s.total_power() * rs).as_kelvin();
+        assert!((sol.t0().as_kelvin() - want).abs() < 1e-9 * want);
+    }
+
+    #[test]
+    fn top_plane_is_the_hottest() {
+        let model = ModelA::with_coefficients(FittingCoefficients::paper_block());
+        let sol = model.solve(&fig5_scenario(5.0, 0.5)).unwrap();
+        assert_eq!(
+            sol.max_delta_t(),
+            *sol.bulk_temperatures().last().unwrap()
+        );
+        // Temperatures increase monotonically up the stack.
+        for w in sol.bulk_temperatures().windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn delta_t_decreases_with_radius() {
+        // The paper's Fig. 4 headline trend.
+        let model = ModelA::with_coefficients(FittingCoefficients::paper_block());
+        let mut prev = f64::INFINITY;
+        for r in [2.0, 5.0, 10.0, 15.0, 20.0] {
+            let dt = model
+                .max_delta_t(&fig5_scenario(r, 0.5))
+                .unwrap()
+                .as_kelvin();
+            assert!(dt < prev, "ΔT should fall with r: {prev} → {dt} at r={r}");
+            prev = dt;
+        }
+    }
+
+    #[test]
+    fn delta_t_increases_with_liner_thickness() {
+        // The paper's Fig. 5 trend (thicker liner blocks the lateral path).
+        let model = ModelA::with_coefficients(FittingCoefficients::paper_block());
+        let mut prev = 0.0;
+        for tl in [0.5, 1.0, 2.0, 3.0] {
+            let dt = model
+                .max_delta_t(&fig5_scenario(5.0, tl))
+                .unwrap()
+                .as_kelvin();
+            assert!(dt > prev, "ΔT should rise with tL: {prev} → {dt} at tL={tl}");
+            prev = dt;
+        }
+    }
+
+    #[test]
+    fn delta_t_non_monotonic_in_substrate_thickness() {
+        // The paper's Fig. 6 headline: thinning silicon is not always good.
+        let model = ModelA::with_coefficients(FittingCoefficients::paper_block());
+        let dt = |t_si: f64| {
+            let s = Scenario::paper_block()
+                .with_tsv(TtsvConfig::new(um(8.0), um(1.0)))
+                .with_ild_thickness(um(7.0))
+                .with_upper_si_thickness(um(t_si))
+                .build()
+                .unwrap();
+            model.max_delta_t(&s).unwrap().as_kelvin()
+        };
+        let at5 = dt(5.0);
+        let at20 = dt(20.0);
+        let at80 = dt(80.0);
+        assert!(at20 < at5, "ΔT(20µm) = {at20} should be below ΔT(5µm) = {at5}");
+        assert!(at80 > at20, "ΔT(80µm) = {at80} should be above ΔT(20µm) = {at20}");
+    }
+
+    #[test]
+    fn dividing_the_via_reduces_delta_t_with_saturation() {
+        // The paper's Fig. 7: more, thinner vias (same metal) cool better,
+        // with diminishing returns.
+        let model = ModelA::with_coefficients(FittingCoefficients::paper_block());
+        let dt = |n: usize| {
+            let s = Scenario::paper_block()
+                .with_tsv(TtsvConfig::divided(um(10.0), um(1.0), n))
+                .with_upper_si_thickness(um(20.0))
+                .build()
+                .unwrap();
+            model.max_delta_t(&s).unwrap().as_kelvin()
+        };
+        let d1 = dt(1);
+        let d4 = dt(4);
+        let d16 = dt(16);
+        assert!(d4 < d1, "division must reduce ΔT: {d1} → {d4}");
+        assert!(d16 < d4);
+        // Saturation: the second division helps less than the first.
+        assert!((d4 - d16) < (d1 - d4), "gains should saturate: {d1}, {d4}, {d16}");
+    }
+
+    #[test]
+    fn via_heat_is_positive_and_bounded() {
+        let model = ModelA::with_coefficients(FittingCoefficients::paper_block());
+        let s = fig5_scenario(10.0, 0.5);
+        let sol = model.solve(&s).unwrap();
+        let via_q = sol.via_heat().as_watts();
+        assert!(via_q > 0.0, "some heat must use the via");
+        assert!(via_q < s.total_power().as_watts(), "via cannot carry more than the total");
+    }
+
+    #[test]
+    fn four_plane_extension_works() {
+        let model = ModelA::with_coefficients(FittingCoefficients::paper_block());
+        let s = Scenario::paper_block().with_planes(4).build().unwrap();
+        let sol = model.solve(&s).unwrap();
+        assert_eq!(sol.bulk_temperatures().len(), 4);
+        // Four planes are hotter than three (more heat, longer path).
+        let s3 = Scenario::paper_block().build().unwrap();
+        assert!(model.max_delta_t(&s).unwrap() > model.max_delta_t(&s3).unwrap());
+    }
+
+    #[test]
+    fn direct_solver_rejects_non_three_plane() {
+        let model = ModelA::new();
+        let s = Scenario::paper_block().with_planes(4).build().unwrap();
+        assert!(matches!(
+            model.solve_three_plane_direct(&s),
+            Err(CoreError::InvalidScenario { .. })
+        ));
+    }
+
+    #[test]
+    fn thermal_model_trait_is_implemented() {
+        let model: &dyn ThermalModel = &ModelA::new();
+        assert_eq!(model.name(), "Model A");
+        let s = fig5_scenario(5.0, 0.5);
+        assert!(model.max_delta_t(&s).unwrap().as_kelvin() > 0.0);
+    }
+}

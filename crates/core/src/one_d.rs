@@ -1,0 +1,284 @@
+//! The traditional 1-D TTSV baseline model the paper argues against.
+//!
+//! Following the lineage the paper cites ([1], [7], [8], [9]): heat moves
+//! strictly vertically. Between consecutive plane interfaces the bulk stack
+//! and the via column act as independent parallel resistances, and the via
+//! only exchanges heat with its surroundings *through its end caps* — the
+//! dielectric liner appears as a thin vertical plug in series with the fill
+//! ("the traditional TTSV model only considers vertical 1-D heat transfer
+//! through the liner", §IV-B). There is no lateral liner path, which is
+//! exactly why this model:
+//!
+//! * overestimates ΔT when the via's lateral surface matters (tall vias,
+//!   the §IV-E case study),
+//! * barely reacts to the liner thickness (Fig. 5),
+//! * is monotone in the substrate thickness (Fig. 6),
+//! * cannot see any benefit from dividing a via into a cluster with the
+//!   same metal area (Fig. 7).
+
+use ttsv_units::{TemperatureDelta, ThermalResistance};
+
+use crate::error::CoreError;
+use crate::resistances::bulk_area;
+use crate::scenario::{Scenario, ThermalModel};
+
+/// The traditional 1-D baseline (no fitting coefficients, no lateral path).
+///
+/// ```
+/// use ttsv_core::prelude::*;
+///
+/// let scenario = Scenario::paper_block().build()?;
+/// let dt = OneDModel::new().max_delta_t(&scenario)?;
+/// assert!(dt.as_kelvin() > 0.0);
+/// # Ok::<(), CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OneDModel;
+
+impl OneDModel {
+    /// Creates the baseline model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Per-plane series/parallel resistances of the 1-D ladder,
+    /// bottom → top.
+    #[must_use]
+    pub fn plane_resistances(&self, scenario: &Scenario) -> Vec<ThermalResistance> {
+        let stack = scenario.stack();
+        let tsv = scenario.tsv();
+        let n = stack.plane_count();
+        let a_bulk = bulk_area(stack, tsv).as_square_meters();
+        let a_via = tsv.fill_area().as_square_meters();
+        let k_si = stack.k_si().as_watts_per_meter_kelvin();
+        let k_ild = stack.k_ild().as_watts_per_meter_kelvin();
+        let k_bond = stack.k_bond().as_watts_per_meter_kelvin();
+        let k_f = tsv.k_fill().as_watts_per_meter_kelvin();
+        let k_l = tsv.k_liner().as_watts_per_meter_kelvin();
+        let t_l = tsv.liner_thickness().as_meters();
+
+        (0..n)
+            .map(|j| {
+                let p = &stack.planes()[j];
+                let is_top = j + 1 == n;
+                // Bulk branch: the layer stack around the via.
+                let bulk_t_over_k = if j == 0 {
+                    p.t_ild().as_meters() / k_ild + stack.l_ext().as_meters() / k_si
+                } else {
+                    p.t_bond_below().as_meters() / k_bond
+                        + p.t_si().as_meters() / k_si
+                        + p.t_ild().as_meters() / k_ild
+                };
+                let r_bulk = bulk_t_over_k / a_bulk;
+
+                // Via branch: the fill column plus the *vertical* liner plug
+                // at each via end (bottom tip in plane 1, head below the top
+                // ILD), which the via heat must cross in series.
+                let via_t_over_k = if j == 0 {
+                    t_l / k_l + (p.t_ild() + stack.l_ext()).as_meters() / k_f
+                } else if is_top {
+                    p.t_ild().as_meters() / k_ild
+                        + t_l / k_l
+                        + (p.t_si() + p.t_bond_below()).as_meters() / k_f
+                } else {
+                    (p.t_ild() + p.t_si() + p.t_bond_below()).as_meters() / k_f
+                };
+                let r_via = via_t_over_k / a_via;
+
+                ThermalResistance::from_kelvin_per_watt(r_bulk)
+                    .parallel(ThermalResistance::from_kelvin_per_watt(r_via))
+            })
+            .collect()
+    }
+
+    /// Solves the vertical ladder.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for validated scenarios; the `Result` mirrors
+    /// the other models.
+    pub fn solve(&self, scenario: &Scenario) -> Result<OneDSolution, CoreError> {
+        let stack = scenario.stack();
+        let planes = self.plane_resistances(scenario);
+        let rs = (stack.planes()[0].t_si() - stack.l_ext()).as_meters()
+            / (stack.k_si().as_watts_per_meter_kelvin() * stack.footprint().as_square_meters());
+
+        // Series chain with injections at each plane's top interface:
+        // the flux through plane j is everything injected at or above it.
+        let q: Vec<f64> = scenario
+            .plane_powers()
+            .iter()
+            .map(|p| p.as_watts())
+            .collect();
+        let total: f64 = q.iter().sum();
+
+        let mut temps = Vec::with_capacity(planes.len());
+        let mut t = rs * total; // T0 at the top of the lumped substrate
+        let mut flux = total;
+        for (j, r) in planes.iter().enumerate() {
+            t += r.as_kelvin_per_watt() * flux;
+            temps.push(TemperatureDelta::from_kelvin(t));
+            flux -= q[j];
+        }
+        let max = *temps.last().expect("stack has planes");
+
+        Ok(OneDSolution {
+            interface_temps: temps,
+            max,
+        })
+    }
+}
+
+impl ThermalModel for OneDModel {
+    fn name(&self) -> String {
+        "1-D".to_string()
+    }
+
+    fn max_delta_t(&self, scenario: &Scenario) -> Result<TemperatureDelta, CoreError> {
+        Ok(self.solve(scenario)?.max_delta_t())
+    }
+}
+
+/// The 1-D baseline's outputs.
+#[derive(Debug, Clone)]
+pub struct OneDSolution {
+    interface_temps: Vec<TemperatureDelta>,
+    max: TemperatureDelta,
+}
+
+impl OneDSolution {
+    /// Temperature at each plane's top interface (where its heat enters),
+    /// bottom → top.
+    #[must_use]
+    pub fn interface_temperatures(&self) -> &[TemperatureDelta] {
+        &self.interface_temps
+    }
+
+    /// The maximum temperature rise.
+    #[must_use]
+    pub fn max_delta_t(&self) -> TemperatureDelta {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitting::FittingCoefficients;
+    use crate::geometry::TtsvConfig;
+    use crate::model_a::ModelA;
+    use ttsv_units::Length;
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    fn scenario_with(r: f64, tl: f64) -> Scenario {
+        Scenario::paper_block()
+            .with_tsv(TtsvConfig::new(um(r), um(tl)))
+            .with_ild_thickness(um(7.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn interface_temps_increase_up_the_stack() {
+        let sol = OneDModel::new().solve(&scenario_with(5.0, 0.5)).unwrap();
+        let t = sol.interface_temperatures();
+        assert_eq!(t.len(), 3);
+        assert!(t[0] < t[1] && t[1] < t[2]);
+        assert_eq!(sol.max_delta_t(), t[2]);
+    }
+
+    #[test]
+    fn delta_t_decreases_with_radius() {
+        // The 1-D model does capture the r trend (Fig. 4), just less well.
+        let model = OneDModel::new();
+        let d2 = model.max_delta_t(&scenario_with(2.0, 0.5)).unwrap();
+        let d10 = model.max_delta_t(&scenario_with(10.0, 0.5)).unwrap();
+        let d20 = model.max_delta_t(&scenario_with(20.0, 0.5)).unwrap();
+        assert!(d10 < d2);
+        assert!(d20 < d10);
+    }
+
+    #[test]
+    fn nearly_blind_to_liner_thickness_unlike_model_a() {
+        // Fig. 5's point: the 1-D model barely moves with tL (only the thin
+        // vertical plug changes) while Model A reacts strongly.
+        let one_d = OneDModel::new();
+        let a = ModelA::with_coefficients(FittingCoefficients::paper_block());
+        let rel_change = |lo: f64, hi: f64| (hi - lo).abs() / lo;
+
+        let one_d_change = rel_change(
+            one_d.max_delta_t(&scenario_with(5.0, 0.5)).unwrap().as_kelvin(),
+            one_d.max_delta_t(&scenario_with(5.0, 3.0)).unwrap().as_kelvin(),
+        );
+        let model_a_change = rel_change(
+            a.max_delta_t(&scenario_with(5.0, 0.5)).unwrap().as_kelvin(),
+            a.max_delta_t(&scenario_with(5.0, 3.0)).unwrap().as_kelvin(),
+        );
+        assert!(
+            one_d_change < 0.1,
+            "1-D should be nearly flat in tL, changed {one_d_change}"
+        );
+        assert!(
+            model_a_change > 3.0 * one_d_change,
+            "Model A ({model_a_change}) should react to tL far more than 1-D ({one_d_change})"
+        );
+    }
+
+    #[test]
+    fn monotone_in_substrate_thickness_unlike_model_a() {
+        // Fig. 6's point: the 1-D model increases monotonically with tSi.
+        let model = OneDModel::new();
+        let dt = |t_si: f64| {
+            let s = Scenario::paper_block()
+                .with_tsv(TtsvConfig::new(um(8.0), um(1.0)))
+                .with_ild_thickness(um(7.0))
+                .with_upper_si_thickness(um(t_si))
+                .build()
+                .unwrap();
+            model.max_delta_t(&s).unwrap().as_kelvin()
+        };
+        let mut prev = 0.0;
+        for t_si in [5.0, 20.0, 45.0, 80.0] {
+            let v = dt(t_si);
+            assert!(v > prev, "1-D must be monotone in tSi: {prev} → {v}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn blind_to_via_division() {
+        // Fig. 7's point: same metal area ⇒ the 1-D model barely changes.
+        let model = OneDModel::new();
+        let dt = |n: usize| {
+            let s = Scenario::paper_block()
+                .with_tsv(TtsvConfig::divided(um(10.0), um(1.0), n))
+                .with_upper_si_thickness(um(20.0))
+                .build()
+                .unwrap();
+            model.max_delta_t(&s).unwrap().as_kelvin()
+        };
+        let d1 = dt(1);
+        let d16 = dt(16);
+        assert!(
+            (d16 - d1).abs() < 0.02 * d1,
+            "1-D should be ~flat under division: {d1} vs {d16}"
+        );
+    }
+
+    #[test]
+    fn overestimates_model_a() {
+        // Ignoring the lateral liner path makes the via far less effective,
+        // so the 1-D estimate must exceed Model A's (the paper's headline).
+        let one_d = OneDModel::new()
+            .max_delta_t(&scenario_with(5.0, 0.5))
+            .unwrap();
+        let a = ModelA::with_coefficients(FittingCoefficients::paper_block())
+            .max_delta_t(&scenario_with(5.0, 0.5))
+            .unwrap();
+        assert!(one_d > a, "1-D {one_d} should exceed Model A {a}");
+    }
+}

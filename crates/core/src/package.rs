@@ -1,0 +1,222 @@
+//! Package resistance and ambient temperature (paper §II).
+//!
+//! The paper's models report ΔT above the heat-sink-adjacent surface and
+//! note that "a voltage source and/or another resistor can be included to
+//! describe the ambient temperature and/or the thermal resistance of the
+//! package (but rather for the temperature rise within a 3-D IC)". This
+//! module is that resistor and source: a [`Package`] adds the series
+//! junction-to-ambient drop `R_pkg · ΣQ`, and [`WithPackage`] decorates any
+//! [`ThermalModel`] so sweeps and experiments can report absolute
+//! temperatures.
+
+use serde::{Deserialize, Serialize};
+use ttsv_units::{Temperature, TemperatureDelta, ThermalResistance};
+
+use crate::error::CoreError;
+use crate::scenario::{Scenario, ThermalModel};
+
+/// The thermal environment below the stack: package resistance from the
+/// heat-sink plane to ambient, plus the ambient temperature.
+///
+/// ```
+/// use ttsv_core::package::Package;
+/// use ttsv_core::prelude::*;
+/// use ttsv_units::{Temperature, ThermalResistance};
+///
+/// let scenario = Scenario::paper_block().build()?;
+/// let package = Package::new(
+///     ThermalResistance::from_kelvin_per_watt(20.0),
+///     Temperature::from_celsius(27.0),
+/// );
+/// let model = ModelA::with_coefficients(FittingCoefficients::paper_block());
+/// let junction = package.absolute_max_temperature(&model, &scenario)?;
+/// assert!(junction.as_celsius() > 27.0);
+/// # Ok::<(), CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Package {
+    resistance: ThermalResistance,
+    ambient: Temperature,
+}
+
+impl Package {
+    /// Creates a package description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance is negative or not finite.
+    #[must_use]
+    pub fn new(resistance: ThermalResistance, ambient: Temperature) -> Self {
+        assert!(
+            resistance.as_kelvin_per_watt() >= 0.0 && resistance.is_finite(),
+            "package resistance must be nonnegative and finite, got {resistance}"
+        );
+        Self {
+            resistance,
+            ambient,
+        }
+    }
+
+    /// An ideal package: zero resistance, 27 °C ambient — the paper's §IV
+    /// assumption (sink surface pinned at 27 °C).
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self::new(ThermalResistance::ZERO, Temperature::from_celsius(27.0))
+    }
+
+    /// Junction-to-ambient resistance.
+    #[must_use]
+    pub fn resistance(&self) -> ThermalResistance {
+        self.resistance
+    }
+
+    /// Ambient temperature.
+    #[must_use]
+    pub fn ambient(&self) -> Temperature {
+        self.ambient
+    }
+
+    /// The extra series temperature drop the package adds: `R_pkg · ΣQ`
+    /// (all heat crosses the package).
+    #[must_use]
+    pub fn delta_t(&self, scenario: &Scenario) -> TemperatureDelta {
+        scenario.total_power() * self.resistance
+    }
+
+    /// Absolute hottest temperature: ambient + package drop + the model's
+    /// internal ΔT.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the model's failure.
+    pub fn absolute_max_temperature(
+        &self,
+        model: &dyn ThermalModel,
+        scenario: &Scenario,
+    ) -> Result<Temperature, CoreError> {
+        Ok(self.ambient + self.delta_t(scenario) + model.max_delta_t(scenario)?)
+    }
+}
+
+impl Default for Package {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+/// A [`ThermalModel`] decorated with a [`Package`]: `max_delta_t` reports
+/// the rise above *ambient* instead of above the sink plane.
+#[derive(Debug, Clone)]
+pub struct WithPackage<M> {
+    model: M,
+    package: Package,
+}
+
+impl<M: ThermalModel> WithPackage<M> {
+    /// Wraps a model with a package.
+    #[must_use]
+    pub fn new(model: M, package: Package) -> Self {
+        Self { model, package }
+    }
+
+    /// The wrapped model.
+    #[must_use]
+    pub fn inner(&self) -> &M {
+        &self.model
+    }
+
+    /// The package.
+    #[must_use]
+    pub fn package(&self) -> &Package {
+        &self.package
+    }
+}
+
+impl<M: ThermalModel> ThermalModel for WithPackage<M> {
+    fn name(&self) -> String {
+        format!("{} + package", self.model.name())
+    }
+
+    fn max_delta_t(&self, scenario: &Scenario) -> Result<TemperatureDelta, CoreError> {
+        Ok(self.model.max_delta_t(scenario)? + self.package.delta_t(scenario))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitting::FittingCoefficients;
+    use crate::model_a::ModelA;
+    use crate::one_d::OneDModel;
+
+    fn scenario() -> Scenario {
+        Scenario::paper_block().build().unwrap()
+    }
+
+    #[test]
+    fn ideal_package_adds_nothing() {
+        let s = scenario();
+        let model = ModelA::with_coefficients(FittingCoefficients::paper_block());
+        let bare = model.max_delta_t(&s).unwrap();
+        let wrapped = WithPackage::new(model, Package::ideal());
+        assert_eq!(wrapped.max_delta_t(&s).unwrap(), bare);
+    }
+
+    #[test]
+    fn package_drop_is_r_times_total_power() {
+        let s = scenario();
+        let pkg = Package::new(
+            ThermalResistance::from_kelvin_per_watt(100.0),
+            Temperature::from_celsius(27.0),
+        );
+        // 3 × 9.8 mW × 100 K/W = 2.94 K.
+        assert!((pkg.delta_t(&s).as_kelvin() - 2.94).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absolute_temperature_stacks_the_three_terms() {
+        let s = scenario();
+        let model = OneDModel::new();
+        let pkg = Package::new(
+            ThermalResistance::from_kelvin_per_watt(50.0),
+            Temperature::from_celsius(35.0),
+        );
+        let absolute = pkg.absolute_max_temperature(&model, &s).unwrap();
+        let expect = 35.0
+            + pkg.delta_t(&s).as_kelvin()
+            + model.max_delta_t(&s).unwrap().as_kelvin();
+        assert!((absolute.as_celsius() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decorated_model_name_mentions_package() {
+        let wrapped = WithPackage::new(OneDModel::new(), Package::ideal());
+        assert_eq!(wrapped.name(), "1-D + package");
+    }
+
+    #[test]
+    fn package_preserves_model_ordering() {
+        // Adding the same series drop to every model cannot change which
+        // model predicts hotter.
+        let s = scenario();
+        let pkg = Package::new(
+            ThermalResistance::from_kelvin_per_watt(200.0),
+            Temperature::from_celsius(27.0),
+        );
+        let a = WithPackage::new(
+            ModelA::with_coefficients(FittingCoefficients::paper_block()),
+            pkg,
+        );
+        let d = WithPackage::new(OneDModel::new(), pkg);
+        assert!(d.max_delta_t(&s).unwrap() > a.max_delta_t(&s).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_resistance_rejected() {
+        let _ = Package::new(
+            ThermalResistance::from_kelvin_per_watt(-1.0),
+            Temperature::from_celsius(27.0),
+        );
+    }
+}

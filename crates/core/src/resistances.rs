@@ -1,0 +1,386 @@
+//! The thermal resistances of the TTSV models — paper eqs. (7)–(16),
+//! generalized from 3 planes to `N` planes and to via clusters.
+//!
+//! Per plane the compact model has three resistances (Fig. 2):
+//!
+//! * **bulk** — the vertical path through everything around the via
+//!   (eqs. 7, 10, 13),
+//! * **fill** — the vertical path down the via metal (eqs. 8, 11, 14),
+//! * **liner lateral** — the radial path through the dielectric liner into
+//!   the via (eqs. 9, 12, 15),
+//!
+//! plus the lumped first-substrate resistance `R_s` (eq. 16). A cluster of
+//! `n` vias multiplies every via conductance by `n` (and shrinks the per-via
+//! radius), which reproduces eq. (22) exactly.
+
+use ttsv_units::{Area, Length, ThermalResistance};
+
+use crate::fitting::FittingCoefficients;
+use crate::geometry::{Stack, TtsvConfig};
+
+/// The three compact-model resistances of one plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaneResistances {
+    /// Vertical resistance of the surroundings of the TTSV
+    /// (R₁/R₄/R₇ in the paper).
+    pub bulk: ThermalResistance,
+    /// Vertical resistance of the via fill (R₂/R₅/R₈).
+    pub fill: ThermalResistance,
+    /// Lateral resistance of the dielectric liner (R₃/R₆/R₉).
+    pub liner_lateral: ThermalResistance,
+}
+
+/// All Model A resistances for a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelAResistances {
+    /// Per-plane triples, bottom → top.
+    pub planes: Vec<PlaneResistances>,
+    /// The lumped first-substrate resistance `R_s` (eq. 16).
+    pub substrate: ThermalResistance,
+}
+
+/// Layer-resolved (unfitted) resistances of one plane, used by the
+/// distributed Model B (paper §III: "similar to (7)–(15) without k₁ and
+/// k₂").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributedPlaneResistances {
+    /// Vertical bulk resistance of the plane's silicon portion
+    /// (`l_ext` for the first plane).
+    pub silicon: ThermalResistance,
+    /// Vertical bulk resistance of the plane's ILD.
+    pub ild: ThermalResistance,
+    /// Vertical bulk resistance of the bonding layer below the plane
+    /// (zero for the first plane).
+    pub bond: ThermalResistance,
+    /// Total vertical via-fill resistance of the plane (`R_M` in eq. 21).
+    pub fill: ThermalResistance,
+    /// Total lateral liner resistance of the plane (`R_L` in eq. 21).
+    pub liner_lateral: ThermalResistance,
+}
+
+/// Height over which the via exists within plane `j` — used for the fill
+/// column and the liner's lateral surface:
+/// * first plane: `t_D + l_ext` (eqs. 8, 9),
+/// * middle planes: `t_D + t_Si + t_b` (eqs. 11, 12),
+/// * top plane: `t_Si + t_b` (eqs. 14, 15 — the via stops below the
+///   topmost ILD).
+#[must_use]
+pub fn via_height(stack: &Stack, plane: usize) -> Length {
+    let p = &stack.planes()[plane];
+    let last = stack.plane_count() - 1;
+    if plane == 0 {
+        p.t_ild() + stack.l_ext()
+    } else if plane == last {
+        p.t_si() + p.t_bond_below()
+    } else {
+        p.t_ild() + p.t_si() + p.t_bond_below()
+    }
+}
+
+/// The bulk cross-section around the vias, `A = A₀ − n·π(r+t_L)²` (eq. 7).
+///
+/// # Panics
+///
+/// Panics if the vias occupy the entire footprint.
+#[must_use]
+pub fn bulk_area(stack: &Stack, tsv: &TtsvConfig) -> Area {
+    let a = stack.footprint() - tsv.occupied_area();
+    assert!(
+        a.as_square_meters() > 0.0,
+        "vias occupy the entire footprint ({} of {})",
+        tsv.occupied_area(),
+        stack.footprint()
+    );
+    a
+}
+
+/// Computes the compact-model resistances (eqs. 7–16) for every plane.
+///
+/// `fit` supplies `k₁` (divides every vertical resistance), `k₂`
+/// (multiplies the liner conductivity in the lateral resistances), and the
+/// case-study lateral-spreading factor `c` (extra lateral conductance on
+/// non-top planes). Pass [`FittingCoefficients::unity`] for the raw physical
+/// values.
+#[must_use]
+pub fn model_a_resistances(
+    stack: &Stack,
+    tsv: &TtsvConfig,
+    fit: &FittingCoefficients,
+) -> ModelAResistances {
+    let n_planes = stack.plane_count();
+    let a_bulk = bulk_area(stack, tsv);
+    let fill_area = tsv.fill_area();
+    let k1 = fit.k1();
+    let k2 = fit.k2();
+
+    let mut planes = Vec::with_capacity(n_planes);
+    for j in 0..n_planes {
+        let p = &stack.planes()[j];
+        let last = n_planes - 1;
+
+        // Bulk: sum of t/k over the layers the bulk path crosses in this
+        // plane, over area A, scaled by 1/k1.
+        let mut t_over_k = p.t_ild().as_meters() / stack.k_ild().as_watts_per_meter_kelvin();
+        if j == 0 {
+            t_over_k += stack.l_ext().as_meters() / stack.k_si().as_watts_per_meter_kelvin();
+        } else {
+            t_over_k += p.t_si().as_meters() / stack.k_si().as_watts_per_meter_kelvin()
+                + p.t_bond_below().as_meters() / stack.k_bond().as_watts_per_meter_kelvin();
+        }
+        let bulk = ThermalResistance::from_kelvin_per_watt(
+            t_over_k / (k1 * a_bulk.as_square_meters()),
+        );
+
+        // Fill: via column over the via height, n vias in parallel.
+        let h_via = via_height(stack, j);
+        let fill = ThermalResistance::from_kelvin_per_watt(
+            h_via.as_meters()
+                / (k1
+                    * tsv.k_fill().as_watts_per_meter_kelvin()
+                    * fill_area.as_square_meters()),
+        );
+
+        // Liner lateral: cylindrical shell of height h_via, n vias in
+        // parallel, liner conductivity scaled by k2, optionally spread by c
+        // on non-top planes.
+        let spreading = if j == last { 1.0 } else { fit.lateral_spreading() };
+        let shell = tsv.k_liner().shell_resistance(
+            tsv.radius(),
+            tsv.radius() + tsv.liner_thickness(),
+            h_via,
+        );
+        let liner_lateral = ThermalResistance::from_kelvin_per_watt(
+            shell.as_kelvin_per_watt() / (k2 * tsv.count() as f64 * spreading),
+        );
+
+        planes.push(PlaneResistances {
+            bulk,
+            fill,
+            liner_lateral,
+        });
+    }
+
+    // R_s = (t_Si1 − l_ext) / (k1 · k_Si · A0), eq. (16).
+    let substrate = ThermalResistance::from_kelvin_per_watt(
+        (stack.planes()[0].t_si() - stack.l_ext()).as_meters()
+            / (k1
+                * stack.k_si().as_watts_per_meter_kelvin()
+                * stack.footprint().as_square_meters()),
+    );
+
+    ModelAResistances { planes, substrate }
+}
+
+/// Computes the layer-resolved, unfitted resistances of plane `j` for the
+/// distributed Model B.
+///
+/// # Panics
+///
+/// Panics if `plane` is out of range.
+#[must_use]
+pub fn distributed_plane_resistances(
+    stack: &Stack,
+    tsv: &TtsvConfig,
+    plane: usize,
+) -> DistributedPlaneResistances {
+    assert!(plane < stack.plane_count(), "plane {plane} out of range");
+    let p = &stack.planes()[plane];
+    let a_bulk = bulk_area(stack, tsv);
+    let fill_area = tsv.fill_area();
+
+    let silicon_thickness = if plane == 0 { stack.l_ext() } else { p.t_si() };
+    let silicon = if silicon_thickness.as_meters() > 0.0 {
+        stack.k_si().column_resistance(silicon_thickness, a_bulk)
+    } else {
+        ThermalResistance::ZERO
+    };
+    let ild = stack.k_ild().column_resistance(p.t_ild(), a_bulk);
+    let bond = if plane == 0 || p.t_bond_below().as_meters() == 0.0 {
+        ThermalResistance::ZERO
+    } else {
+        stack.k_bond().column_resistance(p.t_bond_below(), a_bulk)
+    };
+
+    let h_via = via_height(stack, plane);
+    let fill = ThermalResistance::from_kelvin_per_watt(
+        h_via.as_meters()
+            / (tsv.k_fill().as_watts_per_meter_kelvin() * fill_area.as_square_meters()),
+    );
+    let shell =
+        tsv.k_liner()
+            .shell_resistance(tsv.radius(), tsv.radius() + tsv.liner_thickness(), h_via);
+    let liner_lateral =
+        ThermalResistance::from_kelvin_per_watt(shell.as_kelvin_per_watt() / tsv.count() as f64);
+
+    DistributedPlaneResistances {
+        silicon,
+        ild,
+        bond,
+        fill,
+        liner_lateral,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Plane;
+    use ttsv_units::Area;
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    /// The Fig. 5 configuration: r = 5 µm, tL = 0.5, tD = 7, tb = 1,
+    /// tSi2 = tSi3 = 45 µm.
+    fn fig5_setup() -> (Stack, TtsvConfig) {
+        let stack = Stack::builder(Area::square(um(100.0)))
+            .plane(Plane::new(um(500.0), um(7.0)))
+            .plane(Plane::new(um(45.0), um(7.0)).with_bond_below(um(1.0)))
+            .plane(Plane::new(um(45.0), um(7.0)).with_bond_below(um(1.0)))
+            .build()
+            .unwrap();
+        let tsv = TtsvConfig::new(um(5.0), um(0.5));
+        (stack, tsv)
+    }
+
+    #[test]
+    fn r1_matches_hand_computed_eq7() {
+        let (stack, tsv) = fig5_setup();
+        let fit = FittingCoefficients::paper_block(); // k1 = 1.3
+        let r = model_a_resistances(&stack, &tsv, &fit);
+        // A = 1e-8 − π(5.5e-6)²; R1 = (tD/kD + lext/kSi)/(k1·A).
+        let a = 1.0e-8 - std::f64::consts::PI * (5.5e-6f64).powi(2);
+        let want = (7.0e-6 / 1.4 + 1.0e-6 / 150.0) / (1.3 * a);
+        let got = r.planes[0].bulk.as_kelvin_per_watt();
+        assert!((got - want).abs() < 1e-9 * want, "{got} vs {want}");
+    }
+
+    #[test]
+    fn r5_matches_hand_computed_eq11() {
+        let (stack, tsv) = fig5_setup();
+        let fit = FittingCoefficients::paper_block();
+        let r = model_a_resistances(&stack, &tsv, &fit);
+        // R5 = (tD + tSi2 + tb)/(k1·kf·πr²).
+        let want = (7.0e-6 + 45.0e-6 + 1.0e-6)
+            / (1.3 * 400.0 * std::f64::consts::PI * (5.0e-6f64).powi(2));
+        let got = r.planes[1].fill.as_kelvin_per_watt();
+        assert!((got - want).abs() < 1e-9 * want, "{got} vs {want}");
+    }
+
+    #[test]
+    fn r9_matches_hand_computed_eq15() {
+        let (stack, tsv) = fig5_setup();
+        let fit = FittingCoefficients::paper_block(); // k2 = 0.55
+        let r = model_a_resistances(&stack, &tsv, &fit);
+        // R9 = ln((r+tL)/r) / (2π·k2·kL·(tSi3 + tb)).
+        let want = (5.5f64 / 5.0).ln()
+            / (2.0 * std::f64::consts::PI * 0.55 * 1.4 * (45.0e-6 + 1.0e-6));
+        let got = r.planes[2].liner_lateral.as_kelvin_per_watt();
+        assert!((got - want).abs() < 1e-9 * want, "{got} vs {want}");
+    }
+
+    #[test]
+    fn rs_matches_hand_computed_eq16() {
+        let (stack, tsv) = fig5_setup();
+        let fit = FittingCoefficients::paper_block();
+        let r = model_a_resistances(&stack, &tsv, &fit);
+        let want = (500.0e-6 - 1.0e-6) / (1.3 * 150.0 * 1.0e-8);
+        let got = r.substrate.as_kelvin_per_watt();
+        assert!((got - want).abs() < 1e-9 * want, "{got} vs {want}");
+    }
+
+    #[test]
+    fn top_plane_fill_excludes_ild() {
+        let (stack, _) = fig5_setup();
+        // Top-plane via height is tSi + tb, not tD + tSi + tb.
+        assert!((via_height(&stack, 2).as_micrometers() - 46.0).abs() < 1e-9);
+        assert!((via_height(&stack, 1).as_micrometers() - 53.0).abs() < 1e-9);
+        assert!((via_height(&stack, 0).as_micrometers() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_reproduces_eq22() {
+        // R'3 = [ln(tL√n + r0) − ln r0] / (2nπ·k2·kL·h): dividing must match
+        // computing the shell at r_n = r0/√n and dividing by n.
+        let (stack, _) = fig5_setup();
+        let fit = FittingCoefficients::paper_block();
+        let r0 = 5.0e-6;
+        let t_l = 0.5e-6;
+        for n in [2usize, 4, 9, 16] {
+            let divided = TtsvConfig::divided(um(5.0), um(0.5), n);
+            let r = model_a_resistances(&stack, &divided, &fit);
+            let h = via_height(&stack, 0).as_meters();
+            let want = ((t_l * (n as f64).sqrt() + r0).ln() - r0.ln())
+                / (2.0 * n as f64 * std::f64::consts::PI * 0.55 * 1.4 * h);
+            let got = r.planes[0].liner_lateral.as_kelvin_per_watt();
+            assert!(
+                (got - want).abs() < 1e-9 * want,
+                "n={n}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_preserves_vertical_resistances() {
+        // Same total metal area ⇒ identical vertical fill resistance.
+        let (stack, single) = fig5_setup();
+        let fit = FittingCoefficients::unity();
+        let r1 = model_a_resistances(&stack, &single, &fit);
+        let r9 = model_a_resistances(&stack, &TtsvConfig::divided(um(5.0), um(0.5), 9), &fit);
+        for (a, b) in r1.planes.iter().zip(&r9.planes) {
+            let (fa, fb) = (a.fill.as_kelvin_per_watt(), b.fill.as_kelvin_per_watt());
+            assert!((fa - fb).abs() < 1e-9 * fa, "{fa} vs {fb}");
+        }
+    }
+
+    #[test]
+    fn unity_fit_reproduces_distributed_totals() {
+        // With k1 = k2 = 1 the compact fill/lateral resistances must equal
+        // the distributed totals, and the compact bulk must equal the series
+        // sum of the distributed layers.
+        let (stack, tsv) = fig5_setup();
+        let compact = model_a_resistances(&stack, &tsv, &FittingCoefficients::unity());
+        for j in 0..3 {
+            let d = distributed_plane_resistances(&stack, &tsv, j);
+            let series = d.silicon + d.ild + d.bond;
+            let cb = compact.planes[j].bulk.as_kelvin_per_watt();
+            assert!(
+                (series.as_kelvin_per_watt() - cb).abs() < 1e-9 * cb,
+                "plane {j} bulk"
+            );
+            let cf = compact.planes[j].fill.as_kelvin_per_watt();
+            assert!(
+                (d.fill.as_kelvin_per_watt() - cf).abs() < 1e-9 * cf,
+                "plane {j} fill"
+            );
+            let cl = compact.planes[j].liner_lateral.as_kelvin_per_watt();
+            assert!(
+                (d.liner_lateral.as_kelvin_per_watt() - cl).abs() < 1e-9 * cl,
+                "plane {j} liner"
+            );
+        }
+    }
+
+    #[test]
+    fn lateral_spreading_only_affects_non_top_planes() {
+        let (stack, tsv) = fig5_setup();
+        let plain = model_a_resistances(&stack, &tsv, &FittingCoefficients::unity());
+        let spread = model_a_resistances(
+            &stack,
+            &tsv,
+            &FittingCoefficients::with_lateral_spreading(1.0, 1.0, 3.5),
+        );
+        for j in 0..2 {
+            let (p, s) = (
+                plain.planes[j].liner_lateral.as_kelvin_per_watt(),
+                spread.planes[j].liner_lateral.as_kelvin_per_watt(),
+            );
+            assert!((s - p / 3.5).abs() < 1e-9 * p, "plane {j}");
+        }
+        assert_eq!(
+            plain.planes[2].liner_lateral,
+            spread.planes[2].liner_lateral
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Exact solutions used to verify the finite-volume discretizations.
+
+use ttsv_units::{Length, PowerDensity, TemperatureDelta, ThermalConductivity};
+
+/// An exactly solvable 1-D multilayer slab: heat sink (T = 0) at `z = 0`,
+/// adiabatic top, uniform volumetric source per layer.
+///
+/// Steady 1-D conduction gives a downward heat flux
+/// `φ(z) = ∫_z^H q(s) ds` (everything generated above must cross `z`) and a
+/// temperature `T(z) = ∫_0^z φ(s)/k(s) ds` — piecewise quadratic, evaluated
+/// here in closed form. The FVM solvers are tested against this profile.
+///
+/// ```
+/// use ttsv_fem::analytic::SlabStack;
+/// use ttsv_units::*;
+///
+/// let mut stack = SlabStack::new();
+/// stack.push_layer(
+///     Length::from_micrometers(100.0),
+///     ThermalConductivity::from_watts_per_meter_kelvin(150.0),
+///     PowerDensity::ZERO,
+/// );
+/// stack.push_layer(
+///     Length::from_micrometers(1.0),
+///     ThermalConductivity::from_watts_per_meter_kelvin(150.0),
+///     PowerDensity::from_watts_per_cubic_millimeter(700.0),
+/// );
+/// let top = stack.temperature_at(stack.height());
+/// assert!(top.as_kelvin() > 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SlabStack {
+    /// (thickness m, conductivity W/mK, source W/m³), bottom to top.
+    layers: Vec<(f64, f64, f64)>,
+}
+
+impl SlabStack {
+    /// Creates an empty stack.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer on top of the stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if thickness or conductivity is not strictly positive.
+    pub fn push_layer(
+        &mut self,
+        thickness: Length,
+        conductivity: ThermalConductivity,
+        source: PowerDensity,
+    ) {
+        assert!(
+            thickness.as_meters() > 0.0,
+            "layer thickness must be positive, got {thickness}"
+        );
+        assert!(
+            conductivity.as_watts_per_meter_kelvin() > 0.0,
+            "layer conductivity must be positive, got {conductivity}"
+        );
+        self.layers.push((
+            thickness.as_meters(),
+            conductivity.as_watts_per_meter_kelvin(),
+            source.as_watts_per_cubic_meter(),
+        ));
+    }
+
+    /// Total stack height.
+    #[must_use]
+    pub fn height(&self) -> Length {
+        Length::from_meters(self.layers.iter().map(|l| l.0).sum())
+    }
+
+    /// Downward heat-flux density (W/m²) crossing height `z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is outside `[0, height]`.
+    #[must_use]
+    pub fn flux_at(&self, z: Length) -> f64 {
+        let zm = z.as_meters();
+        let h = self.height().as_meters();
+        assert!(
+            (-1e-15..=h * (1.0 + 1e-12) + 1e-15).contains(&zm),
+            "z = {z} outside slab [0, {h} m]"
+        );
+        let mut flux = 0.0;
+        let mut bottom = 0.0;
+        for &(t, _, q) in &self.layers {
+            let top = bottom + t;
+            // Portion of this layer above z contributes to the flux at z.
+            let overlap = (top - zm.max(bottom)).max(0.0).min(t);
+            flux += q * overlap;
+            bottom = top;
+        }
+        flux
+    }
+
+    /// Exact temperature above the sink at height `z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is outside `[0, height]`.
+    #[must_use]
+    pub fn temperature_at(&self, z: Length) -> TemperatureDelta {
+        let zm = z.as_meters();
+        let h = self.height().as_meters();
+        assert!(
+            (-1e-15..=h * (1.0 + 1e-12) + 1e-15).contains(&zm),
+            "z = {z} outside slab [0, {h} m]"
+        );
+        // T(z) = ∫_0^z φ(s)/k ds, closed form per layer:
+        // within a layer with source q, φ(s) = φ_top + q·(z_top − s) where
+        // φ_top is the flux entering from above; the integral of φ/k over
+        // [a, b] is (φ_top·(b−a) + q·((z_top−a)² − (z_top−b)²)/2) / k.
+        let mut t = 0.0;
+        let mut bottom = 0.0;
+        for &(thick, k, q) in &self.layers {
+            let top = bottom + thick;
+            let a = bottom;
+            let b = zm.min(top);
+            if b > a {
+                let phi_top = self.flux_at(Length::from_meters(top.min(h)));
+                let seg = phi_top * (b - a) + q * ((top - a).powi(2) - (top - b).powi(2)) / 2.0;
+                t += seg / k;
+            }
+            if zm <= top {
+                break;
+            }
+            bottom = top;
+        }
+        TemperatureDelta::from_kelvin(t)
+    }
+}
+
+/// Exact radial temperature drop across a cylindrical shell conducting a
+/// total power `power_w` from its outer to inner radius through material of
+/// conductivity `k` over height `h`: `ΔT = P·ln(r_out/r_in)/(2πkh)`.
+///
+/// Verifies the radial discretization of the axisymmetric solver.
+///
+/// # Panics
+///
+/// Panics unless `0 < r_in ≤ r_out` and `k`, `h` are positive.
+#[must_use]
+pub fn radial_shell_drop(
+    power_w: f64,
+    inner: Length,
+    outer: Length,
+    conductivity: ThermalConductivity,
+    height: Length,
+) -> TemperatureDelta {
+    let r = conductivity.shell_resistance(inner, outer, height);
+    TemperatureDelta::from_kelvin(power_w * r.as_kelvin_per_watt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+    fn k(v: f64) -> ThermalConductivity {
+        ThermalConductivity::from_watts_per_meter_kelvin(v)
+    }
+
+    #[test]
+    fn single_layer_with_top_heating_is_linear_below_source() {
+        // 100 µm of silicon, source only in the top 1 µm.
+        let mut s = SlabStack::new();
+        s.push_layer(um(100.0), k(150.0), PowerDensity::ZERO);
+        s.push_layer(
+            um(1.0),
+            k(150.0),
+            PowerDensity::from_watts_per_cubic_millimeter(700.0),
+        );
+        // Flux below the source layer is constant: 700e9 W/m³ × 1e-6 m = 7e5 W/m².
+        assert!((s.flux_at(um(50.0)) - 7.0e5).abs() < 1.0);
+        assert!((s.flux_at(um(0.0)) - 7.0e5).abs() < 1.0);
+        // And zero at the adiabatic top.
+        assert!(s.flux_at(s.height()).abs() < 1e-9);
+        // Temperature at 100 µm: φ·L/k = 7e5 · 1e-4 / 150 ≈ 0.4667 K.
+        let t = s.temperature_at(um(100.0)).as_kelvin();
+        assert!((t - 7.0e5 * 1.0e-4 / 150.0).abs() < 1e-9, "t = {t}");
+        // Linear in between.
+        let t_half = s.temperature_at(um(50.0)).as_kelvin();
+        assert!((t_half - t / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_source_gives_parabolic_profile() {
+        // Uniform source through a single layer: T(z) = q(Hz − z²/2)/k.
+        let q = 1.0e9; // W/m³
+        let h = 1.0e-4; // m
+        let kk = 100.0;
+        let mut s = SlabStack::new();
+        s.push_layer(
+            Length::from_meters(h),
+            k(kk),
+            PowerDensity::from_watts_per_cubic_meter(q),
+        );
+        for frac in [0.25, 0.5, 0.75, 1.0] {
+            let z = h * frac;
+            let want = q * (h * z - z * z / 2.0) / kk;
+            let got = s.temperature_at(Length::from_meters(z)).as_kelvin();
+            assert!((got - want).abs() < 1e-9 * want.max(1.0), "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn layered_stack_is_continuous_across_interfaces() {
+        let mut s = SlabStack::new();
+        s.push_layer(um(10.0), k(150.0), PowerDensity::ZERO);
+        s.push_layer(
+            um(5.0),
+            k(1.4),
+            PowerDensity::from_watts_per_cubic_millimeter(70.0),
+        );
+        s.push_layer(um(2.0), k(0.15), PowerDensity::ZERO);
+        let below = s.temperature_at(um(10.0 - 1e-6)).as_kelvin();
+        let above = s.temperature_at(um(10.0 + 1e-6)).as_kelvin();
+        // The jump across ±1 pm is bounded by the steeper gradient φ/k_ILD
+        // ≈ 2.5e5 K/m, i.e. ≲ 5e-7 K here.
+        assert!((below - above).abs() < 1e-6, "{below} vs {above}");
+        // Monotone increasing toward the adiabatic top.
+        let mut prev = -1.0;
+        for i in 0..=17 {
+            let t = s.temperature_at(um(i as f64)).as_kelvin();
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn radial_drop_matches_shell_resistance() {
+        let dt = radial_shell_drop(2.0, um(5.0), um(5.5), k(1.4), um(7.0));
+        let expect = 2.0 * (5.5f64 / 5.0).ln() / (2.0 * std::f64::consts::PI * 1.4 * 7.0e-6);
+        assert!((dt.as_kelvin() - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for the finite-volume solvers.
+
+use ttsv_linalg::LinalgError;
+
+/// Errors from setting up or solving a finite-volume problem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FemError {
+    /// The mesh or material description is inconsistent.
+    InvalidProblem {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// The linear solve failed (typically iteration-budget exhaustion).
+    Solver(LinalgError),
+}
+
+impl core::fmt::Display for FemError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FemError::InvalidProblem { reason } => write!(f, "invalid problem: {reason}"),
+            FemError::Solver(e) => write!(f, "solver failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FemError::Solver(e) => Some(e),
+            FemError::InvalidProblem { .. } => None,
+        }
+    }
+}
+
+impl From<LinalgError> for FemError {
+    fn from(e: LinalgError) -> Self {
+        FemError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FemError::InvalidProblem {
+            reason: "zero cells".into(),
+        };
+        assert!(e.to_string().contains("zero cells"));
+        let e = FemError::Solver(LinalgError::Singular { pivot: 0 });
+        assert!(e.to_string().contains("singular"));
+    }
+}

@@ -1,0 +1,256 @@
+//! 1-D axis meshing shared by all finite-volume grids.
+
+use ttsv_units::Length;
+
+/// A 1-D axis discretization: a strictly increasing sequence of face
+/// coordinates partitioning `[0, L]` into cells.
+///
+/// Built from *segments* so grid lines always land exactly on material
+/// boundaries (each physical layer contributes one segment):
+///
+/// ```
+/// use ttsv_fem::Axis;
+/// use ttsv_units::Length;
+///
+/// let axis = Axis::builder()
+///     .segment(Length::from_micrometers(500.0), 10) // substrate
+///     .segment(Length::from_micrometers(4.0), 4)    // ILD
+///     .build();
+/// assert_eq!(axis.cell_count(), 14);
+/// assert!((axis.length().as_micrometers() - 504.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Axis {
+    /// Face coordinates in metres; `faces[0] == 0`, strictly increasing.
+    faces: Vec<f64>,
+}
+
+/// Builder for [`Axis`]; see its docs.
+#[derive(Debug, Clone, Default)]
+pub struct AxisBuilder {
+    faces: Vec<f64>,
+}
+
+impl Axis {
+    /// Starts building an axis at coordinate 0.
+    #[must_use]
+    pub fn builder() -> AxisBuilder {
+        AxisBuilder { faces: vec![0.0] }
+    }
+
+    /// Number of cells (faces − 1).
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.faces.len() - 1
+    }
+
+    /// Total axis length.
+    #[must_use]
+    pub fn length(&self) -> Length {
+        Length::from_meters(*self.faces.last().expect("axis has faces"))
+    }
+
+    /// Face coordinate `i` (0 ≤ i ≤ cell_count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn face(&self, i: usize) -> Length {
+        Length::from_meters(self.faces[i])
+    }
+
+    /// Raw face coordinate in metres (hot-path accessor).
+    #[must_use]
+    pub(crate) fn face_m(&self, i: usize) -> f64 {
+        self.faces[i]
+    }
+
+    /// Center of cell `i` in metres.
+    #[must_use]
+    pub(crate) fn center_m(&self, i: usize) -> f64 {
+        0.5 * (self.faces[i] + self.faces[i + 1])
+    }
+
+    /// Width of cell `i` in metres.
+    #[must_use]
+    pub(crate) fn width_m(&self, i: usize) -> f64 {
+        self.faces[i + 1] - self.faces[i]
+    }
+
+    /// Center of cell `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ cell_count`.
+    #[must_use]
+    pub fn cell_center(&self, i: usize) -> Length {
+        assert!(i < self.cell_count(), "cell {i} out of bounds");
+        Length::from_meters(self.center_m(i))
+    }
+
+    /// Width of cell `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ cell_count`.
+    #[must_use]
+    pub fn cell_width(&self, i: usize) -> Length {
+        assert!(i < self.cell_count(), "cell {i} out of bounds");
+        Length::from_meters(self.width_m(i))
+    }
+
+    /// Index of the cell containing `x` (cells own their lower face).
+    /// Clamps to the last cell at the upper end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is negative or beyond the axis length.
+    #[must_use]
+    pub fn cell_at(&self, x: Length) -> usize {
+        let xm = x.as_meters();
+        let end = *self.faces.last().expect("axis has faces");
+        assert!(
+            (0.0..=end * (1.0 + 1e-12)).contains(&xm),
+            "coordinate {x} outside axis [0, {end} m]"
+        );
+        match self
+            .faces
+            .binary_search_by(|f| f.partial_cmp(&xm).expect("finite faces"))
+        {
+            Ok(i) => i.min(self.cell_count() - 1),
+            Err(i) => i - 1,
+        }
+    }
+}
+
+impl AxisBuilder {
+    /// Appends a segment of the given length divided into `cells` equal
+    /// cells. Returns `self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not strictly positive or `cells` is zero.
+    #[must_use]
+    pub fn segment(mut self, length: Length, cells: usize) -> Self {
+        assert!(
+            length.as_meters() > 0.0,
+            "segment length must be positive, got {length}"
+        );
+        assert!(cells > 0, "segment needs at least one cell");
+        let start = *self.faces.last().expect("builder starts with one face");
+        let width = length.as_meters() / cells as f64;
+        for i in 1..=cells {
+            // Accumulate from the segment start to avoid drift.
+            self.faces.push(start + width * i as f64);
+        }
+        self
+    }
+
+    /// Appends a segment refined geometrically toward its *start* (first
+    /// cell is the finest). Useful for resolving the thin liner region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not positive, `cells` is zero, or
+    /// `growth ≤ 1`.
+    #[must_use]
+    pub fn segment_graded(mut self, length: Length, cells: usize, growth: f64) -> Self {
+        assert!(
+            length.as_meters() > 0.0,
+            "segment length must be positive, got {length}"
+        );
+        assert!(cells > 0, "segment needs at least one cell");
+        assert!(growth > 1.0, "growth factor must exceed 1, got {growth}");
+        let start = *self.faces.last().expect("builder starts with one face");
+        // First cell width h with h·(g^n − 1)/(g − 1) = L.
+        let l = length.as_meters();
+        let h0 = l * (growth - 1.0) / (growth.powi(cells as i32) - 1.0);
+        let mut x = start;
+        let mut h = h0;
+        for i in 0..cells {
+            x = if i + 1 == cells { start + l } else { x + h };
+            self.faces.push(x);
+            h *= growth;
+        }
+        self
+    }
+
+    /// Finalizes the axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no segments were added.
+    #[must_use]
+    pub fn build(self) -> Axis {
+        assert!(
+            self.faces.len() > 1,
+            "axis needs at least one segment before build()"
+        );
+        debug_assert!(self.faces.windows(2).all(|w| w[1] > w[0]));
+        Axis { faces: self.faces }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    #[test]
+    fn segments_align_with_boundaries() {
+        let axis = Axis::builder()
+            .segment(um(10.0), 2)
+            .segment(um(5.0), 5)
+            .build();
+        assert_eq!(axis.cell_count(), 7);
+        // The boundary at 10 µm is exactly a face.
+        assert!((axis.face(2).as_micrometers() - 10.0).abs() < 1e-12);
+        assert!((axis.length().as_micrometers() - 15.0).abs() < 1e-12);
+        // Cells in the second segment are 1 µm wide.
+        assert!((axis.cell_width(3).as_micrometers() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_lookup_matches_geometry() {
+        let axis = Axis::builder().segment(um(10.0), 10).build();
+        assert_eq!(axis.cell_at(um(0.0)), 0);
+        assert_eq!(axis.cell_at(um(0.5)), 0);
+        assert_eq!(axis.cell_at(um(1.0)), 1); // cells own their lower face
+        assert_eq!(axis.cell_at(um(9.999)), 9);
+        assert_eq!(axis.cell_at(um(10.0)), 9); // clamped at the top end
+    }
+
+    #[test]
+    fn centers_are_midpoints() {
+        let axis = Axis::builder().segment(um(4.0), 2).build();
+        assert!((axis.cell_center(0).as_micrometers() - 1.0).abs() < 1e-12);
+        assert!((axis.cell_center(1).as_micrometers() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn graded_segment_covers_length_and_grows() {
+        let axis = Axis::builder().segment_graded(um(10.0), 5, 1.5).build();
+        assert_eq!(axis.cell_count(), 5);
+        assert!((axis.length().as_micrometers() - 10.0).abs() < 1e-9);
+        for i in 1..5 {
+            assert!(axis.cell_width(i) > axis.cell_width(i - 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside axis")]
+    fn out_of_range_lookup_panics() {
+        let axis = Axis::builder().segment(um(1.0), 1).build();
+        let _ = axis.cell_at(um(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn empty_axis_rejected() {
+        let _ = Axis::builder().build();
+    }
+}

@@ -1,0 +1,246 @@
+//! Temperature-dependent conductivity via Picard (fixed-point) iteration.
+//!
+//! The paper assumes constant conductivities; real silicon loses roughly
+//! `(T/300 K)^−1.3` of its conductivity as it heats, which matters for hot
+//! 3-D stacks. This extension re-solves the axisymmetric problem with each
+//! cell's conductivity re-evaluated at its local temperature until the
+//! field stops moving — the standard Picard linearization of the mildly
+//! nonlinear steady heat equation.
+
+use ttsv_linalg::IterativeConfig;
+use ttsv_units::Temperature;
+
+use crate::axisym::{AxisymSolution, AxisymmetricProblem};
+use crate::error::FemError;
+
+/// Convergence controls for [`solve_nonlinear`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PicardConfig {
+    /// Maximum outer (re-linearization) iterations.
+    pub max_iterations: usize,
+    /// Stop when the largest cell-temperature change between outer
+    /// iterations falls below this (kelvin).
+    pub temperature_tolerance: f64,
+    /// Linear-solver settings for each inner solve.
+    pub inner: IterativeConfig,
+}
+
+impl Default for PicardConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 25,
+            temperature_tolerance: 1e-6,
+            inner: IterativeConfig::new(200_000, 1e-10),
+        }
+    }
+}
+
+/// Result of a nonlinear solve: the converged field plus iteration
+/// telemetry.
+#[derive(Debug, Clone)]
+pub struct NonlinearSolution {
+    /// The converged temperature field.
+    pub solution: AxisymSolution,
+    /// Outer Picard iterations performed.
+    pub outer_iterations: usize,
+    /// Final maximum cell-temperature change (kelvin).
+    pub final_change: f64,
+}
+
+/// Solves `∇·(k(T) ∇T) = −q` on an axisymmetric problem by Picard
+/// iteration: `conductivity(k₃₀₀, T)` maps each cell's cold conductivity
+/// and current absolute temperature to the updated conductivity.
+///
+/// `ambient` anchors the absolute temperature (the solver's field is a
+/// rise above the sink).
+///
+/// # Errors
+///
+/// * Propagates inner linear-solve failures.
+/// * Returns [`FemError::InvalidProblem`] if the outer iteration fails to
+///   converge within `config.max_iterations`.
+///
+/// # Examples
+///
+/// ```
+/// use ttsv_fem::axisym::AxisymmetricProblem;
+/// use ttsv_fem::nonlinear::{solve_nonlinear, PicardConfig};
+/// use ttsv_fem::Axis;
+/// use ttsv_units::*;
+///
+/// let r = Axis::builder().segment(Length::from_micrometers(40.0), 8).build();
+/// let z = Axis::builder().segment(Length::from_micrometers(100.0), 20).build();
+/// let mut prob = AxisymmetricProblem::new(
+///     r, z, ThermalConductivity::from_watts_per_meter_kelvin(150.0));
+/// prob.add_source(
+///     (Length::ZERO, Length::from_micrometers(40.0)),
+///     (Length::from_micrometers(90.0), Length::from_micrometers(100.0)),
+///     PowerDensity::from_watts_per_cubic_millimeter(2000.0),
+/// );
+/// // Silicon-like power law: k falls as the stack heats.
+/// let result = solve_nonlinear(
+///     &prob,
+///     Temperature::from_celsius(27.0),
+///     |k300, t_kelvin| k300 * (t_kelvin / 300.0).powf(-1.3),
+///     &PicardConfig::default(),
+/// )?;
+/// assert!(result.outer_iterations >= 2);
+/// # Ok::<(), ttsv_fem::FemError>(())
+/// ```
+pub fn solve_nonlinear(
+    problem: &AxisymmetricProblem,
+    ambient: Temperature,
+    conductivity: impl Fn(f64, f64) -> f64,
+    config: &PicardConfig,
+) -> Result<NonlinearSolution, FemError> {
+    let k_cold = problem.cell_conductivities().to_vec();
+    let mut current = problem.clone();
+    let mut previous: Option<Vec<f64>> = None;
+
+    for outer in 1..=config.max_iterations {
+        let solution = current.solve_with(&config.inner)?;
+        let field = solution.cell_temperatures_kelvin().to_vec();
+
+        // Convergence check against the previous outer iterate.
+        let change = previous
+            .as_ref()
+            .map(|prev| {
+                field
+                    .iter()
+                    .zip(prev)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max)
+            })
+            .unwrap_or(f64::INFINITY);
+        if change <= config.temperature_tolerance {
+            return Ok(NonlinearSolution {
+                solution,
+                outer_iterations: outer,
+                final_change: change,
+            });
+        }
+
+        // Re-linearize: update every cell conductivity at its local
+        // absolute temperature.
+        let updated: Vec<f64> = k_cold
+            .iter()
+            .zip(&field)
+            .map(|(&k300, t)| {
+                let t_abs = ambient.as_kelvin() + t;
+                let k = conductivity(k300, t_abs);
+                assert!(
+                    k.is_finite() && k > 0.0,
+                    "conductivity update produced nonphysical k = {k}"
+                );
+                k
+            })
+            .collect();
+        current.set_cell_conductivities(&updated);
+        previous = Some(field);
+    }
+
+    Err(FemError::InvalidProblem {
+        reason: format!(
+            "Picard iteration did not converge in {} iterations",
+            config.max_iterations
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::Axis;
+    use ttsv_units::{Length, PowerDensity, ThermalConductivity};
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    fn hot_block(power: f64) -> AxisymmetricProblem {
+        let r = Axis::builder().segment(um(40.0), 8).build();
+        let z = Axis::builder().segment(um(100.0), 20).build();
+        let mut prob = AxisymmetricProblem::new(
+            r,
+            z,
+            ThermalConductivity::from_watts_per_meter_kelvin(150.0),
+        );
+        prob.add_source(
+            (um(0.0), um(40.0)),
+            (um(90.0), um(100.0)),
+            PowerDensity::from_watts_per_cubic_millimeter(power),
+        );
+        prob
+    }
+
+    #[test]
+    fn constant_conductivity_converges_in_two_iterations() {
+        let prob = hot_block(700.0);
+        let result = solve_nonlinear(
+            &prob,
+            Temperature::from_celsius(27.0),
+            |k300, _| k300,
+            &PicardConfig::default(),
+        )
+        .unwrap();
+        // First solve, second solve identical → converged.
+        assert_eq!(result.outer_iterations, 2);
+        let linear = prob.solve().unwrap();
+        assert!(
+            (result.solution.max_temperature().as_kelvin()
+                - linear.max_temperature().as_kelvin())
+            .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn degrading_silicon_runs_hotter_than_linear() {
+        let prob = hot_block(5000.0); // hot enough for k(T) to matter
+        let linear = prob.solve().unwrap().max_temperature().as_kelvin();
+        let nonlinear = solve_nonlinear(
+            &prob,
+            Temperature::from_celsius(27.0),
+            |k300, t| k300 * (t / 300.0).powf(-1.3),
+            &PicardConfig::default(),
+        )
+        .unwrap();
+        let hot = nonlinear.solution.max_temperature().as_kelvin();
+        assert!(
+            hot > 1.05 * linear,
+            "self-heating must amplify ΔT: linear {linear}, nonlinear {hot}"
+        );
+        assert!(nonlinear.final_change <= 1e-6);
+    }
+
+    #[test]
+    fn improving_conductivity_runs_cooler_than_linear() {
+        // A hypothetical material that conducts better when hot.
+        let prob = hot_block(5000.0);
+        let linear = prob.solve().unwrap().max_temperature().as_kelvin();
+        let nonlinear = solve_nonlinear(
+            &prob,
+            Temperature::from_celsius(27.0),
+            |k300, t| k300 * (t / 300.0).powf(0.8),
+            &PicardConfig::default(),
+        )
+        .unwrap();
+        assert!(nonlinear.solution.max_temperature().as_kelvin() < linear);
+    }
+
+    #[test]
+    fn iteration_budget_is_enforced() {
+        let prob = hot_block(5000.0);
+        let err = solve_nonlinear(
+            &prob,
+            Temperature::from_celsius(27.0),
+            |k300, t| k300 * (t / 300.0).powf(-1.3),
+            &PicardConfig {
+                max_iterations: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, FemError::InvalidProblem { .. }));
+    }
+}

@@ -1,0 +1,319 @@
+//! 1-D multilayer slab finite-volume solver.
+//!
+//! The simplest of the three discretizations: a vertical stack of layers
+//! with a heat sink below and adiabatic top, reduced to a tridiagonal
+//! system. It doubles as the reference implementation for the vertical
+//! discretization shared by the 2-D/3-D solvers and is tested against the
+//! exact [`SlabStack`](crate::analytic::SlabStack) solution.
+
+use ttsv_linalg::Tridiagonal;
+use ttsv_units::{Area, Length, Power, PowerDensity, TemperatureDelta, ThermalConductivity};
+
+use crate::error::FemError;
+use crate::mesh::Axis;
+
+/// Builder for [`Slab1d`]: push layers bottom-to-top.
+#[derive(Debug, Clone)]
+pub struct Slab1dBuilder {
+    area: Area,
+    axis: SegmentList,
+    k: Vec<f64>,
+    q: Vec<f64>,
+}
+
+/// Layer segments collected before the axis is finalized (the non-consuming
+/// builder methods cannot thread `AxisBuilder` by value).
+#[derive(Debug, Clone, Default)]
+struct SegmentList {
+    segments: Vec<(Length, usize)>,
+}
+
+/// A 1-D multilayer slab problem: Dirichlet (T = 0) bottom, adiabatic top.
+#[derive(Debug, Clone)]
+pub struct Slab1d {
+    area: Area,
+    axis: Axis,
+    /// Conductivity per cell (W/(m·K)).
+    k: Vec<f64>,
+    /// Source density per cell (W/m³).
+    q: Vec<f64>,
+}
+
+/// Solved slab: cell temperatures plus derived quantities.
+#[derive(Debug, Clone)]
+pub struct Slab1dSolution {
+    axis: Axis,
+    area: Area,
+    k_bottom: f64,
+    temperatures: Vec<f64>,
+}
+
+impl Slab1d {
+    /// Starts a builder for a slab of the given cross-sectional area.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the area is not strictly positive.
+    #[must_use]
+    pub fn builder(area: Area) -> Slab1dBuilder {
+        assert!(
+            area.as_square_meters() > 0.0,
+            "slab area must be positive, got {area}"
+        );
+        Slab1dBuilder {
+            area,
+            axis: SegmentList::default(),
+            k: Vec::new(),
+            q: Vec::new(),
+        }
+    }
+
+    /// Number of cells in the stack.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.axis.cell_count()
+    }
+
+    /// Assembles and solves the tridiagonal system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FemError::Solver`] if the tridiagonal solve fails (cannot
+    /// happen for physically valid inputs, which produce an M-matrix).
+    pub fn solve(&self) -> Result<Slab1dSolution, FemError> {
+        let n = self.axis.cell_count();
+        let area = self.area.as_square_meters();
+
+        // Face conductances (W/K): harmonic combination of the half-cells.
+        // g[i] couples cell i−1 and i; g[0] couples cell 0 to the sink.
+        let mut g = vec![0.0; n + 1];
+        g[0] = area / (self.axis.width_m(0) / (2.0 * self.k[0]));
+        for i in 1..n {
+            let lower = self.axis.width_m(i - 1) / (2.0 * self.k[i - 1]);
+            let upper = self.axis.width_m(i) / (2.0 * self.k[i]);
+            g[i] = area / (lower + upper);
+        }
+        // g[n] stays 0: adiabatic top.
+
+        let mut sub = vec![0.0; n.saturating_sub(1)];
+        let mut diag = vec![0.0; n];
+        let mut sup = vec![0.0; n.saturating_sub(1)];
+        let mut rhs = vec![0.0; n];
+        for i in 0..n {
+            diag[i] = g[i] + g[i + 1];
+            if i > 0 {
+                sub[i - 1] = -g[i];
+            }
+            if i + 1 < n {
+                sup[i] = -g[i + 1];
+            }
+            rhs[i] = self.q[i] * area * self.axis.width_m(i);
+        }
+
+        let t = Tridiagonal::new(sub, diag, sup).solve(&rhs)?;
+        Ok(Slab1dSolution {
+            axis: self.axis.clone(),
+            area: self.area,
+            k_bottom: self.k[0],
+            temperatures: t,
+        })
+    }
+}
+
+impl Slab1dBuilder {
+    /// Adds a layer of `thickness`/`conductivity` with a uniform volumetric
+    /// `source`, discretized into `cells` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive thickness/conductivity or zero cells.
+    pub fn layer(
+        &mut self,
+        thickness: Length,
+        conductivity: ThermalConductivity,
+        source: PowerDensity,
+        cells: usize,
+    ) -> &mut Self {
+        assert!(
+            conductivity.as_watts_per_meter_kelvin() > 0.0,
+            "layer conductivity must be positive, got {conductivity}"
+        );
+        self.axis.segments.push((thickness, cells));
+        for _ in 0..cells {
+            self.k.push(conductivity.as_watts_per_meter_kelvin());
+            self.q.push(source.as_watts_per_cubic_meter());
+        }
+        self
+    }
+
+    /// Finalizes the problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no layers were added.
+    #[must_use]
+    pub fn build(&self) -> Slab1d {
+        assert!(
+            !self.axis.segments.is_empty(),
+            "slab needs at least one layer"
+        );
+        let mut b = Axis::builder();
+        for &(len, cells) in &self.axis.segments {
+            b = b.segment(len, cells);
+        }
+        Slab1d {
+            area: self.area,
+            axis: b.build(),
+            k: self.k.clone(),
+            q: self.q.clone(),
+        }
+    }
+}
+
+impl Slab1dSolution {
+    /// Temperature at the center of cell `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn cell_temperature(&self, i: usize) -> TemperatureDelta {
+        TemperatureDelta::from_kelvin(self.temperatures[i])
+    }
+
+    /// Temperature interpolated at height `z` (nearest cell center).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is outside the slab.
+    #[must_use]
+    pub fn temperature_at(&self, z: Length) -> TemperatureDelta {
+        self.cell_temperature(self.axis.cell_at(z))
+    }
+
+    /// Temperature of the topmost cell (the hottest point for bottom-sink
+    /// heating).
+    #[must_use]
+    pub fn top_temperature(&self) -> TemperatureDelta {
+        TemperatureDelta::from_kelvin(*self.temperatures.last().expect("nonempty slab"))
+    }
+
+    /// Maximum cell temperature.
+    #[must_use]
+    pub fn max_temperature(&self) -> TemperatureDelta {
+        TemperatureDelta::from_kelvin(
+            self.temperatures.iter().fold(f64::NEG_INFINITY, |m, &t| m.max(t)),
+        )
+    }
+
+    /// Heat leaving through the bottom (sink) boundary — for conservation
+    /// audits against the total injected power.
+    #[must_use]
+    pub fn bottom_flux(&self) -> Power {
+        let g = self.area.as_square_meters() / (self.axis.width_m(0) / (2.0 * self.k_bottom));
+        Power::from_watts(g * self.temperatures[0])
+    }
+
+    /// The z-profile as `(center, temperature)` pairs, bottom to top.
+    #[must_use]
+    pub fn profile(&self) -> Vec<(Length, TemperatureDelta)> {
+        (0..self.temperatures.len())
+            .map(|i| (self.axis.cell_center(i), self.cell_temperature(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::SlabStack;
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+    fn k(v: f64) -> ThermalConductivity {
+        ThermalConductivity::from_watts_per_meter_kelvin(v)
+    }
+    fn wmm3(v: f64) -> PowerDensity {
+        PowerDensity::from_watts_per_cubic_millimeter(v)
+    }
+
+    fn paper_like_stack(cells_per_layer: usize) -> (Slab1d, SlabStack) {
+        let area = Area::square(um(100.0));
+        let mut b = Slab1d::builder(area);
+        b.layer(um(500.0), k(150.0), PowerDensity::ZERO, cells_per_layer);
+        b.layer(um(1.0), k(150.0), wmm3(700.0), cells_per_layer);
+        b.layer(um(4.0), k(1.4), wmm3(70.0), cells_per_layer);
+        b.layer(um(1.0), k(0.15), PowerDensity::ZERO, cells_per_layer);
+
+        let mut exact = SlabStack::new();
+        exact.push_layer(um(500.0), k(150.0), PowerDensity::ZERO);
+        exact.push_layer(um(1.0), k(150.0), wmm3(700.0));
+        exact.push_layer(um(4.0), k(1.4), wmm3(70.0));
+        exact.push_layer(um(1.0), k(0.15), PowerDensity::ZERO);
+        (b.build(), exact)
+    }
+
+    #[test]
+    fn matches_exact_solution_within_half_percent() {
+        // Compare every FVM cell-center value against the exact profile at
+        // the same center (cell-center sampling is second-order accurate).
+        let (slab, exact) = paper_like_stack(40);
+        let sol = slab.solve().unwrap();
+        for (z, t) in sol.profile() {
+            let got = t.as_kelvin();
+            let want = exact.temperature_at(z).as_kelvin();
+            assert!(
+                (got - want).abs() <= 5e-3 * want.abs().max(1e-6),
+                "z={z}: fvm {got} vs exact {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn refinement_converges_to_exact() {
+        let top_exact = {
+            let (_, exact) = paper_like_stack(1);
+            exact.temperature_at(exact.height()).as_kelvin()
+        };
+        let mut prev_err = f64::INFINITY;
+        for cells in [2, 8, 32] {
+            let (slab, _) = paper_like_stack(cells);
+            let got = slab.solve().unwrap().top_temperature().as_kelvin();
+            let err = (got - top_exact).abs();
+            assert!(err < prev_err || err < 1e-9, "error grew: {prev_err} → {err}");
+            prev_err = err;
+        }
+        assert!(prev_err <= 1e-3 * top_exact.abs());
+    }
+
+    #[test]
+    fn energy_is_conserved() {
+        let (slab, _) = paper_like_stack(20);
+        let sol = slab.solve().unwrap();
+        // Total injected: 700 W/mm³ × (0.1×0.1×0.001 mm³) + 70 × (0.1×0.1×0.004).
+        let injected = 700.0 * 1.0e-5 + 70.0 * 4.0e-5;
+        let drained = sol.bottom_flux().as_watts();
+        assert!(
+            (injected - drained).abs() < 1e-9 * injected,
+            "in {injected} vs out {drained}"
+        );
+    }
+
+    #[test]
+    fn profile_is_monotone_for_bottom_sink() {
+        let (slab, _) = paper_like_stack(15);
+        let sol = slab.solve().unwrap();
+        let profile = sol.profile();
+        for w in profile.windows(2) {
+            assert!(w[1].1 >= w[0].1, "profile must increase toward the top");
+        }
+        assert_eq!(sol.max_temperature(), sol.top_temperature());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_slab_rejected() {
+        let _ = Slab1d::builder(Area::square(um(1.0))).build();
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests: the finite-volume solvers against exact physics
+//! on randomized geometries.
+
+use proptest::prelude::*;
+use ttsv_fem::analytic::SlabStack;
+use ttsv_fem::axisym::AxisymmetricProblem;
+use ttsv_fem::slab1d::Slab1d;
+use ttsv_fem::Axis;
+use ttsv_units::{Area, Length, PowerDensity, ThermalConductivity};
+
+fn um(v: f64) -> Length {
+    Length::from_micrometers(v)
+}
+fn k(v: f64) -> ThermalConductivity {
+    ThermalConductivity::from_watts_per_meter_kelvin(v)
+}
+
+/// Up to four random layers: (thickness µm, conductivity, source W/mm³).
+fn layers() -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
+    prop::collection::vec(
+        (1.0..200.0f64, prop_oneof![0.1..2.0f64, 50.0..400.0f64], 0.0..500.0f64),
+        1..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn slab1d_matches_exact_on_random_stacks(layer_spec in layers()) {
+        let mut builder = Slab1d::builder(Area::square(um(100.0)));
+        let mut exact = SlabStack::new();
+        for &(t, kk, q) in &layer_spec {
+            builder.layer(
+                um(t),
+                k(kk),
+                PowerDensity::from_watts_per_cubic_millimeter(q),
+                24,
+            );
+            exact.push_layer(um(t), k(kk), PowerDensity::from_watts_per_cubic_millimeter(q));
+        }
+        let sol = builder.build().solve().unwrap();
+        // Cell-center sampling inside a source layer carries a known
+        // O(h²) offset bounded by q·h²/(8k); fold it into the tolerance.
+        let offset_bound = layer_spec
+            .iter()
+            .map(|&(t, kk, q)| {
+                let h = t * 1.0e-6 / 24.0;
+                q * 1.0e9 * h * h / (8.0 * kk)
+            })
+            .fold(0.0f64, f64::max);
+        for (z, t_fvm) in sol.profile() {
+            let t_exact = exact.temperature_at(z).as_kelvin();
+            prop_assert!(
+                (t_fvm.as_kelvin() - t_exact).abs()
+                    <= 0.01 * t_exact.abs().max(1e-9) + offset_bound,
+                "z = {z}: fvm {t_fvm} vs exact {t_exact} (offset bound {offset_bound})"
+            );
+        }
+    }
+
+    #[test]
+    fn slab1d_conserves_energy_on_random_stacks(layer_spec in layers()) {
+        let area = Area::square(um(100.0));
+        let mut builder = Slab1d::builder(area);
+        let mut injected = 0.0;
+        for &(t, kk, q) in &layer_spec {
+            builder.layer(um(t), k(kk), PowerDensity::from_watts_per_cubic_millimeter(q), 12);
+            injected += q * 1.0e9 * area.as_square_meters() * t * 1.0e-6;
+        }
+        let sol = builder.build().solve().unwrap();
+        let drained = sol.bottom_flux().as_watts();
+        prop_assert!(
+            (injected - drained).abs() <= 1e-6 * injected.max(1e-12),
+            "in {injected} vs out {drained}"
+        );
+    }
+
+    #[test]
+    fn axisym_radially_uniform_matches_slab(
+        t_body in 20.0..150.0f64,
+        t_src in 2.0..10.0f64,
+        k_body in 50.0..300.0f64,
+        k_src in 0.5..2.0f64,
+        q in 10.0..500.0f64,
+    ) {
+        // Radially uniform problem: the 2-D solver must reduce to 1-D.
+        let r = Axis::builder().segment(um(40.0), 6).build();
+        let z = Axis::builder()
+            .segment(um(t_body), 30)
+            .segment(um(t_src), 12)
+            .build();
+        let mut prob = AxisymmetricProblem::new(r, z, k(k_body));
+        prob.set_material(
+            (um(0.0), um(40.0)),
+            (um(t_body), um(t_body + t_src)),
+            k(k_src),
+        );
+        prob.add_source(
+            (um(0.0), um(40.0)),
+            (um(t_body), um(t_body + t_src)),
+            PowerDensity::from_watts_per_cubic_millimeter(q),
+        );
+        let sol = prob.solve().unwrap();
+
+        let mut exact = SlabStack::new();
+        exact.push_layer(um(t_body), k(k_body), PowerDensity::ZERO);
+        exact.push_layer(um(t_src), k(k_src), PowerDensity::from_watts_per_cubic_millimeter(q));
+
+        for (zc, t_fvm) in sol.z_profile(um(20.0)) {
+            let t_exact = exact.temperature_at(zc).as_kelvin();
+            prop_assert!(
+                (t_fvm.as_kelvin() - t_exact).abs() <= 0.02 * t_exact.abs().max(1e-9),
+                "z = {zc}: axisym {t_fvm} vs slab {t_exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn axisym_energy_conservation_random(
+        q in 10.0..700.0f64,
+        r_src in 5.0..35.0f64,
+        z_lo_frac in 0.0..0.8f64,
+    ) {
+        let r = Axis::builder().segment(um(40.0), 8).build();
+        let z = Axis::builder().segment(um(100.0), 25).build();
+        let mut prob = AxisymmetricProblem::new(r, z, k(150.0));
+        let z_lo = 100.0 * z_lo_frac;
+        prob.add_source(
+            (um(0.0), um(r_src)),
+            (um(z_lo), um(100.0)),
+            PowerDensity::from_watts_per_cubic_millimeter(q),
+        );
+        let injected = prob.total_source_power().as_watts();
+        prop_assume!(injected > 0.0);
+        let sol = prob.solve().unwrap();
+        let drained = sol.sink_heat().as_watts();
+        prop_assert!(
+            (injected - drained).abs() <= 1e-5 * injected,
+            "in {injected} vs out {drained}"
+        );
+    }
+
+    #[test]
+    fn axisym_maximum_principle(
+        q in 10.0..700.0f64,
+        k_via in 100.0..400.0f64,
+    ) {
+        // With nonnegative sources and a zero-temperature sink, the field is
+        // nonnegative and the maximum sits away from the sink.
+        let r = Axis::builder().segment(um(10.0), 4).segment(um(30.0), 8).build();
+        let z = Axis::builder().segment(um(80.0), 20).build();
+        let mut prob = AxisymmetricProblem::new(r, z, k(1.4));
+        prob.set_material((um(0.0), um(10.0)), (um(0.0), um(80.0)), k(k_via));
+        prob.add_source(
+            (um(0.0), um(40.0)),
+            (um(70.0), um(80.0)),
+            PowerDensity::from_watts_per_cubic_millimeter(q),
+        );
+        let sol = prob.solve().unwrap();
+        let bottom = sol.temperature_at(um(20.0), um(2.0)).as_kelvin();
+        let top = sol.temperature_at(um(20.0), um(78.0)).as_kelvin();
+        prop_assert!(bottom >= -1e-9);
+        prop_assert!(top >= bottom, "top {top} vs bottom {bottom}");
+        prop_assert!(sol.max_temperature().as_kelvin() >= top - 1e-12);
+    }
+}

@@ -1,0 +1,357 @@
+//! Banded matrices with in-band LU (no pivoting).
+//!
+//! Model B's π-segment ladder produces a symmetric positive-definite matrix
+//! whose half-bandwidth is 2 when nodes are numbered bulk/TSV interleaved
+//! bottom-up; a banded factorization solves it in `O(n·b²)`.
+
+use crate::error::LinalgError;
+
+/// A square banded matrix with lower half-bandwidth `kl` and upper
+/// half-bandwidth `ku`, stored row-compact: entry `(i, j)` with
+/// `|i − j| ≤ band` lives at `data[i][j − i + kl]`.
+///
+/// Factorization is LU *without pivoting*: appropriate for the diagonally
+/// dominant / SPD matrices produced by resistive ladders and finite-volume
+/// stencils (no fill outside the band, no row swaps).
+///
+/// ```
+/// use ttsv_linalg::BandedMatrix;
+/// let mut m = BandedMatrix::zeros(3, 1, 1);
+/// for i in 0..3 { m.set(i, i, 2.0); }
+/// m.set(0, 1, -1.0); m.set(1, 0, -1.0);
+/// m.set(1, 2, -1.0); m.set(2, 1, -1.0);
+/// let x = m.solve(&[1.0, 0.0, 1.0]).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandedMatrix {
+    n: usize,
+    kl: usize,
+    ku: usize,
+    /// Row-compact storage, `n` rows × `kl + ku + 1` columns.
+    data: Vec<f64>,
+}
+
+impl BandedMatrix {
+    /// Creates an `n × n` zero matrix with the given half-bandwidths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn zeros(n: usize, kl: usize, ku: usize) -> Self {
+        assert!(n > 0, "banded matrix dimension must be nonzero");
+        Self {
+            n,
+            kl,
+            ku,
+            data: vec![0.0; n * (kl + ku + 1)],
+        }
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Lower half-bandwidth.
+    #[must_use]
+    pub fn lower_bandwidth(&self) -> usize {
+        self.kl
+    }
+
+    /// Upper half-bandwidth.
+    #[must_use]
+    pub fn upper_bandwidth(&self) -> usize {
+        self.ku
+    }
+
+    #[inline]
+    fn offset(&self, i: usize, j: usize) -> Option<usize> {
+        if i >= self.n || j >= self.n {
+            return None;
+        }
+        let width = self.kl + self.ku + 1;
+        let d = j as isize - i as isize;
+        if d < -(self.kl as isize) || d > self.ku as isize {
+            return None;
+        }
+        Some(i * width + (d + self.kl as isize) as usize)
+    }
+
+    /// Reads entry `(i, j)`; zero outside the band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index ({i}, {j}) out of bounds");
+        self.offset(i, j).map_or(0.0, |o| self.data[o])
+    }
+
+    /// Writes entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds or outside the band.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        let o = self.offset(i, j).unwrap_or_else(|| {
+            panic!(
+                "entry ({i}, {j}) outside band (kl={}, ku={}) of {}×{} matrix",
+                self.kl, self.ku, self.n, self.n
+            )
+        });
+        self.data[o] = value;
+    }
+
+    /// Adds `value` to entry `(i, j)` (stencil assembly helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds or outside the band.
+    pub fn add(&mut self, i: usize, j: usize, value: f64) {
+        let o = self.offset(i, j).unwrap_or_else(|| {
+            panic!(
+                "entry ({i}, {j}) outside band (kl={}, ku={}) of {}×{} matrix",
+                self.kl, self.ku, self.n, self.n
+            )
+        });
+        self.data[o] += value;
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on length mismatch.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.n {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "banded matvec",
+                expected: self.n,
+                actual: x.len(),
+            });
+        }
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            let jlo = i.saturating_sub(self.kl);
+            let jhi = (i + self.ku).min(self.n - 1);
+            let mut acc = 0.0;
+            for j in jlo..=jhi {
+                acc += self.get(i, j) * x[j];
+            }
+            y[i] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Factorizes in place (LU, no pivoting) and solves `A·x = b`.
+    ///
+    /// Prefer [`BandedMatrix::factorize`] + repeated
+    /// [`BandedLu::solve`](crate::banded::BandedLu::solve) when solving many
+    /// right-hand sides.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] on RHS length mismatch.
+    /// * [`LinalgError::Singular`] on a numerically zero pivot.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        self.clone().factorize()?.solve(b)
+    }
+
+    /// Consumes the matrix and produces an in-band LU factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] on a numerically zero pivot.
+    pub fn factorize(mut self) -> Result<BandedLu, LinalgError> {
+        let n = self.n;
+        let scale = self
+            .data
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+            .max(f64::MIN_POSITIVE);
+        for k in 0..n {
+            let pivot = self.get(k, k);
+            if pivot.abs() <= 1e-13 * scale {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            let ilo = k + 1;
+            let ihi = (k + self.kl).min(n - 1);
+            for i in ilo..=ihi {
+                let factor = self.get(i, k) / pivot;
+                self.set(i, k, factor);
+                let jhi = (k + self.ku).min(n - 1);
+                for j in (k + 1)..=jhi {
+                    let ukj = self.get(k, j);
+                    if ukj != 0.0 {
+                        self.add(i, j, -factor * ukj);
+                    }
+                }
+            }
+        }
+        Ok(BandedLu { lu: self })
+    }
+}
+
+/// The in-band LU factorization of a [`BandedMatrix`] (no pivoting).
+#[derive(Debug, Clone)]
+pub struct BandedLu {
+    lu: BandedMatrix,
+}
+
+impl BandedLu {
+    /// Dimension of the factored matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.lu.n
+    }
+
+    /// Solves `A·x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on RHS length mismatch.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.lu.n;
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "banded solve",
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        let mut x = b.to_vec();
+        // Forward substitution with unit-lower L.
+        for i in 0..n {
+            let jlo = i.saturating_sub(self.lu.kl);
+            let mut sum = x[i];
+            for j in jlo..i {
+                sum -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = sum;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let jhi = (i + self.lu.ku).min(n - 1);
+            let mut sum = x[i];
+            for j in (i + 1)..=jhi {
+                sum -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = sum / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+
+    fn banded_to_dense(b: &BandedMatrix) -> DenseMatrix {
+        DenseMatrix::from_fn(b.dim(), b.dim(), |i, j| {
+            if (i as isize - j as isize).unsigned_abs() <= b.lower_bandwidth().max(b.upper_bandwidth())
+            {
+                b.get(i, j)
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn ladder(n: usize) -> BandedMatrix {
+        let mut m = BandedMatrix::zeros(n, 1, 1);
+        for i in 0..n {
+            m.set(i, i, 2.0);
+            if i + 1 < n {
+                m.set(i, i + 1, -1.0);
+                m.set(i + 1, i, -1.0);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn out_of_band_reads_are_zero() {
+        let m = ladder(5);
+        assert_eq!(m.get(0, 4), 0.0);
+        assert_eq!(m.get(4, 0), 0.0);
+        assert_eq!(m.get(2, 2), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside band")]
+    fn out_of_band_writes_panic() {
+        let mut m = ladder(5);
+        m.set(0, 3, 1.0);
+    }
+
+    #[test]
+    fn banded_solve_matches_dense_lu() {
+        let m = ladder(12);
+        let dense = banded_to_dense(&m);
+        let b: Vec<f64> = (0..12).map(|i| (i as f64).sin() + 1.5).collect();
+        let x_band = m.solve(&b).unwrap();
+        let x_dense = dense.solve(&b).unwrap();
+        for (a, d) in x_band.iter().zip(&x_dense) {
+            assert!((a - d).abs() < 1e-10, "banded {a} vs dense {d}");
+        }
+    }
+
+    #[test]
+    fn wider_band_solve_matches_dense() {
+        // Pentadiagonal SPD matrix.
+        let n = 20;
+        let mut m = BandedMatrix::zeros(n, 2, 2);
+        for i in 0..n {
+            m.set(i, i, 6.0);
+            if i + 1 < n {
+                m.set(i, i + 1, -2.0);
+                m.set(i + 1, i, -2.0);
+            }
+            if i + 2 < n {
+                m.set(i, i + 2, -1.0);
+                m.set(i + 2, i, -1.0);
+            }
+        }
+        let dense = banded_to_dense(&m);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let x_band = m.solve(&b).unwrap();
+        let x_dense = dense.solve(&b).unwrap();
+        for (a, d) in x_band.iter().zip(&x_dense) {
+            assert!((a - d).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn factorize_once_solve_many() {
+        let lu = ladder(8).factorize().unwrap();
+        let b1 = vec![1.0; 8];
+        let b2: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let m = ladder(8);
+        let r1 = m.matvec(&lu.solve(&b1).unwrap()).unwrap();
+        let r2 = m.matvec(&lu.solve(&b2).unwrap()).unwrap();
+        for (got, want) in r1.iter().zip(&b1) {
+            assert!((got - want).abs() < 1e-10);
+        }
+        for (got, want) in r2.iter().zip(&b2) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_banded_detected() {
+        let mut m = BandedMatrix::zeros(2, 1, 1);
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 1.0);
+        assert!(matches!(
+            m.solve(&[1.0, 1.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+}

@@ -1,0 +1,323 @@
+//! Row-major dense matrices.
+
+use crate::error::LinalgError;
+use crate::lu::LuDecomposition;
+use crate::qr::QrDecomposition;
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+///
+/// Sized for the workloads in this workspace: Model A's KCL systems are
+/// `(2N−1) × (2N−1)` for an `N`-plane stack, and calibration Jacobians are
+/// tall-skinny. Use [`crate::CsrMatrix`]/[`crate::BandedMatrix`] for the
+/// large sparse systems.
+///
+/// ```
+/// use ttsv_linalg::DenseMatrix;
+/// let m = DenseMatrix::identity(3);
+/// assert_eq!(m[(1, 1)], 1.0);
+/// assert_eq!(m[(0, 2)], 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or ragged.
+    #[must_use]
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "from_rows needs at least one column");
+        let mut m = Self::zeros(rows.len(), cols);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "ragged row {i} in from_rows");
+            m.data[i * cols..(i + 1) * cols].copy_from_slice(row);
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` at every position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    #[must_use]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix-vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "dense matvec",
+                expected: self.cols,
+                actual: x.len(),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| crate::vector::dot(self.row(i), x))
+            .collect())
+    }
+
+    /// Matrix product `A·B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the inner dimensions
+    /// disagree.
+    pub fn matmul(&self, rhs: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "dense matmul",
+                expected: self.cols,
+                actual: rhs.rows,
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += aik * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The transpose `Aᵀ`.
+    #[must_use]
+    pub fn transpose(&self) -> DenseMatrix {
+        DenseMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Returns `true` when the matrix is symmetric to within `tol` on every
+    /// entry pair.
+    #[must_use]
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// LU factorization with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] for singular input and
+    /// [`LinalgError::InvalidInput`] for non-square input.
+    pub fn lu(&self) -> Result<LuDecomposition, LinalgError> {
+        LuDecomposition::new(self)
+    }
+
+    /// Householder QR factorization (also works for tall matrices).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidInput`] if `rows < cols`.
+    pub fn qr(&self) -> Result<QrDecomposition, LinalgError> {
+        QrDecomposition::new(self)
+    }
+
+    /// Convenience: solve `A·x = b` through LU.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization errors; see [`DenseMatrix::lu`].
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        self.lu()?.solve(b)
+    }
+
+    /// Maximum absolute entry (∞-norm of the flattened matrix).
+    #[must_use]
+    pub fn max_abs(&self) -> f64 {
+        crate::vector::norm_inf(&self.data)
+    }
+}
+
+impl core::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of bounds for {}×{} matrix",
+            self.rows,
+            self.cols
+        );
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl core::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of bounds for {}×{} matrix",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl core::fmt::Display for DenseMatrix {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:>12.5e}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn matmul_with_identity_is_identity_op() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = DenseMatrix::identity(2);
+        assert_eq!(m.matmul(&i).unwrap(), m);
+        assert_eq!(i.matmul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0, 5.0], &[3.0, 4.0, 6.0]]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let s = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        assert!(s.is_symmetric(0.0));
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[0.0, 2.0]]);
+        assert!(!a.is_symmetric(1e-12));
+        let rect = DenseMatrix::zeros(2, 3);
+        assert!(!rect.is_symmetric(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_index_panics() {
+        let m = DenseMatrix::zeros(2, 2);
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type shared by the linear-algebra routines.
+
+/// Errors produced by factorizations and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// A factorization hit a zero (or numerically negligible) pivot.
+    Singular {
+        /// Index of the offending pivot row/column.
+        pivot: usize,
+    },
+    /// Operand shapes are incompatible.
+    DimensionMismatch {
+        /// What was being attempted, e.g. `"matvec"`.
+        operation: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+    },
+    /// An iterative solver exhausted its iteration budget.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual norm when the budget ran out.
+        residual: f64,
+        /// Requested tolerance.
+        tolerance: f64,
+    },
+    /// The input matrix violates a structural requirement (e.g. a CG solve
+    /// on a matrix that is not symmetric positive-definite).
+    InvalidInput {
+        /// Human-readable description of the violated requirement.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::DimensionMismatch {
+                operation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch in {operation}: expected {expected}, got {actual}"
+            ),
+            LinalgError::NotConverged {
+                iterations,
+                residual,
+                tolerance,
+            } => write!(
+                f,
+                "iterative solver did not converge after {iterations} iterations \
+                 (residual {residual:.3e} > tolerance {tolerance:.3e})"
+            ),
+            LinalgError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::Singular { pivot: 3 };
+        assert_eq!(e.to_string(), "matrix is singular at pivot 3");
+
+        let e = LinalgError::NotConverged {
+            iterations: 100,
+            residual: 1e-3,
+            tolerance: 1e-9,
+        };
+        assert!(e.to_string().contains("100 iterations"));
+
+        let e = LinalgError::DimensionMismatch {
+            operation: "matvec",
+            expected: 4,
+            actual: 5,
+        };
+        assert!(e.to_string().contains("matvec"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(LinalgError::Singular { pivot: 0 });
+    }
+}

@@ -1,0 +1,227 @@
+//! Householder QR factorization and least squares.
+
+use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+
+/// A Householder QR factorization `A = Q·R` of an `m × n` matrix with
+/// `m ≥ n`, stored in compact form (Householder vectors below the diagonal).
+///
+/// Primarily used for least-squares fitting in the calibration pipeline.
+///
+/// ```
+/// use ttsv_linalg::DenseMatrix;
+/// // Fit y = a + b·t to three points (t, y): (0,1), (1,3), (2,5) → a=1, b=2.
+/// let a = DenseMatrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+/// let coeffs = a.qr().unwrap().solve_least_squares(&[1.0, 3.0, 5.0]).unwrap();
+/// assert!((coeffs[0] - 1.0).abs() < 1e-12);
+/// assert!((coeffs[1] - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    /// Compact storage: R on and above the diagonal, Householder vectors
+    /// (unnormalized, v[0] implied by `betas`) below.
+    qr: DenseMatrix,
+    /// Householder scalars β such that `H = I − β v vᵀ`.
+    betas: Vec<f64>,
+}
+
+impl QrDecomposition {
+    /// Factorizes `a` (must have `rows ≥ cols`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidInput`] if the matrix is wider than it
+    /// is tall.
+    pub fn new(a: &DenseMatrix) -> Result<Self, LinalgError> {
+        let (m, n) = (a.rows(), a.cols());
+        if m < n {
+            return Err(LinalgError::InvalidInput {
+                reason: format!("QR needs rows >= cols, got {m}×{n}"),
+            });
+        }
+        let mut qr = a.clone();
+        let mut betas = vec![0.0; n];
+
+        for k in 0..n {
+            // Build the Householder vector for column k.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                betas[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            // v = (v0, a_{k+1,k}, ..., a_{m-1,k}); β = 2 / vᵀv.
+            let mut vtv = v0 * v0;
+            for i in (k + 1)..m {
+                vtv += qr[(i, k)] * qr[(i, k)];
+            }
+            let beta = if vtv == 0.0 { 0.0 } else { 2.0 / vtv };
+            betas[k] = beta;
+
+            // Apply H to the remaining columns.
+            for j in (k + 1)..n {
+                let mut dot = v0 * qr[(k, j)];
+                for i in (k + 1)..m {
+                    dot += qr[(i, k)] * qr[(i, j)];
+                }
+                let s = beta * dot;
+                qr[(k, j)] -= s * v0;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= s * vik;
+                }
+            }
+            // Store R diagonal and the v vector (v0 normalized out is kept
+            // explicitly: we store v below the diagonal and v0 separately by
+            // convention qr[(k,k)] = alpha after processing).
+            qr[(k, k)] = alpha;
+            // Below-diagonal already holds v components except v0; rescale so
+            // the implied v0 is carried via betas: store v_i / v0.
+            if v0 != 0.0 {
+                for i in (k + 1)..m {
+                    qr[(i, k)] /= v0;
+                }
+                betas[k] = beta * v0 * v0;
+            }
+        }
+
+        Ok(Self { qr, betas })
+    }
+
+    /// Applies `Qᵀ` to a vector of length `rows`.
+    fn apply_qt(&self, b: &[f64]) -> Vec<f64> {
+        let (m, n) = (self.qr.rows(), self.qr.cols());
+        let mut y = b.to_vec();
+        for k in 0..n {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            // v = (1, qr[k+1..m, k])
+            let mut dot = y[k];
+            for i in (k + 1)..m {
+                dot += self.qr[(i, k)] * y[i];
+            }
+            let s = beta * dot;
+            y[k] -= s;
+            for i in (k + 1)..m {
+                y[i] -= s * self.qr[(i, k)];
+            }
+        }
+        y
+    }
+
+    /// Solves the least-squares problem `min ‖A·x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `b.len() != rows`.
+    /// * [`LinalgError::Singular`] if `R` has a zero diagonal (rank
+    ///   deficiency).
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let (m, n) = (self.qr.rows(), self.qr.cols());
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "QR least squares",
+                expected: m,
+                actual: b.len(),
+            });
+        }
+        let y = self.apply_qt(b);
+        // Back-substitute R x = y[0..n].
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let rii = self.qr[(i, i)];
+            if rii.abs() <= 1e-13 * self.qr.max_abs().max(f64::MIN_POSITIVE) {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.qr[(i, j)] * x[j];
+            }
+            x[i] = sum / rii;
+        }
+        Ok(x)
+    }
+
+    /// The residual 2-norm `‖A·x − b‖₂` of the least-squares solution,
+    /// available directly from `Qᵀb` without recomputing `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != rows`.
+    pub fn residual_norm(&self, b: &[f64]) -> Result<f64, LinalgError> {
+        let (m, n) = (self.qr.rows(), self.qr.cols());
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "QR residual",
+                expected: m,
+                actual: b.len(),
+            });
+        }
+        let y = self.apply_qt(b);
+        Ok(crate::vector::norm2(&y[n..]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_solve_matches_lu() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = [5.0, 10.0];
+        let x_qr = a.qr().unwrap().solve_least_squares(&b).unwrap();
+        let x_lu = a.lu().unwrap().solve(&b).unwrap();
+        for (q, l) in x_qr.iter().zip(&x_lu) {
+            assert!((q - l).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn overdetermined_fit_recovers_line() {
+        // y = 1 + 2t sampled with no noise at 5 points.
+        let ts = [0.0, 0.5, 1.0, 1.5, 2.0];
+        let rows: Vec<Vec<f64>> = ts.iter().map(|&t| vec![1.0, t]).collect();
+        let row_refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let a = DenseMatrix::from_rows(&row_refs);
+        let b: Vec<f64> = ts.iter().map(|&t| 1.0 + 2.0 * t).collect();
+        let qr = a.qr().unwrap();
+        let x = qr.solve_least_squares(&b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!(qr.residual_norm(&b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn residual_reflects_inconsistency() {
+        // Inconsistent system: x = 0 and x = 2 → best fit x = 1, residual √2.
+        let a = DenseMatrix::from_rows(&[&[1.0], &[1.0]]);
+        let qr = a.qr().unwrap();
+        let x = qr.solve_least_squares(&[0.0, 2.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((qr.residual_norm(&[0.0, 2.0]).unwrap() - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(a.qr(), Err(LinalgError::InvalidInput { .. })));
+    }
+
+    #[test]
+    fn rank_deficiency_detected() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]);
+        let qr = a.qr().unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&[1.0, 1.0, 1.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+}

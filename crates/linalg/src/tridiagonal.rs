@@ -1,0 +1,179 @@
+//! Tridiagonal systems via the Thomas algorithm.
+
+use crate::error::LinalgError;
+
+/// A tridiagonal matrix stored as three diagonals.
+///
+/// `sub[i]` couples row `i+1` to column `i`, `diag[i]` is the main diagonal,
+/// `sup[i]` couples row `i` to column `i+1`. Solved by the Thomas algorithm
+/// in `O(n)`; stable for the diagonally dominant matrices produced by 1-D
+/// heat ladders.
+///
+/// ```
+/// use ttsv_linalg::Tridiagonal;
+/// // -u'' = 0 with u(0)=0, u(3)=3 discretized on 2 interior points.
+/// let t = Tridiagonal::new(vec![-1.0], vec![2.0, 2.0], vec![-1.0]);
+/// let x = t.solve(&[0.0, 3.0]).unwrap(); // rhs carries the boundary values
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tridiagonal {
+    sub: Vec<f64>,
+    diag: Vec<f64>,
+    sup: Vec<f64>,
+}
+
+impl Tridiagonal {
+    /// Creates a tridiagonal matrix from its three diagonals.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sub.len() == diag.len() − 1 == sup.len()` and
+    /// `diag` is nonempty.
+    #[must_use]
+    pub fn new(sub: Vec<f64>, diag: Vec<f64>, sup: Vec<f64>) -> Self {
+        assert!(!diag.is_empty(), "tridiagonal needs at least one row");
+        assert_eq!(
+            sub.len(),
+            diag.len() - 1,
+            "sub-diagonal length must be n-1"
+        );
+        assert_eq!(
+            sup.len(),
+            diag.len() - 1,
+            "super-diagonal length must be n-1"
+        );
+        Self { sub, diag, sup }
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on length mismatch.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if x.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "tridiagonal matvec",
+                expected: n,
+                actual: x.len(),
+            });
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut v = self.diag[i] * x[i];
+            if i > 0 {
+                v += self.sub[i - 1] * x[i - 1];
+            }
+            if i + 1 < n {
+                v += self.sup[i] * x[i + 1];
+            }
+            y[i] = v;
+        }
+        Ok(y)
+    }
+
+    /// Solves `T·x = b` with the Thomas algorithm (no pivoting — intended
+    /// for diagonally dominant systems).
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] on RHS length mismatch.
+    /// * [`LinalgError::Singular`] if elimination produces a zero pivot.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "tridiagonal solve",
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        let mut c = vec![0.0; n]; // modified super-diagonal
+        let mut d = b.to_vec(); // modified RHS
+
+        let mut pivot = self.diag[0];
+        if pivot == 0.0 {
+            return Err(LinalgError::Singular { pivot: 0 });
+        }
+        if n > 1 {
+            c[0] = self.sup[0] / pivot;
+        }
+        d[0] /= pivot;
+        for i in 1..n {
+            pivot = self.diag[i] - self.sub[i - 1] * c[i - 1];
+            if pivot == 0.0 {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            if i + 1 < n {
+                c[i] = self.sup[i] / pivot;
+            }
+            d[i] = (d[i] - self.sub[i - 1] * d[i - 1]) / pivot;
+        }
+        for i in (0..n.saturating_sub(1)).rev() {
+            let next = d[i + 1];
+            d[i] -= c[i] * next;
+        }
+        Ok(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_poisson_ladder() {
+        // Classic [-1, 2, -1] system, n = 5, rhs = ones.
+        let n = 5;
+        let t = Tridiagonal::new(vec![-1.0; n - 1], vec![2.0; n], vec![-1.0; n - 1]);
+        let x = t.solve(&vec![1.0; n]).unwrap();
+        // Verify by multiplying back.
+        let back = t.matvec(&x).unwrap();
+        for v in back {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+        // Exact solution of the discrete Poisson problem is symmetric.
+        assert!((x[0] - x[4]).abs() < 1e-12);
+        assert!((x[1] - x[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_by_one_system() {
+        let t = Tridiagonal::new(vec![], vec![4.0], vec![]);
+        assert_eq!(t.solve(&[8.0]).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn asymmetric_system() {
+        let t = Tridiagonal::new(vec![1.0, 2.0], vec![5.0, 5.0, 5.0], vec![3.0, 1.0]);
+        let x_exact = [1.0, -2.0, 0.5];
+        let b = t.matvec(&x_exact).unwrap();
+        let x = t.solve(&b).unwrap();
+        for (got, want) in x.iter().zip(&x_exact) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_pivot_detected() {
+        let t = Tridiagonal::new(vec![1.0], vec![0.0, 1.0], vec![1.0]);
+        assert!(matches!(
+            t.solve(&[1.0, 1.0]),
+            Err(LinalgError::Singular { pivot: 0 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be n-1")]
+    fn diagonal_lengths_validated() {
+        let _ = Tridiagonal::new(vec![1.0, 2.0], vec![1.0, 2.0], vec![1.0]);
+    }
+}

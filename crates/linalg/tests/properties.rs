@@ -1,0 +1,167 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use proptest::prelude::*;
+use ttsv_linalg::{
+    solve_cg, BandedMatrix, CooBuilder, DenseMatrix, IterativeConfig, Tridiagonal,
+};
+
+/// Strategy: a well-conditioned SPD matrix built as `A = BᵀB + n·I` from a
+/// random `B` with entries in [−1, 1].
+fn spd_matrix(n: usize) -> impl Strategy<Value = DenseMatrix> {
+    prop::collection::vec(-1.0..1.0f64, n * n).prop_map(move |data| {
+        let b = DenseMatrix::from_fn(n, n, |i, j| data[i * n + j]);
+        let bt = b.transpose();
+        let mut a = bt.matmul(&b).expect("square product");
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    })
+}
+
+fn rhs(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0..10.0f64, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solution_satisfies_system((a, b) in spd_matrix(6).prop_flat_map(|a| (Just(a), rhs(6)))) {
+        let x = a.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (got, want) in ax.iter().zip(&b) {
+            prop_assert!((got - want).abs() < 1e-8, "Ax={got} b={want}");
+        }
+    }
+
+    #[test]
+    fn lu_det_matches_transpose_det(a in spd_matrix(5)) {
+        let d1 = a.lu().unwrap().det();
+        let d2 = a.transpose().lu().unwrap().det();
+        prop_assert!((d1 - d2).abs() <= 1e-8 * d1.abs().max(1.0));
+        // SPD ⇒ positive determinant.
+        prop_assert!(d1 > 0.0);
+    }
+
+    #[test]
+    fn lu_inverse_roundtrips(a in spd_matrix(4)) {
+        let inv = a.lu().unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((prod[(i, j)] - want).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn cg_matches_dense_lu((a, b) in spd_matrix(8).prop_flat_map(|a| (Just(a), rhs(8)))) {
+        // Mirror the dense SPD matrix into CSR and compare solvers.
+        let mut coo = CooBuilder::new(8, 8);
+        for i in 0..8 {
+            for j in 0..8 {
+                coo.add(i, j, a[(i, j)]);
+            }
+        }
+        let csr = coo.to_csr();
+        let x_cg = solve_cg(&csr, &b, &IterativeConfig::new(5000, 1e-12)).unwrap().solution;
+        let x_lu = a.solve(&b).unwrap();
+        for (cg, lu) in x_cg.iter().zip(&x_lu) {
+            prop_assert!((cg - lu).abs() < 1e-6, "cg={cg} lu={lu}");
+        }
+    }
+
+    #[test]
+    fn tridiagonal_matches_dense(
+        diag in prop::collection::vec(4.0..8.0f64, 6),
+        off in prop::collection::vec(-1.5..1.5f64, 5),
+        b in rhs(6),
+    ) {
+        let t = Tridiagonal::new(off.clone(), diag.clone(), off.clone());
+        let dense = DenseMatrix::from_fn(6, 6, |i, j| {
+            if i == j { diag[i] }
+            else if j + 1 == i { off[j] }
+            else if i + 1 == j { off[i] }
+            else { 0.0 }
+        });
+        let x_tri = t.solve(&b).unwrap();
+        let x_dense = dense.solve(&b).unwrap();
+        for (a, d) in x_tri.iter().zip(&x_dense) {
+            prop_assert!((a - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn banded_matches_dense(
+        diag in prop::collection::vec(6.0..10.0f64, 10),
+        off1 in prop::collection::vec(-1.5..1.5f64, 9),
+        off2 in prop::collection::vec(-1.0..1.0f64, 8),
+        b in rhs(10),
+    ) {
+        let mut banded = BandedMatrix::zeros(10, 2, 2);
+        let mut dense = DenseMatrix::zeros(10, 10);
+        for i in 0..10 {
+            banded.set(i, i, diag[i]);
+            dense[(i, i)] = diag[i];
+        }
+        for i in 0..9 {
+            banded.set(i, i + 1, off1[i]);
+            banded.set(i + 1, i, off1[i]);
+            dense[(i, i + 1)] = off1[i];
+            dense[(i + 1, i)] = off1[i];
+        }
+        for i in 0..8 {
+            banded.set(i, i + 2, off2[i]);
+            banded.set(i + 2, i, off2[i]);
+            dense[(i, i + 2)] = off2[i];
+            dense[(i + 2, i)] = off2[i];
+        }
+        let x_band = banded.solve(&b).unwrap();
+        let x_dense = dense.solve(&b).unwrap();
+        for (a, d) in x_band.iter().zip(&x_dense) {
+            prop_assert!((a - d).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn csr_matvec_matches_dense(entries in prop::collection::vec((0usize..7, 0usize..7, -5.0..5.0f64), 1..40), x in rhs(7)) {
+        let mut coo = CooBuilder::new(7, 7);
+        let mut dense = DenseMatrix::zeros(7, 7);
+        for (i, j, v) in entries {
+            coo.add(i, j, v);
+            dense[(i, j)] += v;
+        }
+        let csr = coo.to_csr();
+        let y_sparse = csr.matvec(&x).unwrap();
+        let y_dense = dense.matvec(&x).unwrap();
+        for (s, d) in y_sparse.iter().zip(&y_dense) {
+            prop_assert!((s - d).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn qr_least_squares_residual_is_orthogonal(
+        cols in prop::collection::vec((-2.0..2.0f64, -2.0..2.0f64), 6),
+        b in rhs(6),
+    ) {
+        // Residual of the LS solution must be orthogonal to the column space.
+        let a = DenseMatrix::from_fn(6, 2, |i, j| if j == 0 { 1.0 } else { cols[i].0 + 0.1 * cols[i].1 });
+        let qr = match a.qr() {
+            Ok(qr) => qr,
+            Err(_) => return Ok(()),
+        };
+        let x = match qr.solve_least_squares(&b) {
+            Ok(x) => x,
+            Err(_) => return Ok(()), // rank-deficient draw
+        };
+        let ax = a.matvec(&x).unwrap();
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+        for j in 0..2 {
+            let col: Vec<f64> = (0..6).map(|i| a[(i, j)]).collect();
+            let d = ttsv_linalg::dot(&col, &r);
+            prop_assert!(d.abs() < 1e-7, "residual not orthogonal: {d}");
+        }
+    }
+}

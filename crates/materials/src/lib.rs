@@ -1,0 +1,32 @@
+//! Material thermal-property library for the TTSV thermal models.
+//!
+//! Provides the materials used in the DATE 2011 TTSV paper (§IV: SiO₂ ILD and
+//! liner, polyimide bonding layer, copper fill, silicon substrate) plus the
+//! usual 3-D-integration alternatives (tungsten fill, BCB bonding, ...), an
+//! optional temperature dependence for conductivity, and effective-medium
+//! mixing rules for metal-loaded ILD stacks — the paper notes that "kD can be
+//! adapted to include the effect of the metal within the ILD layer".
+//!
+//! # Examples
+//!
+//! ```
+//! use ttsv_materials::Material;
+//!
+//! let si = Material::silicon();
+//! assert_eq!(si.conductivity().as_watts_per_meter_kelvin(), 150.0);
+//!
+//! // An ILD with 20% copper wiring by volume, mixed with the Maxwell-Garnett rule:
+//! let ild = Material::silicon_dioxide().with_inclusions(&Material::copper(), 0.2);
+//! assert!(ild.conductivity() > Material::silicon_dioxide().conductivity());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod material;
+mod mixing;
+mod temperature_model;
+
+pub use material::Material;
+pub use mixing::{maxwell_garnett, wiener_parallel, wiener_series, MixingRule};
+pub use temperature_model::ConductivityModel;

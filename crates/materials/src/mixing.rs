@@ -1,0 +1,169 @@
+//! Effective-medium mixing rules for composite layers.
+//!
+//! The paper folds the BEOL metal into the ILD conductivity ("kD can be
+//! adapted to include the effect of the metal within the ILD layer"); these
+//! rules provide principled ways to do that folding.
+
+use serde::{Deserialize, Serialize};
+use ttsv_units::ThermalConductivity;
+
+/// Which effective-medium rule to apply when homogenizing a composite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MixingRule {
+    /// Volume-weighted arithmetic mean (Wiener upper bound) — layers in
+    /// parallel with the heat flow, e.g. vertical vias.
+    WienerParallel,
+    /// Volume-weighted harmonic mean (Wiener lower bound) — layers in series
+    /// with the heat flow, e.g. stacked films.
+    WienerSeries,
+    /// Maxwell-Garnett effective medium for dilute cylindrical inclusions —
+    /// wires embedded in dielectric.
+    MaxwellGarnett,
+}
+
+impl MixingRule {
+    /// Applies the rule to a matrix/inclusion pair with inclusion volume
+    /// fraction `fraction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]` or a conductivity is not
+    /// strictly positive.
+    #[must_use]
+    pub fn apply(
+        self,
+        matrix: ThermalConductivity,
+        inclusion: ThermalConductivity,
+        fraction: f64,
+    ) -> ThermalConductivity {
+        match self {
+            MixingRule::WienerParallel => wiener_parallel(matrix, inclusion, fraction),
+            MixingRule::WienerSeries => wiener_series(matrix, inclusion, fraction),
+            MixingRule::MaxwellGarnett => maxwell_garnett(matrix, inclusion, fraction),
+        }
+    }
+}
+
+fn validate(matrix: ThermalConductivity, inclusion: ThermalConductivity, fraction: f64) {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "inclusion volume fraction must be in [0, 1], got {fraction}"
+    );
+    assert!(
+        matrix.as_watts_per_meter_kelvin() > 0.0 && inclusion.as_watts_per_meter_kelvin() > 0.0,
+        "mixing rules need positive conductivities, got {matrix} and {inclusion}"
+    );
+}
+
+/// Wiener upper bound: `k = (1-f)·k_m + f·k_i` (parallel slabs).
+///
+/// # Panics
+///
+/// Panics if `fraction ∉ [0, 1]` or a conductivity is not positive.
+#[must_use]
+pub fn wiener_parallel(
+    matrix: ThermalConductivity,
+    inclusion: ThermalConductivity,
+    fraction: f64,
+) -> ThermalConductivity {
+    validate(matrix, inclusion, fraction);
+    ThermalConductivity::from_watts_per_meter_kelvin(
+        (1.0 - fraction) * matrix.as_watts_per_meter_kelvin()
+            + fraction * inclusion.as_watts_per_meter_kelvin(),
+    )
+}
+
+/// Wiener lower bound: `1/k = (1-f)/k_m + f/k_i` (series slabs).
+///
+/// # Panics
+///
+/// Panics if `fraction ∉ [0, 1]` or a conductivity is not positive.
+#[must_use]
+pub fn wiener_series(
+    matrix: ThermalConductivity,
+    inclusion: ThermalConductivity,
+    fraction: f64,
+) -> ThermalConductivity {
+    validate(matrix, inclusion, fraction);
+    ThermalConductivity::from_watts_per_meter_kelvin(
+        1.0 / ((1.0 - fraction) / matrix.as_watts_per_meter_kelvin()
+            + fraction / inclusion.as_watts_per_meter_kelvin()),
+    )
+}
+
+/// Maxwell-Garnett effective conductivity for dilute cylindrical inclusions
+/// transverse to the heat flow:
+///
+/// `k_eff = k_m · [k_i(1+f) + k_m(1-f)] / [k_i(1-f) + k_m(1+f)]`
+///
+/// Reduces to `k_m` at `f = 0` and to `k_i` at `f = 1`, and always lies
+/// between the Wiener bounds.
+///
+/// # Panics
+///
+/// Panics if `fraction ∉ [0, 1]` or a conductivity is not positive.
+#[must_use]
+pub fn maxwell_garnett(
+    matrix: ThermalConductivity,
+    inclusion: ThermalConductivity,
+    fraction: f64,
+) -> ThermalConductivity {
+    validate(matrix, inclusion, fraction);
+    let km = matrix.as_watts_per_meter_kelvin();
+    let ki = inclusion.as_watts_per_meter_kelvin();
+    let num = ki * (1.0 + fraction) + km * (1.0 - fraction);
+    let den = ki * (1.0 - fraction) + km * (1.0 + fraction);
+    ThermalConductivity::from_watts_per_meter_kelvin(km * num / den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(v: f64) -> ThermalConductivity {
+        ThermalConductivity::from_watts_per_meter_kelvin(v)
+    }
+
+    #[test]
+    fn endpoints_are_exact() {
+        for rule in [
+            MixingRule::WienerParallel,
+            MixingRule::WienerSeries,
+            MixingRule::MaxwellGarnett,
+        ] {
+            let at0 = rule.apply(k(1.4), k(400.0), 0.0);
+            let at1 = rule.apply(k(1.4), k(400.0), 1.0);
+            assert!(
+                (at0.as_watts_per_meter_kelvin() - 1.4).abs() < 1e-12,
+                "{rule:?} at f=0"
+            );
+            assert!(
+                (at1.as_watts_per_meter_kelvin() - 400.0).abs() < 1e-9,
+                "{rule:?} at f=1"
+            );
+        }
+    }
+
+    #[test]
+    fn maxwell_garnett_sits_between_wiener_bounds() {
+        for f in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let lo = wiener_series(k(1.4), k(400.0), f);
+            let hi = wiener_parallel(k(1.4), k(400.0), f);
+            let mg = maxwell_garnett(k(1.4), k(400.0), f);
+            assert!(lo <= mg && mg <= hi, "f={f}: {lo} <= {mg} <= {hi}");
+        }
+    }
+
+    #[test]
+    fn series_bound_is_pessimistic() {
+        // A 10% copper / 90% oxide series stack is still oxide-dominated.
+        let keff = wiener_series(k(1.4), k(400.0), 0.1);
+        assert!(keff.as_watts_per_meter_kelvin() < 1.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "volume fraction")]
+    fn fraction_out_of_range_rejected() {
+        let _ = wiener_parallel(k(1.0), k(2.0), 1.5);
+    }
+}

@@ -1,0 +1,107 @@
+//! Optional temperature dependence of thermal conductivity.
+
+use serde::{Deserialize, Serialize};
+use ttsv_units::{Temperature, ThermalConductivity};
+
+/// Reference temperature for the 300 K conductivity values.
+const T_REF_KELVIN: f64 = 300.0;
+
+/// How a material's conductivity varies with absolute temperature.
+///
+/// The DATE 2011 paper uses constant conductivities; the other variants are
+/// provided for sensitivity studies (silicon's conductivity drops roughly as
+/// `T^-1.3` around room temperature, which matters for hot 3-D stacks).
+///
+/// ```
+/// use ttsv_materials::{ConductivityModel, Material};
+/// use ttsv_units::Temperature;
+///
+/// let si = Material::silicon().with_model(ConductivityModel::PowerLaw { exponent: -1.3 });
+/// let hot = si.conductivity_at(Temperature::from_celsius(85.0));
+/// assert!(hot < si.conductivity());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum ConductivityModel {
+    /// `k(T) = k₃₀₀` — what the paper assumes.
+    #[default]
+    Constant,
+    /// `k(T) = k₃₀₀ · (1 + α·(T − 300 K))` with `α` in 1/K.
+    Linear {
+        /// Temperature coefficient in 1/K (negative for most crystals).
+        alpha: f64,
+    },
+    /// `k(T) = k₃₀₀ · (T / 300 K)^exponent` — silicon is ≈ −1.3.
+    PowerLaw {
+        /// Power-law exponent (dimensionless).
+        exponent: f64,
+    },
+}
+
+impl ConductivityModel {
+    /// Evaluates the model given the material's 300 K conductivity.
+    ///
+    /// The result is clamped to stay strictly positive (a linear model
+    /// extrapolated far from 300 K must not produce a nonphysical negative
+    /// conductivity); the floor is `1e-6` W/(m·K).
+    #[must_use]
+    pub fn evaluate(
+        &self,
+        k_300: ThermalConductivity,
+        temperature: Temperature,
+    ) -> ThermalConductivity {
+        let k0 = k_300.as_watts_per_meter_kelvin();
+        let t = temperature.as_kelvin();
+        let k = match self {
+            ConductivityModel::Constant => k0,
+            ConductivityModel::Linear { alpha } => k0 * (1.0 + alpha * (t - T_REF_KELVIN)),
+            ConductivityModel::PowerLaw { exponent } => k0 * (t / T_REF_KELVIN).powf(*exponent),
+        };
+        ThermalConductivity::from_watts_per_meter_kelvin(k.max(1e-6))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(v: f64) -> ThermalConductivity {
+        ThermalConductivity::from_watts_per_meter_kelvin(v)
+    }
+
+    #[test]
+    fn constant_ignores_temperature() {
+        let m = ConductivityModel::Constant;
+        assert_eq!(
+            m.evaluate(k(150.0), Temperature::from_celsius(500.0)),
+            k(150.0)
+        );
+    }
+
+    #[test]
+    fn all_models_agree_at_reference_temperature() {
+        let t300 = Temperature::from_kelvin(300.0);
+        for m in [
+            ConductivityModel::Constant,
+            ConductivityModel::Linear { alpha: -2e-3 },
+            ConductivityModel::PowerLaw { exponent: -1.3 },
+        ] {
+            let v = m.evaluate(k(150.0), t300).as_watts_per_meter_kelvin();
+            assert!((v - 150.0).abs() < 1e-9, "{m:?} at 300K gave {v}");
+        }
+    }
+
+    #[test]
+    fn silicon_power_law_drops_when_hot() {
+        let m = ConductivityModel::PowerLaw { exponent: -1.3 };
+        let hot = m.evaluate(k(150.0), Temperature::from_kelvin(400.0));
+        // 150 * (400/300)^-1.3 ≈ 103.3
+        assert!((hot.as_watts_per_meter_kelvin() - 103.3).abs() < 0.5);
+    }
+
+    #[test]
+    fn linear_model_never_goes_negative() {
+        let m = ConductivityModel::Linear { alpha: -0.01 };
+        let v = m.evaluate(k(1.0), Temperature::from_kelvin(1000.0));
+        assert!(v.as_watts_per_meter_kelvin() > 0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for network construction and solving.
+
+use ttsv_linalg::LinalgError;
+
+/// Errors from building or solving a [`ThermalNetwork`](crate::ThermalNetwork).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// The network has no reference: neither a resistor to ground nor a
+    /// pinned node, so absolute temperatures are undefined.
+    NoReference,
+    /// A node is not connected (directly or transitively) to the reference,
+    /// making the KCL matrix singular.
+    FloatingNode {
+        /// The disconnected node's debug name.
+        name: String,
+    },
+    /// The underlying linear solve failed.
+    Solver(LinalgError),
+}
+
+impl core::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NetworkError::NoReference => write!(
+                f,
+                "network has no temperature reference (ground resistor or pinned node)"
+            ),
+            NetworkError::FloatingNode { name } => {
+                write!(f, "node '{name}' is not connected to the reference")
+            }
+            NetworkError::Solver(e) => write!(f, "linear solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetworkError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for NetworkError {
+    fn from(e: LinalgError) -> Self {
+        NetworkError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = NetworkError::NoReference;
+        assert!(e.to_string().contains("reference"));
+        assert!(e.source().is_none());
+
+        let e = NetworkError::Solver(LinalgError::Singular { pivot: 1 });
+        assert!(e.to_string().contains("singular"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,199 @@
+//! Solved-network queries: temperatures, branch flows, conservation audit.
+
+use ttsv_units::{Power, TemperatureDelta};
+
+use crate::network::{NodeId, Terminal, ThermalNetwork};
+
+/// Heat flow through one resistor of a solved network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchFlow {
+    /// Branch index (as returned by
+    /// [`ThermalNetwork::add_resistor`](crate::ThermalNetwork::add_resistor)).
+    pub branch: usize,
+    /// Flow from terminal `a` toward terminal `b` (negative = reverse).
+    pub power: Power,
+}
+
+/// The result of solving a [`ThermalNetwork`]: node temperatures plus
+/// derived quantities.
+#[derive(Debug, Clone)]
+pub struct NetworkSolution {
+    network: ThermalNetwork,
+    temperatures: Vec<TemperatureDelta>,
+}
+
+impl NetworkSolution {
+    pub(crate) fn new(network: ThermalNetwork, temperatures: Vec<TemperatureDelta>) -> Self {
+        debug_assert_eq!(network.node_count(), temperatures.len());
+        Self {
+            network,
+            temperatures,
+        }
+    }
+
+    /// Temperature of a node above the reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to the solved network.
+    #[must_use]
+    pub fn temperature(&self, node: NodeId) -> TemperatureDelta {
+        self.temperatures[node.0]
+    }
+
+    /// Temperature of a terminal (ground is 0 by definition).
+    #[must_use]
+    pub fn terminal_temperature(&self, terminal: Terminal) -> TemperatureDelta {
+        match terminal {
+            Terminal::Ground => TemperatureDelta::ZERO,
+            Terminal::Node(id) => self.temperature(id),
+        }
+    }
+
+    /// The hottest node and its temperature, or `None` for an empty network.
+    #[must_use]
+    pub fn max_temperature(&self) -> Option<(NodeId, TemperatureDelta)> {
+        self.temperatures
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite temperatures"))
+            .map(|(i, t)| (NodeId(i), *t))
+    }
+
+    /// All node temperatures in node-creation order.
+    #[must_use]
+    pub fn temperatures(&self) -> &[TemperatureDelta] {
+        &self.temperatures
+    }
+
+    /// Heat flow through branch `branch` (from its `a` terminal to its `b`
+    /// terminal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the branch index is out of range.
+    #[must_use]
+    pub fn branch_flow(&self, branch: usize) -> BranchFlow {
+        let r = &self.network.resistors[branch];
+        let dt = self.terminal_temperature(r.a) - self.terminal_temperature(r.b);
+        BranchFlow {
+            branch,
+            power: dt / r.resistance,
+        }
+    }
+
+    /// Flows through every branch, in insertion order.
+    #[must_use]
+    pub fn branch_flows(&self) -> Vec<BranchFlow> {
+        (0..self.network.resistors.len())
+            .map(|i| self.branch_flow(i))
+            .collect()
+    }
+
+    /// Total heat crossing into ground (through resistors tied to ground).
+    #[must_use]
+    pub fn heat_into_ground(&self) -> Power {
+        let mut total = Power::ZERO;
+        for (i, r) in self.network.resistors.iter().enumerate() {
+            let flow = self.branch_flow(i).power;
+            match (r.a, r.b) {
+                (_, Terminal::Ground) => total += flow,
+                (Terminal::Ground, _) => total += -flow,
+                _ => {}
+            }
+        }
+        total
+    }
+
+    /// Largest KCL residual over all unpinned nodes: net heat flowing into
+    /// the node from branches and sources. Should be ~0 for a correct solve;
+    /// exposed so tests and callers can audit energy conservation.
+    #[must_use]
+    pub fn kcl_residual_max(&self) -> Power {
+        let n = self.network.node_count();
+        let mut residual = vec![0.0; n];
+        for (node, p) in &self.network.sources {
+            residual[node.0] += p.as_watts();
+        }
+        for (i, r) in self.network.resistors.iter().enumerate() {
+            let flow = self.branch_flow(i).power.as_watts();
+            if let Terminal::Node(NodeId(a)) = r.a {
+                residual[a] -= flow;
+            }
+            if let Terminal::Node(NodeId(b)) = r.b {
+                residual[b] += flow;
+            }
+        }
+        for (node, _) in &self.network.pins {
+            residual[node.0] = 0.0; // pins legitimately absorb imbalance
+        }
+        Power::from_watts(residual.iter().fold(0.0f64, |m, v| m.max(v.abs())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Terminal, ThermalNetwork};
+    use ttsv_units::ThermalResistance;
+
+    fn r(v: f64) -> ThermalResistance {
+        ThermalResistance::from_kelvin_per_watt(v)
+    }
+
+    fn solved_ladder() -> (ThermalNetwork, NetworkSolution, NodeId, NodeId) {
+        let mut net = ThermalNetwork::new();
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.add_resistor(a, b, r(10.0));
+        net.add_resistor(b, Terminal::Ground, r(5.0));
+        net.add_source(a, Power::from_watts(2.0));
+        let sol = net.solve().unwrap();
+        (net, sol, a, b)
+    }
+
+    #[test]
+    fn branch_flows_carry_the_source_power() {
+        let (_, sol, _, _) = solved_ladder();
+        let flows = sol.branch_flows();
+        assert_eq!(flows.len(), 2);
+        assert!((flows[0].power.as_watts() - 2.0).abs() < 1e-10);
+        assert!((flows[1].power.as_watts() - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn heat_into_ground_equals_source_power() {
+        let (net, sol, _, _) = solved_ladder();
+        assert!(
+            (sol.heat_into_ground().as_watts() - net.total_source_power().as_watts()).abs()
+                < 1e-10
+        );
+    }
+
+    #[test]
+    fn kcl_residual_is_tiny() {
+        let (_, sol, _, _) = solved_ladder();
+        assert!(sol.kcl_residual_max().as_watts() < 1e-10);
+    }
+
+    #[test]
+    fn max_temperature_is_the_source_node() {
+        let (_, sol, a, _) = solved_ladder();
+        let (hottest, t) = sol.max_temperature().unwrap();
+        assert_eq!(hottest, a);
+        assert!((t.as_kelvin() - 30.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn flow_direction_signs() {
+        // Flow is positive a→b; reversing the declaration flips the sign.
+        let mut net = ThermalNetwork::new();
+        let a = net.add_node("a");
+        net.add_resistor(Terminal::Ground, a, r(5.0)); // declared ground→a
+        net.add_source(a, Power::from_watts(1.0));
+        let sol = net.solve().unwrap();
+        // Heat actually flows a→ground, so declared-direction flow is negative.
+        assert!(sol.branch_flow(0).power.as_watts() < 0.0);
+        assert!((sol.heat_into_ground().as_watts() - 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests: physics invariants of random resistive networks.
+
+use proptest::prelude::*;
+use ttsv_network::{Terminal, ThermalNetwork};
+use ttsv_units::{Power, ThermalResistance};
+
+/// A random connected network: nodes chained to ground (guaranteeing a
+/// reference path) plus random extra cross resistors and sources.
+#[derive(Debug, Clone)]
+struct RandomNetwork {
+    chain_resistances: Vec<f64>,
+    cross_links: Vec<(usize, usize, f64)>,
+    sources: Vec<(usize, f64)>,
+}
+
+fn random_network(max_nodes: usize) -> impl Strategy<Value = RandomNetwork> {
+    (2..max_nodes)
+        .prop_flat_map(|n| {
+            (
+                prop::collection::vec(0.1..100.0f64, n),
+                prop::collection::vec((0..n, 0..n, 0.1..100.0f64), 0..2 * n),
+                prop::collection::vec((0..n, 0.001..10.0f64), 1..n),
+            )
+        })
+        .prop_map(
+            |(chain_resistances, cross_links, sources)| RandomNetwork {
+                chain_resistances,
+                cross_links,
+                sources,
+            },
+        )
+}
+
+fn build(spec: &RandomNetwork) -> (ThermalNetwork, Vec<ttsv_network::NodeId>) {
+    let mut net = ThermalNetwork::new();
+    let n = spec.chain_resistances.len();
+    let nodes: Vec<_> = (0..n).map(|i| net.add_node(format!("n{i}"))).collect();
+    // Chain: n0 - n1 - ... - ground, guaranteeing connectivity.
+    for i in 0..n {
+        let to = if i + 1 < n {
+            Terminal::Node(nodes[i + 1])
+        } else {
+            Terminal::Ground
+        };
+        net.add_resistor(
+            nodes[i],
+            to,
+            ThermalResistance::from_kelvin_per_watt(spec.chain_resistances[i]),
+        );
+    }
+    for &(a, b, r) in &spec.cross_links {
+        if a != b {
+            net.add_resistor(
+                nodes[a],
+                nodes[b],
+                ThermalResistance::from_kelvin_per_watt(r),
+            );
+        }
+    }
+    for &(node, q) in &spec.sources {
+        net.add_source(nodes[node], Power::from_watts(q));
+    }
+    (net, nodes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn energy_is_conserved(spec in random_network(12)) {
+        let (net, _) = build(&spec);
+        let sol = net.solve().unwrap();
+        // All injected heat leaves through ground.
+        let injected = net.total_source_power().as_watts();
+        let drained = sol.heat_into_ground().as_watts();
+        prop_assert!((injected - drained).abs() < 1e-8 * injected.max(1.0),
+            "injected {injected} vs drained {drained}");
+        // KCL holds at every node.
+        prop_assert!(sol.kcl_residual_max().as_watts() < 1e-8);
+    }
+
+    #[test]
+    fn temperatures_are_nonnegative_with_positive_sources(spec in random_network(10)) {
+        // Pure resistive network with only heat inputs: every temperature is
+        // above the sink (maximum principle).
+        let (net, nodes) = build(&spec);
+        let sol = net.solve().unwrap();
+        for n in &nodes {
+            prop_assert!(sol.temperature(*n).as_kelvin() >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn scaling_sources_scales_temperatures(spec in random_network(8)) {
+        // Linearity: doubling every source doubles every temperature.
+        let (net, nodes) = build(&spec);
+        let sol1 = net.solve().unwrap();
+
+        let mut doubled = spec.clone();
+        for s in &mut doubled.sources {
+            s.1 *= 2.0;
+        }
+        let (net2, nodes2) = build(&doubled);
+        let sol2 = net2.solve().unwrap();
+
+        for (a, b) in nodes.iter().zip(&nodes2) {
+            let t1 = sol1.temperature(*a).as_kelvin();
+            let t2 = sol2.temperature(*b).as_kelvin();
+            prop_assert!((2.0 * t1 - t2).abs() < 1e-8 * t2.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn adding_a_resistor_to_ground_never_heats_any_node(spec in random_network(8)) {
+        // Monotonicity: an extra path to the sink can only cool the circuit.
+        let (net, nodes) = build(&spec);
+        let before = net.solve().unwrap();
+
+        let (mut net2, nodes2) = build(&spec);
+        net2.add_resistor(nodes2[0], Terminal::Ground,
+            ThermalResistance::from_kelvin_per_watt(1.0));
+        let after = net2.solve().unwrap();
+
+        for (a, b) in nodes.iter().zip(&nodes2) {
+            let t_before = before.temperature(*a).as_kelvin();
+            let t_after = after.temperature(*b).as_kelvin();
+            prop_assert!(t_after <= t_before + 1e-9,
+                "node heated from {t_before} to {t_after}");
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! One-stop public API for the TTSV analytical thermal-model library — a
+//! reproduction of *Xu, Pavlidis, De Micheli, "Analytical Heat Transfer
+//! Model for Thermal Through-Silicon Vias", DATE 2011*.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`units`] | `ttsv-units` | dimensional newtypes (µm, W, K/W, ...) |
+//! | [`materials`] | `ttsv-materials` | Si/Cu/SiO₂/polyimide presets, mixing rules |
+//! | [`linalg`] | `ttsv-linalg` | dense/banded/sparse solvers, optimizers |
+//! | [`network`] | `ttsv-network` | generic thermal resistive networks |
+//! | [`fem`] | `ttsv-fem` | finite-volume reference solvers (the COMSOL stand-in) |
+//! | [`core`] | `ttsv-core` | Model A, Model B, the 1-D baseline, clustering, the DRAM-µP case study |
+//! | [`validate`] | `ttsv-validate` | FEM adapter, calibration, the paper's experiments |
+//!
+//! # Quick start
+//!
+//! ```
+//! use ttsv::prelude::*;
+//!
+//! // The paper's 100 µm × 100 µm three-plane block with an 8 µm TTSV:
+//! let scenario = Scenario::paper_block()
+//!     .with_tsv(TtsvConfig::new(
+//!         Length::from_micrometers(8.0),
+//!         Length::from_micrometers(0.5),
+//!     ))
+//!     .build()?;
+//!
+//! let model_a = ModelA::with_coefficients(FittingCoefficients::paper_block());
+//! let model_b = ModelB::paper_b100();
+//! let baseline = OneDModel::new();
+//!
+//! let dt_a = model_a.max_delta_t(&scenario)?;
+//! let dt_b = model_b.max_delta_t(&scenario)?;
+//! let dt_1d = baseline.max_delta_t(&scenario)?;
+//!
+//! // The 1-D baseline ignores the lateral liner path and overestimates.
+//! assert!(dt_1d > dt_a);
+//! assert!(dt_1d > dt_b);
+//! # Ok::<(), ttsv::core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ttsv_core as core;
+pub use ttsv_fem as fem;
+pub use ttsv_linalg as linalg;
+pub use ttsv_materials as materials;
+pub use ttsv_network as network;
+pub use ttsv_units as units;
+pub use ttsv_validate as validate;
+
+/// Convenience re-exports: the core prelude plus the reference solver and
+/// common material/units types.
+pub mod prelude {
+    pub use ttsv_core::prelude::*;
+    pub use ttsv_materials::Material;
+    pub use ttsv_units::{Temperature, ThermalResistance};
+    pub use ttsv_validate::fem_adapter::{FemReference, FemResolution};
+}

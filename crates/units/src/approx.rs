@@ -1,0 +1,97 @@
+//! Approximate floating-point comparison helpers shared by the workspace.
+
+/// Returns `true` when `a` and `b` agree within a relative tolerance
+/// `rel_tol` (scaled by the larger magnitude) *or* an absolute tolerance
+/// `abs_tol` (useful near zero).
+#[must_use]
+pub fn f64_approx_eq(a: f64, b: f64, rel_tol: f64, abs_tol: f64) -> bool {
+    if !a.is_finite() || !b.is_finite() {
+        return false;
+    }
+    if a == b {
+        return true; // covers exact equality and both-zero
+    }
+    let diff = (a - b).abs();
+    diff <= abs_tol || diff <= rel_tol * a.abs().max(b.abs())
+}
+
+/// Relative error `|measured - reference| / |reference|`.
+///
+/// Falls back to the absolute error when `reference` is zero so callers can
+/// still threshold it meaningfully.
+#[must_use]
+pub fn relative_error(measured: f64, reference: f64) -> f64 {
+    let diff = (measured - reference).abs();
+    if reference == 0.0 {
+        diff
+    } else {
+        diff / reference.abs()
+    }
+}
+
+/// Types supporting tolerance-based approximate equality.
+pub trait ApproxEq {
+    /// Returns `true` when the two values agree within `rel_tol` relative
+    /// tolerance or `abs_tol` absolute tolerance.
+    fn approx_eq(&self, other: &Self, rel_tol: f64, abs_tol: f64) -> bool;
+}
+
+impl ApproxEq for f64 {
+    fn approx_eq(&self, other: &Self, rel_tol: f64, abs_tol: f64) -> bool {
+        f64_approx_eq(*self, *other, rel_tol, abs_tol)
+    }
+}
+
+/// Asserts that two [`ApproxEq`] values agree within the given tolerances.
+///
+/// # Panics
+///
+/// Panics with a diagnostic message when the values disagree.
+#[track_caller]
+pub fn assert_close<T: ApproxEq + core::fmt::Debug>(a: &T, b: &T, rel_tol: f64, abs_tol: f64) {
+    assert!(
+        a.approx_eq(b, rel_tol, abs_tol),
+        "values not approximately equal (rel_tol={rel_tol}, abs_tol={abs_tol}):\n  left: {a:?}\n right: {b:?}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_equality_short_circuits() {
+        assert!(f64_approx_eq(1.0, 1.0, 0.0, 0.0));
+        assert!(f64_approx_eq(0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn relative_tolerance_scales_with_magnitude() {
+        assert!(f64_approx_eq(1000.0, 1001.0, 1e-2, 0.0));
+        assert!(!f64_approx_eq(1000.0, 1001.0, 1e-6, 0.0));
+    }
+
+    #[test]
+    fn absolute_tolerance_handles_near_zero() {
+        assert!(f64_approx_eq(1e-12, 0.0, 1e-6, 1e-9));
+        assert!(!f64_approx_eq(1e-3, 0.0, 1e-6, 1e-9));
+    }
+
+    #[test]
+    fn non_finite_values_never_match() {
+        assert!(!f64_approx_eq(f64::NAN, f64::NAN, 1.0, 1.0));
+        assert!(!f64_approx_eq(f64::INFINITY, f64::INFINITY, 1.0, 1.0));
+    }
+
+    #[test]
+    fn relative_error_against_zero_reference_is_absolute() {
+        assert_eq!(relative_error(0.5, 0.0), 0.5);
+        assert!((relative_error(11.0, 10.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not approximately equal")]
+    fn assert_close_panics_on_mismatch() {
+        assert_close(&1.0, &2.0, 1e-6, 0.0);
+    }
+}

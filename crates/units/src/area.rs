@@ -1,0 +1,151 @@
+//! Area quantities.
+
+use crate::{Length, Volume};
+
+quantity!(
+    /// An area stored in square metres.
+    ///
+    /// ```
+    /// use ttsv_units::{Area, Length};
+    /// let footprint = Area::square(Length::from_micrometers(100.0));
+    /// assert!((footprint.as_square_meters() - 1.0e-8).abs() < 1e-20);
+    /// ```
+    Area,
+    "m²",
+    from_square_meters,
+    as_square_meters
+);
+
+impl Area {
+    /// Creates an area from square micrometres (µm²).
+    #[must_use]
+    pub const fn from_square_micrometers(um2: f64) -> Self {
+        Self::from_square_meters(um2 * 1.0e-12)
+    }
+
+    /// Returns the area in square micrometres (µm²).
+    #[must_use]
+    pub const fn as_square_micrometers(self) -> f64 {
+        self.as_square_meters() * 1.0e12
+    }
+
+    /// Creates an area from square millimetres (mm²).
+    #[must_use]
+    pub const fn from_square_millimeters(mm2: f64) -> Self {
+        Self::from_square_meters(mm2 * 1.0e-6)
+    }
+
+    /// Returns the area in square millimetres (mm²).
+    #[must_use]
+    pub const fn as_square_millimeters(self) -> f64 {
+        self.as_square_meters() * 1.0e6
+    }
+
+    /// Area of a square with the given side.
+    #[must_use]
+    pub fn square(side: Length) -> Self {
+        side * side
+    }
+
+    /// Area of a `width` × `height` rectangle.
+    #[must_use]
+    pub fn rectangle(width: Length, height: Length) -> Self {
+        width * height
+    }
+
+    /// Area of a circle (disc) of the given radius, `π r²`.
+    ///
+    /// This is the TSV fill cross-section in paper eqs. (8), (11), (14).
+    #[must_use]
+    pub fn circle(radius: Length) -> Self {
+        let r = radius.as_meters();
+        Self::from_square_meters(core::f64::consts::PI * r * r)
+    }
+
+    /// Area of an annulus (ring) between `inner` and `outer` radii.
+    ///
+    /// Used for the liner cross-section in the 1-D baseline model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outer < inner`.
+    #[must_use]
+    pub fn annulus(inner: Length, outer: Length) -> Self {
+        assert!(
+            outer >= inner,
+            "annulus outer radius {outer} smaller than inner radius {inner}"
+        );
+        Self::circle(outer) - Self::circle(inner)
+    }
+
+    /// Radius of the circle with this area, `√(A/π)`.
+    ///
+    /// Used to map the square FEM footprint onto the axisymmetric unit cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the area is negative.
+    #[must_use]
+    pub fn equivalent_radius(self) -> Length {
+        assert!(
+            self.as_square_meters() >= 0.0,
+            "cannot take the equivalent radius of negative area {self}"
+        );
+        Length::from_meters((self.as_square_meters() / core::f64::consts::PI).sqrt())
+    }
+}
+
+impl core::ops::Mul<Length> for Area {
+    type Output = Volume;
+    fn mul(self, rhs: Length) -> Volume {
+        rhs * self
+    }
+}
+
+impl core::ops::Div<Length> for Area {
+    type Output = Length;
+    fn div(self, rhs: Length) -> Length {
+        Length::from_meters(self.as_square_meters() / rhs.as_meters())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circle_and_annulus_are_consistent() {
+        let r = Length::from_micrometers(5.0);
+        let t = Length::from_micrometers(0.5);
+        let full = Area::circle(r + t);
+        let ring = Area::annulus(r, r + t);
+        let disc = Area::circle(r);
+        assert!(((ring + disc).as_square_meters() - full.as_square_meters()).abs() < 1e-24);
+    }
+
+    #[test]
+    fn equivalent_radius_inverts_circle() {
+        let r = Length::from_micrometers(56.419);
+        let back = Area::circle(r).equivalent_radius();
+        assert!((back.as_micrometers() - 56.419).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_footprint_is_1e_minus_8_m2() {
+        let a0 = Area::square(Length::from_micrometers(100.0));
+        assert!((a0.as_square_meters() - 1.0e-8).abs() < 1e-20);
+        assert!((a0.as_square_millimeters() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "annulus outer radius")]
+    fn annulus_rejects_inverted_radii() {
+        let _ = Area::annulus(Length::from_micrometers(2.0), Length::from_micrometers(1.0));
+    }
+
+    #[test]
+    fn division_by_length_recovers_length() {
+        let a = Area::rectangle(Length::from_meters(3.0), Length::from_meters(4.0));
+        assert_eq!(a / Length::from_meters(4.0), Length::from_meters(3.0));
+    }
+}

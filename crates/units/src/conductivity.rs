@@ -1,0 +1,119 @@
+//! Thermal conductivity.
+
+use crate::{Area, Length, ThermalResistance};
+
+quantity!(
+    /// Thermal conductivity stored in W/(m·K).
+    ///
+    /// ```
+    /// use ttsv_units::ThermalConductivity;
+    /// let k_cu = ThermalConductivity::from_watts_per_meter_kelvin(400.0);
+    /// assert_eq!(k_cu.as_watts_per_meter_kelvin(), 400.0);
+    /// ```
+    ThermalConductivity,
+    "W/(m·K)",
+    from_watts_per_meter_kelvin,
+    as_watts_per_meter_kelvin
+);
+
+impl ThermalConductivity {
+    /// Vertical (1-D) thermal resistance of a prism of this material:
+    /// `R = t / (k·A)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conductivity or area is not strictly positive.
+    #[must_use]
+    pub fn column_resistance(self, thickness: Length, cross_section: Area) -> ThermalResistance {
+        assert!(
+            self.as_watts_per_meter_kelvin() > 0.0,
+            "column_resistance needs positive conductivity, got {self}"
+        );
+        assert!(
+            cross_section.as_square_meters() > 0.0,
+            "column_resistance needs positive cross-section, got {cross_section}"
+        );
+        ThermalResistance::from_kelvin_per_watt(
+            thickness.as_meters()
+                / (self.as_watts_per_meter_kelvin() * cross_section.as_square_meters()),
+        )
+    }
+
+    /// Radial thermal resistance of a cylindrical shell of this material:
+    /// `R = ln(r_outer/r_inner) / (2π k h)` (paper eq. 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if conductivity or height is not strictly positive, or if
+    /// `0 < r_inner ≤ r_outer` is violated.
+    #[must_use]
+    pub fn shell_resistance(
+        self,
+        inner_radius: Length,
+        outer_radius: Length,
+        height: Length,
+    ) -> ThermalResistance {
+        assert!(
+            self.as_watts_per_meter_kelvin() > 0.0,
+            "shell_resistance needs positive conductivity, got {self}"
+        );
+        assert!(
+            height.as_meters() > 0.0,
+            "shell_resistance needs positive height, got {height}"
+        );
+        assert!(
+            inner_radius.as_meters() > 0.0 && outer_radius >= inner_radius,
+            "shell_resistance needs 0 < r_inner <= r_outer, got {inner_radius} .. {outer_radius}"
+        );
+        ThermalResistance::from_kelvin_per_watt(
+            outer_radius.ln_ratio(inner_radius)
+                / (2.0
+                    * core::f64::consts::PI
+                    * self.as_watts_per_meter_kelvin()
+                    * height.as_meters()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_resistance_matches_hand_calculation() {
+        // 45 µm silicon (k = 150) over 100×100 µm² → 30 K/W.
+        let k = ThermalConductivity::from_watts_per_meter_kelvin(150.0);
+        let r = k.column_resistance(
+            Length::from_micrometers(45.0),
+            Area::square(Length::from_micrometers(100.0)),
+        );
+        assert!((r.as_kelvin_per_watt() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shell_resistance_matches_eq_9() {
+        // Paper eq. (9) with k2 = 1: ln((r+tL)/r) / (2π kL h).
+        let k_l = ThermalConductivity::from_watts_per_meter_kelvin(1.4);
+        let r = Length::from_micrometers(5.0);
+        let t_l = Length::from_micrometers(0.5);
+        let h = Length::from_micrometers(5.0);
+        let got = k_l.shell_resistance(r, r + t_l, h);
+        let want = (5.5f64 / 5.0).ln() / (2.0 * core::f64::consts::PI * 1.4 * 5.0e-6);
+        assert!((got.as_kelvin_per_watt() - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_thickness_shell_has_zero_resistance() {
+        let k = ThermalConductivity::from_watts_per_meter_kelvin(1.4);
+        let r = Length::from_micrometers(5.0);
+        let got = k.shell_resistance(r, r, Length::from_micrometers(1.0));
+        assert_eq!(got.as_kelvin_per_watt(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive cross-section")]
+    fn zero_area_column_rejected() {
+        let k = ThermalConductivity::from_watts_per_meter_kelvin(1.0);
+        let _ = k.column_resistance(Length::from_micrometers(1.0), Area::ZERO);
+    }
+}

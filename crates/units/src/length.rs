@@ -1,0 +1,128 @@
+//! Length quantities.
+
+use crate::{Area, Volume};
+
+quantity!(
+    /// A length stored in metres.
+    ///
+    /// TSV geometry in the paper is specified in micrometres; use
+    /// [`Length::from_micrometers`] for those.
+    ///
+    /// ```
+    /// use ttsv_units::Length;
+    /// let r = Length::from_micrometers(5.0);
+    /// assert!((r.as_meters() - 5.0e-6).abs() < 1e-18);
+    /// ```
+    Length,
+    "m",
+    from_meters,
+    as_meters
+);
+
+impl Length {
+    /// Creates a length from micrometres (µm), the paper's working unit.
+    #[must_use]
+    pub const fn from_micrometers(um: f64) -> Self {
+        Self::from_meters(um * 1.0e-6)
+    }
+
+    /// Returns the length in micrometres (µm).
+    #[must_use]
+    pub const fn as_micrometers(self) -> f64 {
+        self.as_meters() * 1.0e6
+    }
+
+    /// Creates a length from millimetres (mm).
+    #[must_use]
+    pub const fn from_millimeters(mm: f64) -> Self {
+        Self::from_meters(mm * 1.0e-3)
+    }
+
+    /// Returns the length in millimetres (mm).
+    #[must_use]
+    pub const fn as_millimeters(self) -> f64 {
+        self.as_meters() * 1.0e3
+    }
+
+    /// Creates a length from nanometres (nm).
+    #[must_use]
+    pub const fn from_nanometers(nm: f64) -> Self {
+        Self::from_meters(nm * 1.0e-9)
+    }
+
+    /// Returns the length in nanometres (nm).
+    #[must_use]
+    pub const fn as_nanometers(self) -> f64 {
+        self.as_meters() * 1.0e9
+    }
+
+    /// Natural logarithm of the ratio `self / other`.
+    ///
+    /// This shows up in the lateral liner resistance of a cylindrical shell,
+    /// `R = ln((r + t_L)/r) / (2π k L)` (paper eq. 9).
+    #[must_use]
+    pub fn ln_ratio(self, other: Self) -> f64 {
+        (self.as_meters() / other.as_meters()).ln()
+    }
+}
+
+impl core::ops::Mul for Length {
+    type Output = Area;
+    fn mul(self, rhs: Self) -> Area {
+        Area::from_square_meters(self.as_meters() * rhs.as_meters())
+    }
+}
+
+impl core::ops::Mul<Area> for Length {
+    type Output = Volume;
+    fn mul(self, rhs: Area) -> Volume {
+        Volume::from_cubic_meters(self.as_meters() * rhs.as_square_meters())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_roundtrip() {
+        let l = Length::from_micrometers(45.0);
+        assert!((l.as_meters() - 45.0e-6).abs() < 1e-18);
+        assert!((l.as_micrometers() - 45.0).abs() < 1e-9);
+        assert!((l.as_millimeters() - 0.045).abs() < 1e-12);
+        assert!((l.as_nanometers() - 45_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arithmetic_is_dimensional() {
+        let a = Length::from_micrometers(100.0) * Length::from_micrometers(100.0);
+        assert!((a.as_square_meters() - 1.0e-8).abs() < 1e-20);
+
+        let v = Length::from_micrometers(4.0) * a;
+        assert!((v.as_cubic_meters() - 4.0e-14).abs() < 1e-26);
+    }
+
+    #[test]
+    fn ln_ratio_matches_liner_formula() {
+        let r = Length::from_micrometers(5.0);
+        let outer = Length::from_micrometers(5.5);
+        assert!((outer.ln_ratio(r) - (5.5f64 / 5.0).ln()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ordering_and_scaling() {
+        let a = Length::from_micrometers(1.0);
+        let b = Length::from_micrometers(2.0);
+        assert!(a < b);
+        assert_eq!(a * 2.0, b);
+        assert_eq!(b / 2.0, a);
+        assert!((b / a - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        let l = Length::from_meters(1.5);
+        assert_eq!(l.to_string(), "1.5 m");
+        assert_eq!(format!("{l:.2}"), "1.50 m");
+    }
+}

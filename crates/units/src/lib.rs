@@ -1,0 +1,49 @@
+//! Dimensional quantity newtypes for the TTSV thermal-modeling workspace.
+//!
+//! Every physical quantity that crosses a crate boundary in this workspace is
+//! wrapped in a newtype carrying its dimension ([`Length`], [`Power`],
+//! [`ThermalResistance`], ...). All types store SI base values (`f64`) and
+//! expose explicitly named constructors/accessors for the unit systems the
+//! DATE 2011 TTSV paper uses (micrometres, W/mm³, K/W, ...), so unit mix-ups
+//! become compile errors or at worst grep-able call sites.
+//!
+//! # Examples
+//!
+//! ```
+//! use ttsv_units::{Length, Area, ThermalConductivity, ThermalResistance};
+//!
+//! // Vertical thermal resistance of a 45 µm silicon column over 100x100 µm²:
+//! let t = Length::from_micrometers(45.0);
+//! let a = Area::from_square_micrometers(100.0 * 100.0);
+//! let k_si = ThermalConductivity::from_watts_per_meter_kelvin(150.0);
+//! let r: ThermalResistance = k_si.column_resistance(t, a);
+//! assert!((r.as_kelvin_per_watt() - 30.0).abs() < 1e-9);
+//! ```
+//!
+//! The arithmetic impls are intentionally restricted to physically meaningful
+//! combinations (e.g. `Power * ThermalResistance = TemperatureDelta`); adding
+//! a `Length` to an `Area` does not compile.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[macro_use]
+mod macros;
+
+mod approx;
+mod area;
+mod conductivity;
+mod length;
+mod power;
+mod resistance;
+mod temperature;
+mod volume;
+
+pub use approx::{assert_close, relative_error, ApproxEq};
+pub use area::Area;
+pub use conductivity::ThermalConductivity;
+pub use length::Length;
+pub use power::{Power, PowerDensity};
+pub use resistance::{ThermalConductance, ThermalResistance};
+pub use temperature::{Temperature, TemperatureDelta};
+pub use volume::Volume;

@@ -1,0 +1,164 @@
+//! Internal macro generating the shared boilerplate of quantity newtypes.
+
+/// Generates a quantity newtype storing an `f64` in SI base units.
+///
+/// Produces: the struct, `Debug`/`Clone`/`Copy`/`PartialEq`/`PartialOrd`,
+/// serde (transparent), `Default` (zero), `Display` with the SI unit suffix,
+/// `Add`/`Sub`/`Neg` within the type, `Mul<f64>`/`Div<f64>` (both orders for
+/// `Mul`), `Div<Self> -> f64`, `Sum`, and the common `zero`/`is_finite`/
+/// `abs`/`min`/`max`/`clamp` helpers.
+///
+/// The raw-SI constructor and accessor are named by the caller so call sites
+/// stay self-documenting (`from_kelvin_per_watt`, not `new`).
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $unit:literal, $from_si:ident, $as_si:ident
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            #[doc = concat!("Creates the quantity from a value in ", $unit, " (SI).")]
+            #[must_use]
+            pub const fn $from_si(value: f64) -> Self {
+                Self(value)
+            }
+
+            #[doc = concat!("Returns the value in ", $unit, " (SI).")]
+            #[must_use]
+            pub const fn $as_si(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the underlying value is finite (not NaN/±∞).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the absolute value of the quantity.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the smaller of `self` and `other` (NaN-propagating like `f64::min`).
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps the quantity into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi` (same contract as [`f64::clamp`]).
+            #[must_use]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                // Respect an explicit precision, default to shortest roundtrip.
+                if let Some(p) = f.precision() {
+                    write!(f, "{:.*} {}", p, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl crate::approx::ApproxEq for $name {
+            fn approx_eq(&self, other: &Self, rel_tol: f64, abs_tol: f64) -> bool {
+                crate::approx::f64_approx_eq(self.0, other.0, rel_tol, abs_tol)
+            }
+        }
+    };
+}

@@ -1,0 +1,132 @@
+//! Power and volumetric power-density quantities.
+
+use crate::{TemperatureDelta, ThermalResistance, Volume};
+
+quantity!(
+    /// A power (heat flow) stored in watts.
+    ///
+    /// ```
+    /// use ttsv_units::Power;
+    /// let p = Power::from_milliwatts(9.8);
+    /// assert!((p.as_watts() - 9.8e-3).abs() < 1e-15);
+    /// ```
+    Power,
+    "W",
+    from_watts,
+    as_watts
+);
+
+quantity!(
+    /// A volumetric power density stored in W/m³.
+    ///
+    /// The paper specifies device heat as 700 W/mm³ and interconnect (ILD)
+    /// heat as 70 W/mm³; use [`PowerDensity::from_watts_per_cubic_millimeter`].
+    PowerDensity,
+    "W/m³",
+    from_watts_per_cubic_meter,
+    as_watts_per_cubic_meter
+);
+
+impl Power {
+    /// Creates a power from milliwatts (mW).
+    #[must_use]
+    pub const fn from_milliwatts(mw: f64) -> Self {
+        Self::from_watts(mw * 1.0e-3)
+    }
+
+    /// Returns the power in milliwatts (mW).
+    #[must_use]
+    pub const fn as_milliwatts(self) -> f64 {
+        self.as_watts() * 1.0e3
+    }
+}
+
+impl PowerDensity {
+    /// Creates a power density from W/mm³ (the paper's unit).
+    #[must_use]
+    pub const fn from_watts_per_cubic_millimeter(w_per_mm3: f64) -> Self {
+        Self::from_watts_per_cubic_meter(w_per_mm3 * 1.0e9)
+    }
+
+    /// Returns the power density in W/mm³.
+    #[must_use]
+    pub const fn as_watts_per_cubic_millimeter(self) -> f64 {
+        self.as_watts_per_cubic_meter() * 1.0e-9
+    }
+}
+
+impl core::ops::Mul<Volume> for PowerDensity {
+    type Output = Power;
+    fn mul(self, rhs: Volume) -> Power {
+        Power::from_watts(self.as_watts_per_cubic_meter() * rhs.as_cubic_meters())
+    }
+}
+
+impl core::ops::Mul<PowerDensity> for Volume {
+    type Output = Power;
+    fn mul(self, rhs: PowerDensity) -> Power {
+        rhs * self
+    }
+}
+
+impl core::ops::Div<Volume> for Power {
+    type Output = PowerDensity;
+    fn div(self, rhs: Volume) -> PowerDensity {
+        PowerDensity::from_watts_per_cubic_meter(self.as_watts() / rhs.as_cubic_meters())
+    }
+}
+
+impl core::ops::Mul<ThermalResistance> for Power {
+    type Output = TemperatureDelta;
+    fn mul(self, rhs: ThermalResistance) -> TemperatureDelta {
+        TemperatureDelta::from_kelvin(self.as_watts() * rhs.as_kelvin_per_watt())
+    }
+}
+
+impl core::ops::Mul<Power> for ThermalResistance {
+    type Output = TemperatureDelta;
+    fn mul(self, rhs: Power) -> TemperatureDelta {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Area, Length};
+
+    #[test]
+    fn device_heat_of_paper_block() {
+        // 700 W/mm³ over a 100 µm × 100 µm × 1 µm device layer = 7 mW.
+        let density = PowerDensity::from_watts_per_cubic_millimeter(700.0);
+        let volume = Area::square(Length::from_micrometers(100.0)) * Length::from_micrometers(1.0);
+        let p = density * volume;
+        assert!((p.as_milliwatts() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ild_heat_of_paper_block() {
+        // 70 W/mm³ over 100 µm × 100 µm × 4 µm = 2.8 mW.
+        let density = PowerDensity::from_watts_per_cubic_millimeter(70.0);
+        let volume = Area::square(Length::from_micrometers(100.0)) * Length::from_micrometers(4.0);
+        assert!(((volume * density).as_milliwatts() - 2.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_times_resistance_is_temperature_rise() {
+        let q = Power::from_watts(0.035);
+        let r = ThermalResistance::from_kelvin_per_watt(332.7);
+        let dt = q * r;
+        assert!((dt.as_kelvin() - 11.6445).abs() < 1e-9);
+        assert_eq!(q * r, r * q);
+    }
+
+    #[test]
+    fn density_roundtrips_through_volume() {
+        let p = Power::from_watts(1.5);
+        let v = Volume::from_cubic_millimeters(3.0);
+        let d = p / v;
+        assert!((d.as_watts_per_cubic_millimeter() - 0.5).abs() < 1e-12);
+        assert!(((d * v).as_watts() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,117 @@
+//! Thermal resistance and conductance.
+
+quantity!(
+    /// Thermal resistance stored in K/W.
+    ///
+    /// ```
+    /// use ttsv_units::ThermalResistance;
+    /// let a = ThermalResistance::from_kelvin_per_watt(30.0);
+    /// let b = ThermalResistance::from_kelvin_per_watt(60.0);
+    /// assert_eq!(a.parallel(b).as_kelvin_per_watt(), 20.0);
+    /// assert_eq!((a + b).as_kelvin_per_watt(), 90.0);
+    /// ```
+    ThermalResistance,
+    "K/W",
+    from_kelvin_per_watt,
+    as_kelvin_per_watt
+);
+
+quantity!(
+    /// Thermal conductance stored in W/K (reciprocal of resistance).
+    ThermalConductance,
+    "W/K",
+    from_watts_per_kelvin,
+    as_watts_per_kelvin
+);
+
+impl ThermalResistance {
+    /// The conductance `1/R`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance is zero.
+    #[must_use]
+    pub fn conductance(self) -> ThermalConductance {
+        assert!(
+            self.as_kelvin_per_watt() != 0.0,
+            "zero thermal resistance has unbounded conductance"
+        );
+        ThermalConductance::from_watts_per_kelvin(1.0 / self.as_kelvin_per_watt())
+    }
+
+    /// Parallel combination `(R₁ R₂)/(R₁ + R₂)`.
+    ///
+    /// Series combination is plain `+`.
+    #[must_use]
+    pub fn parallel(self, other: Self) -> Self {
+        let (a, b) = (self.as_kelvin_per_watt(), other.as_kelvin_per_watt());
+        Self::from_kelvin_per_watt(a * b / (a + b))
+    }
+
+    /// Parallel combination of any number of resistances.
+    ///
+    /// Returns `None` for an empty iterator.
+    #[must_use]
+    pub fn parallel_all<I: IntoIterator<Item = Self>>(resistances: I) -> Option<Self> {
+        let mut g_total = 0.0;
+        let mut any = false;
+        for r in resistances {
+            any = true;
+            g_total += 1.0 / r.as_kelvin_per_watt();
+        }
+        any.then(|| Self::from_kelvin_per_watt(1.0 / g_total))
+    }
+}
+
+impl ThermalConductance {
+    /// The resistance `1/G`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conductance is zero.
+    #[must_use]
+    pub fn resistance(self) -> ThermalResistance {
+        assert!(
+            self.as_watts_per_kelvin() != 0.0,
+            "zero thermal conductance has unbounded resistance"
+        );
+        ThermalResistance::from_kelvin_per_watt(1.0 / self.as_watts_per_kelvin())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_and_parallel() {
+        let a = ThermalResistance::from_kelvin_per_watt(10.0);
+        let b = ThermalResistance::from_kelvin_per_watt(40.0);
+        assert_eq!((a + b).as_kelvin_per_watt(), 50.0);
+        assert_eq!(a.parallel(b).as_kelvin_per_watt(), 8.0);
+        // parallel is commutative
+        assert_eq!(a.parallel(b), b.parallel(a));
+    }
+
+    #[test]
+    fn parallel_all_matches_pairwise() {
+        let rs = [10.0, 40.0, 8.0].map(ThermalResistance::from_kelvin_per_watt);
+        let all = ThermalResistance::parallel_all(rs).unwrap();
+        let pair = rs[0].parallel(rs[1]).parallel(rs[2]);
+        assert!((all.as_kelvin_per_watt() - pair.as_kelvin_per_watt()).abs() < 1e-12);
+        assert!(ThermalResistance::parallel_all([]).is_none());
+    }
+
+    #[test]
+    fn conductance_roundtrip() {
+        let r = ThermalResistance::from_kelvin_per_watt(4.0);
+        assert_eq!(r.conductance().as_watts_per_kelvin(), 0.25);
+        assert_eq!(r.conductance().resistance(), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbounded conductance")]
+    fn zero_resistance_conductance_panics() {
+        let _ = ThermalResistance::ZERO.conductance();
+    }
+}

@@ -1,0 +1,181 @@
+//! Absolute temperatures and temperature differences.
+
+use crate::{Power, ThermalResistance};
+
+quantity!(
+    /// A temperature *difference* stored in kelvin.
+    ///
+    /// All model outputs in this workspace are differences above the
+    /// heat-sink reference (the paper's ΔT), so this is the type you will see
+    /// most. One kelvin of difference equals one degree Celsius of
+    /// difference.
+    ///
+    /// ```
+    /// use ttsv_units::TemperatureDelta;
+    /// let dt = TemperatureDelta::from_kelvin(12.8);
+    /// assert_eq!(dt.as_celsius(), 12.8);
+    /// ```
+    TemperatureDelta,
+    "K",
+    from_kelvin,
+    as_kelvin
+);
+
+impl TemperatureDelta {
+    /// Creates a temperature difference expressed in degrees Celsius
+    /// (identical scale to kelvin for differences).
+    #[must_use]
+    pub const fn from_celsius(dc: f64) -> Self {
+        Self::from_kelvin(dc)
+    }
+
+    /// Returns the difference in degrees Celsius.
+    #[must_use]
+    pub const fn as_celsius(self) -> f64 {
+        self.as_kelvin()
+    }
+}
+
+impl core::ops::Div<Power> for TemperatureDelta {
+    type Output = ThermalResistance;
+    fn div(self, rhs: Power) -> ThermalResistance {
+        ThermalResistance::from_kelvin_per_watt(self.as_kelvin() / rhs.as_watts())
+    }
+}
+
+impl core::ops::Div<ThermalResistance> for TemperatureDelta {
+    type Output = Power;
+    fn div(self, rhs: ThermalResistance) -> Power {
+        Power::from_watts(self.as_kelvin() / rhs.as_kelvin_per_watt())
+    }
+}
+
+/// An absolute temperature stored in kelvin.
+///
+/// Only used at the boundary of the library (e.g. reporting "27 °C ambient +
+/// ΔT"); internal solves work in [`TemperatureDelta`].
+///
+/// ```
+/// use ttsv_units::{Temperature, TemperatureDelta};
+/// let sink = Temperature::from_celsius(27.0);
+/// let hot = sink + TemperatureDelta::from_kelvin(12.8);
+/// assert!((hot.as_celsius() - 39.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Temperature(f64);
+
+impl Temperature {
+    /// Absolute zero, 0 K.
+    pub const ABSOLUTE_ZERO: Self = Self(0.0);
+
+    /// Creates an absolute temperature from kelvin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kelvin` is negative (below absolute zero).
+    #[must_use]
+    pub fn from_kelvin(kelvin: f64) -> Self {
+        assert!(
+            kelvin >= 0.0,
+            "absolute temperature {kelvin} K is below absolute zero"
+        );
+        Self(kelvin)
+    }
+
+    /// Creates an absolute temperature from degrees Celsius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the temperature is below absolute zero (−273.15 °C).
+    #[must_use]
+    pub fn from_celsius(celsius: f64) -> Self {
+        Self::from_kelvin(celsius + 273.15)
+    }
+
+    /// Returns the temperature in kelvin.
+    #[must_use]
+    pub const fn as_kelvin(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the temperature in degrees Celsius.
+    #[must_use]
+    pub const fn as_celsius(self) -> f64 {
+        self.0 - 273.15
+    }
+}
+
+impl core::fmt::Display for Temperature {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if let Some(p) = f.precision() {
+            write!(f, "{:.*} K", p, self.0)
+        } else {
+            write!(f, "{} K", self.0)
+        }
+    }
+}
+
+impl core::ops::Add<TemperatureDelta> for Temperature {
+    type Output = Temperature;
+    fn add(self, rhs: TemperatureDelta) -> Temperature {
+        Temperature(self.0 + rhs.as_kelvin())
+    }
+}
+
+impl core::ops::Sub<TemperatureDelta> for Temperature {
+    type Output = Temperature;
+    fn sub(self, rhs: TemperatureDelta) -> Temperature {
+        Temperature(self.0 - rhs.as_kelvin())
+    }
+}
+
+impl core::ops::Sub for Temperature {
+    type Output = TemperatureDelta;
+    fn sub(self, rhs: Self) -> TemperatureDelta {
+        TemperatureDelta::from_kelvin(self.0 - rhs.0)
+    }
+}
+
+impl crate::approx::ApproxEq for Temperature {
+    fn approx_eq(&self, other: &Self, rel_tol: f64, abs_tol: f64) -> bool {
+        crate::approx::f64_approx_eq(self.0, other.0, rel_tol, abs_tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_kelvin_offset() {
+        let t = Temperature::from_celsius(27.0);
+        assert!((t.as_kelvin() - 300.15).abs() < 1e-12);
+        assert!((t.as_celsius() - 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deltas_compose_with_absolutes() {
+        let sink = Temperature::from_celsius(27.0);
+        let dt = TemperatureDelta::from_kelvin(20.0);
+        assert!(((sink + dt) - sink).as_kelvin() - 20.0 < 1e-12);
+        assert_eq!((sink + dt) - dt, sink);
+    }
+
+    #[test]
+    fn delta_over_power_gives_resistance() {
+        let dt = TemperatureDelta::from_kelvin(10.0);
+        let q = Power::from_watts(2.0);
+        assert_eq!(
+            dt / q,
+            ThermalResistance::from_kelvin_per_watt(5.0)
+        );
+        assert_eq!(dt / ThermalResistance::from_kelvin_per_watt(5.0), q);
+    }
+
+    #[test]
+    #[should_panic(expected = "below absolute zero")]
+    fn negative_kelvin_rejected() {
+        let _ = Temperature::from_kelvin(-1.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Volume quantities.
+
+quantity!(
+    /// A volume stored in cubic metres.
+    ///
+    /// ```
+    /// use ttsv_units::Volume;
+    /// let v = Volume::from_cubic_millimeters(2.0);
+    /// assert_eq!(v.as_cubic_meters(), 2.0e-9);
+    /// ```
+    Volume,
+    "m³",
+    from_cubic_meters,
+    as_cubic_meters
+);
+
+impl Volume {
+    /// Creates a volume from cubic millimetres (mm³).
+    #[must_use]
+    pub const fn from_cubic_millimeters(mm3: f64) -> Self {
+        Self::from_cubic_meters(mm3 * 1.0e-9)
+    }
+
+    /// Returns the volume in cubic millimetres (mm³).
+    #[must_use]
+    pub const fn as_cubic_millimeters(self) -> f64 {
+        self.as_cubic_meters() * 1.0e9
+    }
+
+    /// Creates a volume from cubic micrometres (µm³).
+    #[must_use]
+    pub const fn from_cubic_micrometers(um3: f64) -> Self {
+        Self::from_cubic_meters(um3 * 1.0e-18)
+    }
+
+    /// Returns the volume in cubic micrometres (µm³).
+    #[must_use]
+    pub const fn as_cubic_micrometers(self) -> f64 {
+        self.as_cubic_meters() * 1.0e18
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Area, Length};
+
+    #[test]
+    fn conversions_roundtrip() {
+        let v = Volume::from_cubic_micrometers(40_000.0);
+        assert!((v.as_cubic_meters() - 4.0e-14).abs() < 1e-26);
+        assert!((v.as_cubic_millimeters() - 4.0e-5).abs() < 1e-17);
+    }
+
+    #[test]
+    fn ild_layer_volume_matches_paper_setup() {
+        // 100 µm × 100 µm × 4 µm ILD layer = 4e-5 mm³.
+        let v = Area::square(Length::from_micrometers(100.0)) * Length::from_micrometers(4.0);
+        assert!((v.as_cubic_millimeters() - 4.0e-5).abs() < 1e-17);
+    }
+}

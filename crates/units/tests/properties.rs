@@ -1,0 +1,139 @@
+//! Property-based tests for the quantity algebra.
+
+use proptest::prelude::*;
+use ttsv_units::{
+    Area, Length, Power, PowerDensity, TemperatureDelta, ThermalConductivity, ThermalResistance,
+};
+
+fn finite_positive() -> impl Strategy<Value = f64> {
+    // Magnitudes spanning the ranges the models actually use (nm .. mm, mW .. 100 W).
+    prop_oneof![1e-9..1e-3f64, 1e-3..1.0f64, 1.0..1e3f64]
+}
+
+proptest! {
+    #[test]
+    fn length_addition_commutes(a in finite_positive(), b in finite_positive()) {
+        let (la, lb) = (Length::from_meters(a), Length::from_meters(b));
+        prop_assert_eq!(la + lb, lb + la);
+    }
+
+    #[test]
+    fn length_scaling_roundtrips(a in finite_positive(), s in 1e-3..1e3f64) {
+        let l = Length::from_meters(a);
+        let back = (l * s) / s;
+        prop_assert!((back.as_meters() - a).abs() <= 1e-12 * a.abs());
+    }
+
+    #[test]
+    fn unit_conversions_are_inverse(a in finite_positive()) {
+        let l = Length::from_micrometers(a);
+        prop_assert!((l.as_micrometers() - a).abs() <= 1e-9 * a);
+        let v = PowerDensity::from_watts_per_cubic_millimeter(a);
+        prop_assert!((v.as_watts_per_cubic_millimeter() - a).abs() <= 1e-9 * a);
+    }
+
+    #[test]
+    fn circle_area_grows_monotonically(r1 in finite_positive(), r2 in finite_positive()) {
+        prop_assume!(r1 < r2);
+        let a1 = Area::circle(Length::from_meters(r1));
+        let a2 = Area::circle(Length::from_meters(r2));
+        prop_assert!(a1 < a2);
+    }
+
+    #[test]
+    fn equivalent_radius_inverts_circle(r in finite_positive()) {
+        let back = Area::circle(Length::from_meters(r)).equivalent_radius();
+        prop_assert!((back.as_meters() - r).abs() <= 1e-12 * r);
+    }
+
+    #[test]
+    fn parallel_resistance_below_both(a in finite_positive(), b in finite_positive()) {
+        let (ra, rb) = (
+            ThermalResistance::from_kelvin_per_watt(a),
+            ThermalResistance::from_kelvin_per_watt(b),
+        );
+        let p = ra.parallel(rb);
+        prop_assert!(p <= ra && p <= rb);
+        // and series is above both
+        prop_assert!(ra + rb >= ra && ra + rb >= rb);
+    }
+
+    #[test]
+    fn parallel_identical_halves(a in finite_positive()) {
+        let r = ThermalResistance::from_kelvin_per_watt(a);
+        let p = r.parallel(r);
+        prop_assert!((p.as_kelvin_per_watt() - a / 2.0).abs() <= 1e-12 * a);
+    }
+
+    #[test]
+    fn conductance_is_involutive(a in finite_positive()) {
+        let r = ThermalResistance::from_kelvin_per_watt(a);
+        let back = r.conductance().resistance();
+        prop_assert!((back.as_kelvin_per_watt() - a).abs() <= 1e-12 * a);
+    }
+
+    #[test]
+    fn ohms_law_roundtrips(q in finite_positive(), r in finite_positive()) {
+        let power = Power::from_watts(q);
+        let res = ThermalResistance::from_kelvin_per_watt(r);
+        let dt: TemperatureDelta = power * res;
+        let back = dt / res;
+        prop_assert!((back.as_watts() - q).abs() <= 1e-12 * q);
+        let back_r = dt / power;
+        prop_assert!((back_r.as_kelvin_per_watt() - r).abs() <= 1e-12 * r);
+    }
+
+    #[test]
+    fn column_resistance_scales_linearly_with_thickness(
+        t in finite_positive(), k in finite_positive(), a in finite_positive()
+    ) {
+        let kc = ThermalConductivity::from_watts_per_meter_kelvin(k);
+        let area = Area::from_square_meters(a);
+        let r1 = kc.column_resistance(Length::from_meters(t), area);
+        let r2 = kc.column_resistance(Length::from_meters(2.0 * t), area);
+        prop_assert!((r2.as_kelvin_per_watt() - 2.0 * r1.as_kelvin_per_watt()).abs()
+            <= 1e-9 * r2.as_kelvin_per_watt());
+    }
+
+    #[test]
+    fn shell_resistance_monotone_in_outer_radius(
+        r in 1e-6..1e-4f64, t1 in 1e-8..1e-5f64, t2 in 1e-8..1e-5f64, h in 1e-6..1e-3f64
+    ) {
+        prop_assume!(t1 < t2);
+        let k = ThermalConductivity::from_watts_per_meter_kelvin(1.4);
+        let inner = Length::from_meters(r);
+        let s1 = k.shell_resistance(inner, Length::from_meters(r + t1), Length::from_meters(h));
+        let s2 = k.shell_resistance(inner, Length::from_meters(r + t2), Length::from_meters(h));
+        prop_assert!(s1 < s2);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_value(a in finite_positive()) {
+        let r = ThermalResistance::from_kelvin_per_watt(a);
+        let json = serde_json_like_roundtrip(r.as_kelvin_per_watt());
+        prop_assert_eq!(json, r.as_kelvin_per_watt());
+    }
+}
+
+/// serde is derived with `#[serde(transparent)]`; check the transparent
+/// contract by comparing against the raw f64 the type wraps.
+fn serde_json_like_roundtrip(v: f64) -> f64 {
+    // No serde_json offline dependency: exercise Serialize/Deserialize via
+    // a minimal in-memory format instead (bit-exact f64 passthrough).
+    use serde::{Deserialize, Serialize};
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Probe {
+        r: ttsv_units::ThermalResistance,
+    }
+    let p = Probe {
+        r: ttsv_units::ThermalResistance::from_kelvin_per_watt(v),
+    };
+    // Round-trip through the `serde` data model using the `serde::de::value`
+    // in-memory deserializer.
+    use serde::de::IntoDeserializer;
+    let as_f64 = p.r.as_kelvin_per_watt();
+    let de: serde::de::value::F64Deserializer<serde::de::value::Error> =
+        as_f64.into_deserializer();
+    let back = ttsv_units::ThermalResistance::deserialize(de).unwrap();
+    back.as_kelvin_per_watt()
+}

@@ -1,0 +1,92 @@
+//! Regenerates every table and figure of the DATE 2011 TTSV paper.
+//!
+//! ```text
+//! cargo run --release -p ttsv-validate --bin repro -- all
+//! cargo run --release -p ttsv-validate --bin repro -- fig4 fig6
+//! cargo run --release -p ttsv-validate --bin repro -- --quick all
+//! cargo run --release -p ttsv-validate --bin repro -- --markdown all > results.md
+//! ```
+
+use std::process::ExitCode;
+
+use ttsv_validate::experiments::{self, Fidelity};
+use ttsv_validate::report::Report;
+
+const USAGE: &str = "usage: repro [--quick] [--markdown|--csv] \
+                     <fig4|fig5|fig6|fig7|table1|case|calib|sensitivity|nplanes|all>...";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fidelity = Fidelity::Full;
+    let mut format = "text";
+    let mut targets: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--quick" => fidelity = Fidelity::Quick,
+            "--markdown" => format = "markdown",
+            "--csv" => format = "csv",
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = [
+            "fig4",
+            "fig5",
+            "table1",
+            "fig6",
+            "fig7",
+            "case",
+            "calib",
+            "sensitivity",
+            "nplanes",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    }
+
+    for t in &targets {
+        let result: Result<Report, _> = match t.as_str() {
+            "fig4" => experiments::fig4(fidelity),
+            "fig5" => experiments::fig5(fidelity),
+            "fig6" => experiments::fig6(fidelity),
+            "fig7" => experiments::fig7(fidelity),
+            "table1" => experiments::table1(fidelity),
+            "case" => experiments::case_study(fidelity),
+            "calib" => experiments::calibration(fidelity),
+            "sensitivity" => experiments::sensitivity(fidelity),
+            "nplanes" => experiments::nplanes(fidelity),
+            other => {
+                eprintln!("unknown experiment '{other}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match result {
+            Ok(report) => {
+                let rendered = match format {
+                    "markdown" => report.to_markdown(),
+                    "csv" => report.to_csv(),
+                    _ => report.to_text(),
+                };
+                println!("{rendered}");
+            }
+            Err(e) => {
+                eprintln!("experiment {t} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

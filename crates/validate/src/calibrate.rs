@@ -1,0 +1,204 @@
+//! Fitting Model A's `k₁`/`k₂` against the FEM reference.
+//!
+//! The paper determines its coefficients "by the simulation of a block of
+//! the investigated circuit" (§IV-E). This module reproduces that pipeline:
+//! run the FEM reference over a small set of scenarios, then minimize Model
+//! A's mean squared relative error with Nelder–Mead over `(k₁, k₂)`.
+
+use ttsv_core::fitting::FittingCoefficients;
+use ttsv_core::model_a::ModelA;
+use ttsv_core::scenario::{Scenario, ThermalModel};
+use ttsv_core::CoreError;
+use ttsv_linalg::{nelder_mead, NelderMeadConfig};
+use ttsv_units::relative_error;
+
+use crate::fem_adapter::FemReference;
+use crate::metrics::ErrorStats;
+
+/// Outcome of a calibration run.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// The fitted coefficients.
+    pub coefficients: FittingCoefficients,
+    /// Model A error vs the reference *before* fitting (unity
+    /// coefficients).
+    pub before: ErrorStats,
+    /// Model A error vs the reference *after* fitting.
+    pub after: ErrorStats,
+    /// The reference ΔT per scenario (reusable by the caller).
+    pub reference_delta_t: Vec<f64>,
+    /// Objective evaluations the optimizer spent.
+    pub evaluations: usize,
+}
+
+/// Fits `(k₁, k₂)` on the given scenarios against the FEM reference.
+///
+/// # Errors
+///
+/// Propagates the first reference-solve or model failure.
+pub fn calibrate_model_a(
+    scenarios: &[Scenario],
+    fem: &FemReference,
+) -> Result<Calibration, CoreError> {
+    assert!(
+        !scenarios.is_empty(),
+        "calibration needs at least one scenario"
+    );
+    let reference: Vec<f64> = scenarios
+        .iter()
+        .map(|s| fem.max_delta_t(s).map(|t| t.as_kelvin()))
+        .collect::<Result<_, _>>()?;
+    calibrate_model_a_against(scenarios, &reference)
+}
+
+/// Fits `(k₁, k₂)` against a precomputed reference series (useful when the
+/// caller already ran the FEM sweep).
+///
+/// # Errors
+///
+/// Propagates Model A solve failures.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ or are empty.
+pub fn calibrate_model_a_against(
+    scenarios: &[Scenario],
+    reference_delta_t: &[f64],
+) -> Result<Calibration, CoreError> {
+    assert_eq!(
+        scenarios.len(),
+        reference_delta_t.len(),
+        "reference series must match scenarios"
+    );
+    assert!(!scenarios.is_empty(), "calibration needs scenarios");
+
+    let model_series = |fit: FittingCoefficients| -> Result<Vec<f64>, CoreError> {
+        let model = ModelA::with_coefficients(fit);
+        scenarios
+            .iter()
+            .map(|s| model.max_delta_t(s).map(|t| t.as_kelvin()))
+            .collect()
+    };
+
+    let objective = |x: &[f64]| -> f64 {
+        let (k1, k2) = (x[0], x[1]);
+        // Keep the optimizer inside the physical domain with a smooth
+        // penalty instead of a hard wall.
+        if !(0.05..=20.0).contains(&k1) || !(0.05..=20.0).contains(&k2) {
+            return 1e6 + x.iter().map(|v| v.abs()).sum::<f64>();
+        }
+        match model_series(FittingCoefficients::new(k1, k2)) {
+            Ok(series) => {
+                series
+                    .iter()
+                    .zip(reference_delta_t)
+                    .map(|(m, r)| relative_error(*m, *r).powi(2))
+                    .sum::<f64>()
+                    / series.len() as f64
+            }
+            Err(_) => 1e6,
+        }
+    };
+
+    let result = nelder_mead(
+        objective,
+        &[1.0, 1.0],
+        &NelderMeadConfig {
+            max_evaluations: 600,
+            f_tolerance: 1e-14,
+            x_tolerance: 1e-8,
+            initial_step: 0.25,
+        },
+    );
+    let coefficients = FittingCoefficients::new(result.x[0], result.x[1]);
+
+    let before = ErrorStats::compare(
+        &model_series(FittingCoefficients::unity())?,
+        reference_delta_t,
+    );
+    let after = ErrorStats::compare(&model_series(coefficients)?, reference_delta_t);
+
+    Ok(Calibration {
+        coefficients,
+        before,
+        after,
+        reference_delta_t: reference_delta_t.to_vec(),
+        evaluations: result.evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fem_adapter::FemResolution;
+    use ttsv_core::prelude::*;
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    fn calibration_scenarios() -> Vec<Scenario> {
+        [3.0, 8.0, 15.0]
+            .iter()
+            .map(|&r| {
+                Scenario::paper_block()
+                    .with_tsv(TtsvConfig::new(um(r), um(0.5)))
+                    .build()
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn calibration_reduces_error() {
+        let scenarios = calibration_scenarios();
+        let fem = FemReference::new().with_resolution(FemResolution::coarse());
+        let cal = calibrate_model_a(&scenarios, &fem).unwrap();
+        assert!(
+            cal.after.mean_rel <= cal.before.mean_rel,
+            "fit must not increase error: {} → {}",
+            cal.before,
+            cal.after
+        );
+        // The fitted model should land within 10% of the reference on its
+        // own training set.
+        assert!(cal.after.mean_rel < 0.10, "after: {}", cal.after);
+        // Coefficients stay physical.
+        assert!(cal.coefficients.k1() > 0.05 && cal.coefficients.k1() < 20.0);
+        assert!(cal.coefficients.k2() > 0.05 && cal.coefficients.k2() < 20.0);
+    }
+
+    #[test]
+    fn against_precomputed_reference_recovers_known_coefficients() {
+        // Synthetic identifiability check: generate the "reference" with
+        // known coefficients and verify the optimizer recovers a fit at
+        // least as good as the generator.
+        let scenarios = calibration_scenarios();
+        let truth = FittingCoefficients::new(1.3, 0.55);
+        let target: Vec<f64> = scenarios
+            .iter()
+            .map(|s| {
+                ModelA::with_coefficients(truth)
+                    .max_delta_t(s)
+                    .unwrap()
+                    .as_kelvin()
+            })
+            .collect();
+        let cal = calibrate_model_a_against(&scenarios, &target).unwrap();
+        assert!(
+            cal.after.max_rel < 1e-3,
+            "self-fit should be near-exact, got {}",
+            cal.after
+        );
+        assert!(
+            (cal.coefficients.k1() - 1.3).abs() < 0.05,
+            "k1 = {}",
+            cal.coefficients.k1()
+        );
+        assert!(
+            (cal.coefficients.k2() - 0.55).abs() < 0.05,
+            "k2 = {}",
+            cal.coefficients.k2()
+        );
+    }
+}

@@ -1,0 +1,771 @@
+//! One experiment per paper artifact (Figs. 4–7, Table I, §IV-E case
+//! study, plus the calibration methodology run).
+//!
+//! Each function builds the paper's sweep, evaluates Models A / B / 1-D and
+//! the FEM reference, and returns a [`Report`] whose columns mirror the
+//! figure's plot legend. The paper's reported error statistics are appended
+//! as notes for side-by-side reading; see `EXPERIMENTS.md` for the recorded
+//! outcomes.
+
+use ttsv_core::full_chip::CaseStudy;
+use ttsv_core::prelude::*;
+use ttsv_core::scenario::ThermalModel;
+
+use crate::calibrate::calibrate_model_a_against;
+use crate::fem_adapter::{FemReference, FemResolution};
+use crate::metrics::ErrorStats;
+use crate::paper_data;
+use crate::report::Report;
+use crate::sweep::{run_sweep, series, total_seconds};
+
+fn um(v: f64) -> Length {
+    Length::from_micrometers(v)
+}
+
+/// Coefficients for Model A on the small block, fitted once per fidelity
+/// against *our* FEM reference — the paper's methodology ("determined by
+/// the simulation of a block", §IV-E) transplanted to this repo's
+/// reference solver. Falls back to the paper's values if calibration
+/// fails.
+fn block_coefficients(fidelity: Fidelity) -> FittingCoefficients {
+    use std::sync::OnceLock;
+    static QUICK: OnceLock<FittingCoefficients> = OnceLock::new();
+    static FULL: OnceLock<FittingCoefficients> = OnceLock::new();
+    let cell = match fidelity {
+        Fidelity::Quick => &QUICK,
+        Fidelity::Full => &FULL,
+    };
+    *cell.get_or_init(|| {
+        let fem = FemReference::new().with_resolution(fidelity.resolution());
+        block_training_scenarios()
+            .and_then(|s| crate::calibrate::calibrate_model_a(&s, &fem))
+            .map(|c| c.coefficients)
+            .unwrap_or_else(|_| FittingCoefficients::paper_block())
+    })
+}
+
+/// The calibration training set: a diverse sample spanning the block
+/// figures' parameter space — (radius, liner, ILD, upper substrate) in µm.
+/// Fitting on a single-parameter sweep over-fits `k₂`; the paper reuses one
+/// `(k₁, k₂)` pair across all block figures, so the fit must generalize.
+///
+/// # Errors
+///
+/// Propagates scenario validation failures.
+pub fn block_training_scenarios() -> Result<Vec<Scenario>, CoreError> {
+    let configs: &[(f64, f64, f64, f64)] = &[
+        (3.0, 0.5, 4.0, 5.0),   // fig4 regime, small via
+        (8.0, 0.5, 4.0, 45.0),  // fig4 regime, medium via
+        (15.0, 0.5, 4.0, 45.0), // fig4 regime, large via
+        (5.0, 2.0, 7.0, 45.0),  // fig5 regime, thick liner
+        (8.0, 1.0, 7.0, 5.0),   // fig6 regime, thin substrate
+        (8.0, 1.0, 7.0, 20.0),  // fig6 regime, the paper's minimum
+        (8.0, 1.0, 7.0, 80.0),  // fig6 regime, thick substrate
+    ];
+    configs
+        .iter()
+        .map(|&(r, tl, td, tsi)| {
+            Scenario::paper_block()
+                .with_tsv(TtsvConfig::new(um(r), um(tl)))
+                .with_ild_thickness(um(td))
+                .with_upper_si_thickness(um(tsi))
+                .build()
+        })
+        .collect()
+}
+
+/// Mesh quality for the FEM reference inside experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fidelity {
+    /// Coarse meshes — used by unit tests and quick runs.
+    Quick,
+    /// Default meshes — used by the `repro` binary and benches.
+    #[default]
+    Full,
+}
+
+impl Fidelity {
+    fn resolution(self) -> FemResolution {
+        match self {
+            Fidelity::Quick => FemResolution::coarse(),
+            Fidelity::Full => FemResolution::default(),
+        }
+    }
+}
+
+/// Appends `model vs FEM` error notes for every non-FEM column.
+fn push_error_notes(report: &mut Report, fem_name: &str) {
+    let fem = report
+        .series_named(fem_name)
+        .expect("FEM series present")
+        .values
+        .clone();
+    let stats: Vec<(String, ErrorStats)> = report
+        .series
+        .iter()
+        .filter(|s| s.name != fem_name)
+        .map(|s| (s.name.clone(), ErrorStats::compare(&s.values, &fem)))
+        .collect();
+    for (name, stat) in stats {
+        report.push_note(format!("{name} vs FEM: {stat}"));
+    }
+}
+
+/// Fig. 4 — Max ΔT vs TTSV radius (1–20 µm), with the aspect-ratio-driven
+/// substrate switch at r = 5 µm (t_Si2,3 = 5 µm below, 45 µm above).
+///
+/// # Errors
+///
+/// Propagates model/reference failures.
+pub fn fig4(fidelity: Fidelity) -> Result<Report, CoreError> {
+    let radii: &[f64] = match fidelity {
+        Fidelity::Quick => &[1.0, 3.0, 5.0, 8.0, 14.0, 20.0],
+        Fidelity::Full => &[
+            1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0,
+        ],
+    };
+    let points: Vec<(f64, Scenario)> = radii
+        .iter()
+        .map(|&r| {
+            // Aspect-ratio rule from the Fig. 4 caption.
+            let t_si = if r <= 5.0 { 5.0 } else { 45.0 };
+            let s = Scenario::paper_block()
+                .with_tsv(TtsvConfig::new(um(r), um(0.5)))
+                .with_ild_thickness(um(4.0))
+                .with_bond_thickness(um(1.0))
+                .with_upper_si_thickness(um(t_si))
+                .build()?;
+            Ok((r, s))
+        })
+        .collect::<Result<_, CoreError>>()?;
+
+    let fit = block_coefficients(fidelity);
+    let a = ModelA::with_coefficients(fit);
+    let b100 = ModelB::paper_b100();
+    let one_d = OneDModel::new();
+    let fem = FemReference::new().with_resolution(fidelity.resolution());
+    let models: Vec<&(dyn ThermalModel + Sync)> = vec![&a, &b100, &one_d, &fem];
+
+    let results = run_sweep(&points, &models)?;
+    let mut report = Report::new(
+        "Fig. 4 — Max ΔT [°C] vs TTSV radius [µm]",
+        "radius_um",
+        results.iter().map(|p| p.x).collect(),
+    );
+    report.push_series("Model A", series(&results, 0));
+    report.push_series("Model B (100)", series(&results, 1));
+    report.push_series("1-D", series(&results, 2));
+    report.push_series("FEM", series(&results, 3));
+    push_error_notes(&mut report, "FEM");
+    report.push_note(format!(
+        "Model A coefficients fitted to this repo's FEM: k1 = {:.3}, k2 = {:.3} \
+         (paper fitted k1 = 1.3, k2 = 0.55 to COMSOL)",
+        fit.k1(),
+        fit.k2()
+    ));
+    for (m, max, avg) in paper_data::FIG4_ERRORS {
+        report.push_note(format!("paper reports {m} vs COMSOL: max {max}%, avg {avg}%"));
+    }
+    Ok(report)
+}
+
+/// Fig. 5 — Max ΔT vs liner thickness (0.5–3 µm) with Model B at several
+/// segment counts.
+///
+/// # Errors
+///
+/// Propagates model/reference failures.
+pub fn fig5(fidelity: Fidelity) -> Result<Report, CoreError> {
+    let liners: &[f64] = match fidelity {
+        Fidelity::Quick => &[0.5, 1.5, 3.0],
+        Fidelity::Full => &[0.5, 1.0, 1.5, 2.0, 2.5, 3.0],
+    };
+    let points: Vec<(f64, Scenario)> = liners
+        .iter()
+        .map(|&tl| {
+            let s = Scenario::paper_block()
+                .with_tsv(TtsvConfig::new(um(5.0), um(tl)))
+                .with_ild_thickness(um(7.0))
+                .with_bond_thickness(um(1.0))
+                .with_upper_si_thickness(um(45.0))
+                .build()?;
+            Ok((tl, s))
+        })
+        .collect::<Result<_, CoreError>>()?;
+
+    let fit = block_coefficients(fidelity);
+    let a = ModelA::with_coefficients(fit);
+    let b1 = ModelB::paper_b1();
+    let b20 = ModelB::paper_b20();
+    let b100 = ModelB::paper_b100();
+    let b500 = ModelB::paper_b500();
+    let one_d = OneDModel::new();
+    let fem = FemReference::new().with_resolution(fidelity.resolution());
+    let models: Vec<&(dyn ThermalModel + Sync)> =
+        vec![&a, &b1, &b20, &b100, &b500, &one_d, &fem];
+
+    let results = run_sweep(&points, &models)?;
+    let mut report = Report::new(
+        "Fig. 5 — Max ΔT [°C] vs liner thickness [µm]",
+        "liner_um",
+        results.iter().map(|p| p.x).collect(),
+    );
+    for (i, name) in [
+        "Model A",
+        "Model B (1)",
+        "Model B (20)",
+        "Model B (100)",
+        "Model B (500)",
+        "1-D",
+        "FEM",
+    ]
+    .iter()
+    .enumerate()
+    {
+        report.push_series(*name, series(&results, i));
+    }
+    push_error_notes(&mut report, "FEM");
+    report.push_note(
+        "paper: FEM ΔT varies ~11% (≈4 °C) across this liner range; the 1-D model misses it"
+            .to_string(),
+    );
+    Ok(report)
+}
+
+/// Table I — error and runtime vs segment count, scored on the Fig. 5
+/// sweep.
+///
+/// # Errors
+///
+/// Propagates model/reference failures.
+pub fn table1(fidelity: Fidelity) -> Result<Report, CoreError> {
+    let fig5_report = fig5(fidelity)?;
+    let fem = fig5_report
+        .series_named("FEM")
+        .expect("fig5 has FEM")
+        .values
+        .clone();
+
+    // Re-run each model over the same sweep, timing it (the fig5 call above
+    // already produced the values; timings here are per whole sweep).
+    let liners = fig5_report.x.clone();
+    let points: Vec<(f64, Scenario)> = liners
+        .iter()
+        .map(|&tl| {
+            let s = Scenario::paper_block()
+                .with_tsv(TtsvConfig::new(um(5.0), um(tl)))
+                .with_ild_thickness(um(7.0))
+                .with_upper_si_thickness(um(45.0))
+                .build()?;
+            Ok((tl, s))
+        })
+        .collect::<Result<_, CoreError>>()?;
+    let b1 = ModelB::paper_b1();
+    let b20 = ModelB::paper_b20();
+    let b100 = ModelB::paper_b100();
+    let b500 = ModelB::paper_b500();
+    let fit = block_coefficients(fidelity);
+    let a = ModelA::with_coefficients(fit);
+    let one_d = OneDModel::new();
+    let models: Vec<&(dyn ThermalModel + Sync)> = vec![&b1, &b20, &b100, &b500, &a, &one_d];
+    let results = run_sweep(&points, &models)?;
+
+    let labels = ["B (1)", "B (20)", "B (100)", "B (500)", "A", "1-D"];
+    let mut max_err = Vec::new();
+    let mut avg_err = Vec::new();
+    let mut time_ms = Vec::new();
+    for i in 0..labels.len() {
+        let stats = ErrorStats::compare(&series(&results, i), &fem);
+        max_err.push(stats.max_percent());
+        avg_err.push(stats.mean_percent());
+        time_ms.push(total_seconds(&results, i) * 1000.0 / liners.len() as f64);
+    }
+
+    // The x-axis is the model index; the labels go into a note for the
+    // text/markdown render (Report's x is numeric).
+    let mut report = Report::new(
+        "Table I — error and runtime vs #segments in Model B",
+        "model_index",
+        (0..labels.len()).map(|i| i as f64).collect(),
+    );
+    report.push_series("max_error_pct", max_err);
+    report.push_series("avg_error_pct", avg_err);
+    report.push_series("time_ms_per_solve", time_ms);
+    for (i, l) in labels.iter().enumerate() {
+        report.push_note(format!("model_index {i} = {l}"));
+    }
+    for (label, max, avg, time) in paper_data::TABLE1 {
+        let t = time.map_or("-".to_string(), |t| format!("{t} ms"));
+        report.push_note(format!(
+            "paper Table I {label}: max {max}%, avg {avg}%, time {t}"
+        ));
+    }
+    Ok(report)
+}
+
+/// Fig. 6 — Max ΔT vs upper-substrate thickness (5–80 µm); the
+/// non-monotonic curve the 1-D model cannot produce.
+///
+/// # Errors
+///
+/// Propagates model/reference failures.
+pub fn fig6(fidelity: Fidelity) -> Result<Report, CoreError> {
+    let thicknesses: &[f64] = match fidelity {
+        Fidelity::Quick => &[5.0, 20.0, 45.0, 80.0],
+        Fidelity::Full => &[5.0, 10.0, 15.0, 20.0, 30.0, 45.0, 60.0, 80.0],
+    };
+    let points: Vec<(f64, Scenario)> = thicknesses
+        .iter()
+        .map(|&t| {
+            let s = Scenario::paper_block()
+                .with_tsv(TtsvConfig::new(um(8.0), um(1.0)))
+                .with_ild_thickness(um(7.0))
+                .with_bond_thickness(um(1.0))
+                .with_upper_si_thickness(um(t))
+                .build()?;
+            Ok((t, s))
+        })
+        .collect::<Result<_, CoreError>>()?;
+
+    let fit = block_coefficients(fidelity);
+    let a = ModelA::with_coefficients(fit);
+    let b100 = ModelB::paper_b100();
+    let one_d = OneDModel::new();
+    let fem = FemReference::new().with_resolution(fidelity.resolution());
+    let models: Vec<&(dyn ThermalModel + Sync)> = vec![&a, &b100, &one_d, &fem];
+    let results = run_sweep(&points, &models)?;
+
+    let mut report = Report::new(
+        "Fig. 6 — Max ΔT [°C] vs upper substrate thickness [µm]",
+        "t_si_um",
+        results.iter().map(|p| p.x).collect(),
+    );
+    report.push_series("Model A", series(&results, 0));
+    report.push_series("Model B (100)", series(&results, 1));
+    report.push_series("1-D", series(&results, 2));
+    report.push_series("FEM", series(&results, 3));
+    push_error_notes(&mut report, "FEM");
+    for (m, max, avg) in paper_data::FIG6_ERRORS {
+        report.push_note(format!("paper reports {m} vs COMSOL: max {max}%, avg {avg}%"));
+    }
+    report.push_note("paper: ΔT is minimal near t_Si ≈ 20 µm; 1-D increases monotonically");
+    Ok(report)
+}
+
+/// Fig. 7 — Max ΔT vs dividing one r₀ = 10 µm via into n ∈ {1, 2, 4, 9, 16}
+/// vias (eq. 22).
+///
+/// # Errors
+///
+/// Propagates model/reference failures.
+pub fn fig7(fidelity: Fidelity) -> Result<Report, CoreError> {
+    let counts: &[usize] = match fidelity {
+        Fidelity::Quick => &[1, 4, 16],
+        Fidelity::Full => &[1, 2, 4, 9, 16],
+    };
+    let points: Vec<(f64, Scenario)> = counts
+        .iter()
+        .map(|&n| {
+            let s = Scenario::paper_block()
+                .with_tsv(TtsvConfig::divided(um(10.0), um(1.0), n))
+                .with_ild_thickness(um(4.0))
+                .with_bond_thickness(um(1.0))
+                .with_upper_si_thickness(um(20.0))
+                .build()?;
+            Ok((n as f64, s))
+        })
+        .collect::<Result<_, CoreError>>()?;
+
+    let fit = block_coefficients(fidelity);
+    let a = ModelA::with_coefficients(fit);
+    let b100 = ModelB::paper_b100();
+    let one_d = OneDModel::new();
+    let fem = FemReference::new().with_resolution(fidelity.resolution());
+    let models: Vec<&(dyn ThermalModel + Sync)> = vec![&a, &b100, &one_d, &fem];
+    let results = run_sweep(&points, &models)?;
+
+    let mut report = Report::new(
+        "Fig. 7 — Max ΔT [°C] vs number of TTSVs (constant total metal)",
+        "via_count",
+        results.iter().map(|p| p.x).collect(),
+    );
+    report.push_series("Model A", series(&results, 0));
+    report.push_series("Model B (100)", series(&results, 1));
+    report.push_series("1-D", series(&results, 2));
+    report.push_series("FEM", series(&results, 3));
+    push_error_notes(&mut report, "FEM");
+    for (m, max, avg) in paper_data::FIG7_ERRORS {
+        report.push_note(format!("paper reports {m} vs COMSOL: max {max}%, avg {avg}%"));
+    }
+    Ok(report)
+}
+
+/// §IV-E — the 3-D DRAM-µP case study: one row per model with ΔT and
+/// runtime.
+///
+/// # Errors
+///
+/// Propagates model/reference failures.
+pub fn case_study(fidelity: Fidelity) -> Result<Report, CoreError> {
+    let cs = CaseStudy::paper();
+    let scenario = cs.unit_cell_scenario()?;
+
+    let a = ModelA::with_coefficients(CaseStudy::paper_fitting());
+    let b1000 = ModelB::paper_b1000();
+    let one_d = OneDModel::new();
+    let fem = FemReference::new().with_resolution(fidelity.resolution());
+    let models: Vec<(&str, &(dyn ThermalModel + Sync))> = vec![
+        ("Model A", &a),
+        ("Model B (1000)", &b1000),
+        ("FEM", &fem),
+        ("1-D", &one_d),
+    ];
+
+    let mut delta_t = Vec::new();
+    let mut millis = Vec::new();
+    for (_, m) in &models {
+        let start = std::time::Instant::now();
+        delta_t.push(m.max_delta_t(&scenario)?.as_kelvin());
+        millis.push(start.elapsed().as_secs_f64() * 1000.0);
+    }
+
+    let mut report = Report::new(
+        "§IV-E — 3-D DRAM-µP case study (max ΔT above the sink)",
+        "model_index",
+        (0..models.len()).map(|i| i as f64).collect(),
+    );
+    report.push_series("delta_t_c", delta_t.clone());
+    report.push_series("time_ms", millis);
+    for (i, (name, _)) in models.iter().enumerate() {
+        report.push_note(format!("model_index {i} = {name}"));
+    }
+    for (name, dt) in paper_data::CASE_STUDY_DELTA_T {
+        report.push_note(format!("paper reports {name}: {dt} °C"));
+    }
+    report.push_note(format!(
+        "paper runtimes: FEM 59 min, Model A calibration 1.9 min, Model B(1000) 8.5 s; \
+         TTSV count ≈ {:.0}",
+        cs.via_count()
+    ));
+    // The paper's headline: 1-D substantially overestimates.
+    let one_d_dt = delta_t[3];
+    let fem_dt = delta_t[2];
+    report.push_note(format!(
+        "1-D overestimates FEM by {:.0}% here (paper: ~67%)",
+        (one_d_dt / fem_dt - 1.0) * 100.0
+    ));
+    Ok(report)
+}
+
+/// Calibration methodology run: fit `(k₁, k₂)` on a radius sweep against
+/// the FEM reference and report before/after errors.
+///
+/// # Errors
+///
+/// Propagates model/reference failures.
+pub fn calibration(fidelity: Fidelity) -> Result<Report, CoreError> {
+    let scenarios = block_training_scenarios()?;
+    let fem = FemReference::new().with_resolution(fidelity.resolution());
+
+    let start = std::time::Instant::now();
+    let reference: Vec<f64> = scenarios
+        .iter()
+        .map(|s| fem.max_delta_t(s).map(|t| t.as_kelvin()))
+        .collect::<Result<_, _>>()?;
+    let fem_seconds = start.elapsed().as_secs_f64();
+
+    let start = std::time::Instant::now();
+    let cal = calibrate_model_a_against(&scenarios, &reference)?;
+    let fit_seconds = start.elapsed().as_secs_f64();
+
+    let fitted = ModelA::with_coefficients(cal.coefficients);
+    let fitted_series: Vec<f64> = scenarios
+        .iter()
+        .map(|s| fitted.max_delta_t(s).map(|t| t.as_kelvin()))
+        .collect::<Result<_, _>>()?;
+
+    let mut report = Report::new(
+        "Calibration — fitting k1/k2 against the FEM reference",
+        "training_point",
+        (0..scenarios.len()).map(|i| i as f64).collect(),
+    );
+    report.push_series("FEM", reference);
+    report.push_series("Model A (fitted)", fitted_series);
+    report.push_note(
+        "training points: (r, tL, tD, tSi) µm = (3,0.5,4,5), (8,0.5,4,45), (15,0.5,4,45), \
+         (5,2,7,45), (8,1,7,5), (8,1,7,20), (8,1,7,80)",
+    );
+    report.push_note(format!(
+        "fitted k1 = {:.3}, k2 = {:.3} (paper: k1 = {}, k2 = {})",
+        cal.coefficients.k1(),
+        cal.coefficients.k2(),
+        paper_data::PAPER_K1_BLOCK,
+        paper_data::PAPER_K2_BLOCK
+    ));
+    report.push_note(format!("error before fit: {}", cal.before));
+    report.push_note(format!("error after fit: {}", cal.after));
+    report.push_note(format!(
+        "reference sweep {fem_seconds:.2} s, fit {fit_seconds:.2} s \
+         ({} objective evaluations)",
+        cal.evaluations
+    ));
+    Ok(report)
+}
+
+/// Sensitivity of the headline claims to the silicon conductivity — the
+/// one material parameter the paper never states (DESIGN.md §3 picks
+/// 150 W/(m·K)). For each candidate k_Si the Fig.-5-style block is solved
+/// by Model B and FEM; the claims under reproduction (B tracks FEM, 1-D
+/// overestimates) must hold for every plausible value.
+///
+/// # Errors
+///
+/// Propagates model/reference failures.
+pub fn sensitivity(fidelity: Fidelity) -> Result<Report, CoreError> {
+    use ttsv_materials::Material;
+    use ttsv_units::ThermalConductivity;
+
+    let k_si_values: &[f64] = &[100.0, 120.0, 150.0, 180.0];
+    let mut b_series = Vec::new();
+    let mut fem_series = Vec::new();
+    let mut one_d_series = Vec::new();
+    for &k_si in k_si_values {
+        let base = Scenario::paper_block()
+            .with_tsv(TtsvConfig::new(um(5.0), um(0.5)))
+            .with_ild_thickness(um(7.0))
+            .build()?;
+        // Rebuild the stack with the alternative silicon.
+        let mut builder = ttsv_core::geometry::Stack::builder(base.stack().footprint())
+            .silicon(Material::new(
+                "silicon (variant)",
+                ThermalConductivity::from_watts_per_meter_kelvin(k_si),
+            ))
+            .l_ext(base.stack().l_ext());
+        for p in base.stack().planes() {
+            builder = builder.plane(p.clone());
+        }
+        let scenario = Scenario::new(
+            builder.build()?,
+            base.tsv().clone(),
+            &ttsv_core::geometry::HeatLoad::PerPlane(base.plane_powers().to_vec()),
+        )?;
+        let fem = FemReference::new().with_resolution(fidelity.resolution());
+        b_series.push(ModelB::paper_b100().max_delta_t(&scenario)?.as_kelvin());
+        fem_series.push(fem.max_delta_t(&scenario)?.as_kelvin());
+        one_d_series.push(OneDModel::new().max_delta_t(&scenario)?.as_kelvin());
+    }
+
+    let mut report = Report::new(
+        "Sensitivity — ΔT vs the (unstated) silicon conductivity",
+        "k_si_w_per_mk",
+        k_si_values.to_vec(),
+    );
+    report.push_series("Model B (100)", b_series);
+    report.push_series("1-D", one_d_series);
+    report.push_series("FEM", fem_series);
+    push_error_notes(&mut report, "FEM");
+    report.push_note(
+        "the paper never states k_Si; this repo uses 150 W/(m·K). The claims under \
+         reproduction hold across the plausible range.",
+    );
+    Ok(report)
+}
+
+/// N-plane extension (paper §II: "Model A can be extended to any number of
+/// planes"; eq. 21's ladder is generic too). Sweeps the plane count on the
+/// standard block and reports every model plus the FEM reference — ΔT must
+/// grow with stacking depth and the models must keep tracking FEM.
+///
+/// # Errors
+///
+/// Propagates model/reference failures.
+pub fn nplanes(fidelity: Fidelity) -> Result<Report, CoreError> {
+    let counts: &[usize] = match fidelity {
+        Fidelity::Quick => &[2, 3, 5],
+        Fidelity::Full => &[2, 3, 4, 5, 6],
+    };
+    let points: Vec<(f64, Scenario)> = counts
+        .iter()
+        .map(|&n| {
+            let s = Scenario::paper_block()
+                .with_tsv(TtsvConfig::new(um(8.0), um(0.5)))
+                .with_planes(n)
+                .build()?;
+            Ok((n as f64, s))
+        })
+        .collect::<Result<_, CoreError>>()?;
+
+    let fit = block_coefficients(fidelity);
+    let a = ModelA::with_coefficients(fit);
+    let b100 = ModelB::paper_b100();
+    let one_d = OneDModel::new();
+    let fem = FemReference::new().with_resolution(fidelity.resolution());
+    let models: Vec<&(dyn ThermalModel + Sync)> = vec![&a, &b100, &one_d, &fem];
+    let results = run_sweep(&points, &models)?;
+
+    let mut report = Report::new(
+        "N-plane extension — Max ΔT [°C] vs number of planes",
+        "planes",
+        results.iter().map(|p| p.x).collect(),
+    );
+    report.push_series("Model A", series(&results, 0));
+    report.push_series("Model B (100)", series(&results, 1));
+    report.push_series("1-D", series(&results, 2));
+    report.push_series("FEM", series(&results, 3));
+    push_error_notes(&mut report, "FEM");
+    report.push_note(
+        "the paper evaluates N = 3 only; this sweep exercises the N-plane \
+         generalization of eqs. (1)-(16) and the eq. (21) ladder",
+    );
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nplanes_extension_grows_and_tracks_fem() {
+        let r = nplanes(Fidelity::Quick).unwrap();
+        for name in ["Model A", "Model B (100)", "1-D", "FEM"] {
+            let v = &r.series_named(name).unwrap().values;
+            assert!(
+                v.windows(2).all(|w| w[1] > w[0]),
+                "{name} must grow with planes: {v:?}"
+            );
+        }
+        let fem = &r.series_named("FEM").unwrap().values;
+        let b = &r.series_named("Model B (100)").unwrap().values;
+        for i in 0..fem.len() {
+            assert!(
+                (b[i] - fem[i]).abs() < 0.2 * fem[i],
+                "B {} vs FEM {} at idx {i}",
+                b[i],
+                fem[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sensitivity_claims_hold_across_k_si() {
+        let r = sensitivity(Fidelity::Quick).unwrap();
+        let b = &r.series_named("Model B (100)").unwrap().values;
+        let fem = &r.series_named("FEM").unwrap().values;
+        let one_d = &r.series_named("1-D").unwrap().values;
+        for i in 0..fem.len() {
+            assert!(
+                (b[i] - fem[i]).abs() < 0.15 * fem[i],
+                "k_Si idx {i}: B {} vs FEM {}",
+                b[i],
+                fem[i]
+            );
+            assert!(one_d[i] > fem[i], "1-D must overestimate at every k_Si");
+        }
+    }
+
+    #[test]
+    fn fig4_shape_holds() {
+        let r = fig4(Fidelity::Quick).unwrap();
+        let fem = &r.series_named("FEM").unwrap().values;
+        // Monotone decreasing within each substrate regime (the 5 µm → 45 µm
+        // switch at r = 5 can kink the curve, as in the paper).
+        assert!(fem.first().unwrap() > fem.last().unwrap());
+        let a = &r.series_named("Model A").unwrap().values;
+        assert!(a.first().unwrap() > a.last().unwrap());
+        // 1-D overestimates FEM at small radii (high aspect ratio).
+        let one_d = &r.series_named("1-D").unwrap().values;
+        assert!(one_d[0] > fem[0]);
+    }
+
+    #[test]
+    fn fig5_shape_holds() {
+        let r = fig5(Fidelity::Quick).unwrap();
+        let fem = &r.series_named("FEM").unwrap().values;
+        assert!(
+            fem.windows(2).all(|w| w[1] > w[0]),
+            "FEM ΔT must rise with liner thickness: {fem:?}"
+        );
+        // Model B converges toward a limit as segments increase: B(500)
+        // closer to B(100) than B(1) is to B(20).
+        let b1 = &r.series_named("Model B (1)").unwrap().values;
+        let b20 = &r.series_named("Model B (20)").unwrap().values;
+        let b100 = &r.series_named("Model B (100)").unwrap().values;
+        let b500 = &r.series_named("Model B (500)").unwrap().values;
+        for i in 0..b1.len() {
+            assert!((b500[i] - b100[i]).abs() < (b20[i] - b1[i]).abs() + 1e-9);
+        }
+        // 1-D nearly flat: spread under 10%.
+        let one_d = &r.series_named("1-D").unwrap().values;
+        let spread = (one_d.last().unwrap() - one_d.first().unwrap()).abs() / one_d[0];
+        assert!(spread < 0.1, "1-D spread {spread}");
+    }
+
+    #[test]
+    fn table1_error_ordering_matches_paper() {
+        let r = table1(Fidelity::Quick).unwrap();
+        let avg = &r.series_named("avg_error_pct").unwrap().values;
+        // B(1) worst of the B family; error decreases with segments.
+        assert!(avg[0] > avg[2], "B(1) {:.1}% vs B(100) {:.1}%", avg[0], avg[2]);
+        assert!(avg[1] >= avg[2] - 1.0, "B(20) should be no better than B(100)");
+        // 1-D is the worst model overall.
+        let one_d = avg[5];
+        assert!(one_d > avg[2] && one_d > avg[4], "1-D must be worst: {avg:?}");
+    }
+
+    #[test]
+    fn fig6_non_monotonicity_holds() {
+        let r = fig6(Fidelity::Quick).unwrap();
+        for name in ["Model A", "Model B (100)", "FEM"] {
+            let v = &r.series_named(name).unwrap().values;
+            // x = [5, 20, 45, 80]: dip at 20 relative to 5, rise by 80.
+            assert!(v[1] < v[0], "{name} should dip: {v:?}");
+            assert!(v[3] > v[1], "{name} should rise again: {v:?}");
+        }
+        let one_d = &r.series_named("1-D").unwrap().values;
+        assert!(
+            one_d.windows(2).all(|w| w[1] > w[0]),
+            "1-D must be monotone: {one_d:?}"
+        );
+    }
+
+    #[test]
+    fn fig7_saturating_decrease_holds() {
+        let r = fig7(Fidelity::Quick).unwrap();
+        for name in ["Model A", "Model B (100)", "FEM"] {
+            let v = &r.series_named(name).unwrap().values;
+            assert!(
+                v.windows(2).all(|w| w[1] < w[0]),
+                "{name} must decrease with n: {v:?}"
+            );
+        }
+        let one_d = &r.series_named("1-D").unwrap().values;
+        let spread = (one_d.last().unwrap() - one_d.first().unwrap()).abs() / one_d[0];
+        assert!(spread < 0.05, "1-D must be ~flat: {one_d:?}");
+    }
+
+    #[test]
+    fn case_study_ordering_holds() {
+        let r = case_study(Fidelity::Quick).unwrap();
+        let dt = &r.series_named("delta_t_c").unwrap().values;
+        // Index order: A, B(1000), FEM, 1-D. The paper's ranking:
+        // 1-D ≫ everything else; A/B/FEM within a band.
+        let (a, b, fem, one_d) = (dt[0], dt[1], dt[2], dt[3]);
+        assert!(one_d > 1.3 * fem, "1-D {one_d} must overestimate FEM {fem}");
+        assert!((a - fem).abs() < 0.5 * fem, "A {a} near FEM {fem}");
+        assert!((b - fem).abs() < 0.5 * fem, "B {b} near FEM {fem}");
+    }
+
+    #[test]
+    fn calibration_improves_on_unity() {
+        let r = calibration(Fidelity::Quick).unwrap();
+        let notes = r.notes.join("\n");
+        assert!(notes.contains("fitted k1"));
+        // The "after" error must appear and be a small percentage; parse it.
+        let after_line = r
+            .notes
+            .iter()
+            .find(|n| n.starts_with("error after fit"))
+            .unwrap();
+        assert!(after_line.contains('%'));
+    }
+}

@@ -1,0 +1,95 @@
+//! Error statistics — the quantities Table I and §IV report.
+
+use ttsv_units::relative_error;
+
+/// Max/average relative error of a model series against a reference series
+/// (the paper reports both, in percent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Largest relative error over the sweep.
+    pub max_rel: f64,
+    /// Mean relative error over the sweep.
+    pub mean_rel: f64,
+}
+
+impl ErrorStats {
+    /// Compares `model` against `reference`, point by point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series lengths differ or are empty.
+    #[must_use]
+    pub fn compare(model: &[f64], reference: &[f64]) -> Self {
+        assert_eq!(
+            model.len(),
+            reference.len(),
+            "series length mismatch: {} vs {}",
+            model.len(),
+            reference.len()
+        );
+        assert!(!model.is_empty(), "cannot score empty series");
+        let errors: Vec<f64> = model
+            .iter()
+            .zip(reference)
+            .map(|(m, r)| relative_error(*m, *r))
+            .collect();
+        let max_rel = errors.iter().fold(0.0f64, |a, &b| a.max(b));
+        let mean_rel = errors.iter().sum::<f64>() / errors.len() as f64;
+        Self { max_rel, mean_rel }
+    }
+
+    /// Maximum relative error as a percentage.
+    #[must_use]
+    pub fn max_percent(&self) -> f64 {
+        self.max_rel * 100.0
+    }
+
+    /// Mean relative error as a percentage.
+    #[must_use]
+    pub fn mean_percent(&self) -> f64 {
+        self.mean_rel * 100.0
+    }
+}
+
+impl core::fmt::Display for ErrorStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "max {:.1}%, avg {:.1}%",
+            self.max_percent(),
+            self.mean_percent()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_has_zero_error() {
+        let s = ErrorStats::compare(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(s.max_rel, 0.0);
+        assert_eq!(s.mean_rel, 0.0);
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        // Errors: 10% and 20% → max 20%, mean 15%.
+        let s = ErrorStats::compare(&[1.1, 1.6], &[1.0, 2.0]);
+        assert!((s.max_percent() - 20.0).abs() < 1e-9);
+        assert!((s.mean_percent() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let s = ErrorStats::compare(&[1.1], &[1.0]);
+        assert_eq!(s.to_string(), "max 10.0%, avg 10.0%");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_rejected() {
+        let _ = ErrorStats::compare(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,175 @@
+//! The paper's reported numbers, embedded for side-by-side comparison.
+//!
+//! Two kinds of data live here:
+//!
+//! * **Reported values** — numbers printed in the paper's text and Table I
+//!   (error percentages, case-study temperatures, runtimes). These are
+//!   exact quotes.
+//! * **Digitized curves** — approximate series read off Figs. 4–7 by eye.
+//!   The paper ships no data files, so these carry ~±1 °C digitization
+//!   noise and are used only for *shape* comparison (who wins, where the
+//!   crossovers/minima sit), never for pass/fail asserts on absolute
+//!   values.
+
+/// Table I — reported max/avg error (vs COMSOL) and runtime per model over
+/// the Fig. 5 liner sweep. Fields: `(label, max_error_pct, avg_error_pct,
+/// runtime_ms)`; runtime is `None` where the paper prints "-".
+pub const TABLE1: &[(&str, f64, f64, Option<f64>)] = &[
+    ("B (1)", 23.0, 19.0, Some(1.0)),
+    ("B (20)", 12.0, 11.0, Some(3.0)),
+    ("B (100)", 6.0, 4.0, Some(32.0)),
+    ("B (500)", 5.0, 3.0, Some(2475.0)),
+    ("A", 4.0, 2.0, None),
+    ("1-D", 30.0, 23.0, None),
+];
+
+/// §IV-A (Fig. 4): reported errors vs FEM over the radius sweep,
+/// `(model, max_pct, avg_pct)`.
+pub const FIG4_ERRORS: &[(&str, f64, f64)] = &[
+    ("Model A", 6.0, 3.0),
+    ("Model B (100)", 11.0, 3.0),
+    ("1-D", 21.0, 13.0),
+];
+
+/// §IV-C (Fig. 6): reported errors vs FEM over the substrate-thickness
+/// sweep, `(model, max_pct, avg_pct)`.
+pub const FIG6_ERRORS: &[(&str, f64, f64)] = &[
+    ("Model A", 7.0, 4.0),
+    ("Model B (100)", 18.0, 6.0),
+    ("1-D", 32.0, 17.0),
+];
+
+/// §IV-D (Fig. 7): reported errors vs FEM over the via-division sweep,
+/// `(model, max_pct, avg_pct)`.
+pub const FIG7_ERRORS: &[(&str, f64, f64)] = &[
+    ("Model A", 1.0, 1.0),
+    ("Model B (100)", 4.0, 2.0),
+    ("1-D", 14.0, 8.0),
+];
+
+/// §IV-E case study: reported maximum temperature rise in °C.
+pub const CASE_STUDY_DELTA_T: &[(&str, f64)] = &[
+    ("Model A", 12.8),
+    ("Model B (1000)", 13.9),
+    ("FEM", 12.0),
+    ("1-D", 20.0),
+];
+
+/// §IV-E case study: reported runtimes in seconds (FEM 59 min, Model A's
+/// calibration block 1.9 min, Model B(1000) 8.5 s).
+pub const CASE_STUDY_RUNTIME_S: &[(&str, f64)] = &[
+    ("FEM", 3540.0),
+    ("Model A (calibration)", 114.0),
+    ("Model B (1000)", 8.5),
+];
+
+/// Fig. 4, digitized by eye: `(radius_um, fem_delta_t_c)`. Note the
+/// substrate-thickness switch at r = 5 µm (t_Si2,3: 5 µm → 45 µm), which
+/// produces the kink.
+pub const FIG4_FEM_DIGITIZED: &[(f64, f64)] = &[
+    (1.0, 44.0),
+    (2.0, 40.0),
+    (3.0, 37.0),
+    (4.0, 34.5),
+    (5.0, 32.5),
+    (6.0, 29.0),
+    (8.0, 24.0),
+    (10.0, 20.0),
+    (12.0, 17.5),
+    (14.0, 15.5),
+    (16.0, 14.0),
+    (18.0, 12.5),
+    (20.0, 11.5),
+];
+
+/// Fig. 5, digitized by eye: `(liner_um, fem_delta_t_c)`.
+pub const FIG5_FEM_DIGITIZED: &[(f64, f64)] = &[
+    (0.5, 30.5),
+    (1.0, 32.0),
+    (1.5, 33.0),
+    (2.0, 33.8),
+    (2.5, 34.3),
+    (3.0, 34.8),
+];
+
+/// Fig. 6, digitized by eye: `(t_si_um, fem_delta_t_c)` — non-monotonic
+/// with a minimum near 20 µm.
+pub const FIG6_FEM_DIGITIZED: &[(f64, f64)] = &[
+    (5.0, 30.0),
+    (10.0, 26.5),
+    (20.0, 24.5),
+    (30.0, 25.0),
+    (45.0, 26.5),
+    (60.0, 28.0),
+    (80.0, 30.0),
+];
+
+/// Fig. 7, digitized by eye: `(via_count, fem_delta_t_c)` — saturating
+/// decrease.
+pub const FIG7_FEM_DIGITIZED: &[(f64, f64)] = &[
+    (1.0, 16.6),
+    (2.0, 15.6),
+    (4.0, 14.7),
+    (9.0, 13.9),
+    (16.0, 13.5),
+];
+
+/// Fitting coefficients quoted in the figure captions.
+pub const PAPER_K1_BLOCK: f64 = 1.3;
+/// See [`PAPER_K1_BLOCK`].
+pub const PAPER_K2_BLOCK: f64 = 0.55;
+/// Case-study coefficients (Fig. 8 caption).
+pub const PAPER_K1_CASE: f64 = 1.6;
+/// See [`PAPER_K1_CASE`].
+pub const PAPER_K2_CASE: f64 = 0.8;
+/// The undefined `c₁,₂` coefficient from the Fig. 8 caption.
+pub const PAPER_C12_CASE: f64 = 3.5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digitized_fig4_is_monotone_decreasing() {
+        for w in FIG4_FEM_DIGITIZED.windows(2) {
+            assert!(w[1].1 < w[0].1, "Fig. 4 FEM falls with radius");
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+
+    #[test]
+    fn digitized_fig5_is_monotone_increasing() {
+        for w in FIG5_FEM_DIGITIZED.windows(2) {
+            assert!(w[1].1 > w[0].1, "Fig. 5 FEM rises with liner thickness");
+        }
+    }
+
+    #[test]
+    fn digitized_fig6_has_interior_minimum() {
+        let min = FIG6_FEM_DIGITIZED
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        assert_eq!(min.0, 20.0, "paper: minimum near 20 µm");
+        let first = FIG6_FEM_DIGITIZED.first().unwrap().1;
+        let last = FIG6_FEM_DIGITIZED.last().unwrap().1;
+        assert!(min.1 < first && min.1 < last);
+    }
+
+    #[test]
+    fn digitized_fig7_saturates() {
+        let d: Vec<f64> = FIG7_FEM_DIGITIZED.windows(2).map(|w| w[0].1 - w[1].1).collect();
+        for w in d.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "gains shrink with n");
+        }
+    }
+
+    #[test]
+    fn table1_error_ordering_is_the_papers_story() {
+        // More segments → lower error; Model A best; 1-D worst.
+        let avg: Vec<f64> = TABLE1.iter().map(|t| t.2).collect();
+        assert!(avg[0] > avg[1] && avg[1] > avg[2] && avg[2] >= avg[3]);
+        assert!(avg[4] <= avg[3]); // A beats B(500)
+        assert!(avg[5] > avg[0]); // 1-D is the worst
+    }
+}

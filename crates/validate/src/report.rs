@@ -1,0 +1,210 @@
+//! Plain-text / Markdown rendering of experiment results.
+
+/// A named data series over the report's x-axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Display name ("Model A", "FEM", ...).
+    pub name: String,
+    /// One value per x point.
+    pub values: Vec<f64>,
+}
+
+/// A rendered experiment: a table of series over an x-axis plus free-form
+/// note lines (error statistics, runtimes, paper comparisons).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Report title, e.g. `"Fig. 4 — Max ΔT vs TTSV radius"`.
+    pub title: String,
+    /// Label of the x column.
+    pub x_label: String,
+    /// The x values.
+    pub x: Vec<f64>,
+    /// The series (columns).
+    pub series: Vec<Series>,
+    /// Extra lines appended below the table.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        x: Vec<f64>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            x,
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a series column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series length does not match the x-axis.
+    pub fn push_series(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.x.len(),
+            "series length must match the x-axis"
+        );
+        self.series.push(Series {
+            name: name.into(),
+            values,
+        });
+    }
+
+    /// Appends a note line.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Looks up a series by name.
+    #[must_use]
+    pub fn series_named(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Renders as a fixed-width text table.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n\n", self.title));
+        let headers: Vec<String> = std::iter::once(self.x_label.clone())
+            .chain(self.series.iter().map(|s| s.name.clone()))
+            .collect();
+        let width = headers
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(8)
+            .max(10);
+        for h in &headers {
+            out.push_str(&format!("{h:>width$} "));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat((width + 1) * headers.len()));
+        out.push('\n');
+        for (i, x) in self.x.iter().enumerate() {
+            out.push_str(&format!("{x:>width$.3} "));
+            for s in &self.series {
+                out.push_str(&format!("{:>width$.3} ", s.values[i]));
+            }
+            out.push('\n');
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                out.push_str(&format!("  {n}\n"));
+            }
+        }
+        out
+    }
+
+    /// Renders as a Markdown table (used to assemble EXPERIMENTS.md).
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |", self.x_label));
+        for s in &self.series {
+            out.push_str(&format!(" {} |", s.name));
+        }
+        out.push('\n');
+        out.push('|');
+        for _ in 0..=self.series.len() {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for (i, x) in self.x.iter().enumerate() {
+            out.push_str(&format!("| {x:.3} |"));
+            for s in &self.series {
+                out.push_str(&format!(" {:.3} |", s.values[i]));
+            }
+            out.push('\n');
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                out.push_str(&format!("- {n}\n"));
+            }
+        }
+        out
+    }
+
+    /// Renders as CSV (x column plus one column per series).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_label.replace(',', ";"));
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.name.replace(',', ";"));
+        }
+        out.push('\n');
+        for (i, x) in self.x.iter().enumerate() {
+            out.push_str(&format!("{x}"));
+            for s in &self.series {
+                out.push_str(&format!(",{}", s.values[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("Fig. X", "radius [um]", vec![1.0, 2.0]);
+        r.push_series("Model A", vec![10.0, 8.0]);
+        r.push_series("FEM", vec![9.5, 7.9]);
+        r.push_note("Model A vs FEM: max 5.3%, avg 3.1%");
+        r
+    }
+
+    #[test]
+    fn text_table_contains_everything() {
+        let t = sample().to_text();
+        assert!(t.contains("Fig. X"));
+        assert!(t.contains("Model A"));
+        assert!(t.contains("10.000"));
+        assert!(t.contains("avg 3.1%"));
+    }
+
+    #[test]
+    fn markdown_has_separator_row() {
+        let md = sample().to_markdown();
+        assert!(md.contains("|---|---|---|"));
+        assert!(md.contains("| Model A |"));
+    }
+
+    #[test]
+    fn csv_roundtrips_values() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "radius [um],Model A,FEM");
+        assert_eq!(lines.next().unwrap(), "1,10,9.5");
+    }
+
+    #[test]
+    fn series_lookup_by_name() {
+        let r = sample();
+        assert_eq!(r.series_named("FEM").unwrap().values[1], 7.9);
+        assert!(r.series_named("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn mismatched_series_rejected() {
+        let mut r = Report::new("t", "x", vec![1.0]);
+        r.push_series("bad", vec![1.0, 2.0]);
+    }
+}

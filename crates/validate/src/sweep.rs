@@ -1,0 +1,118 @@
+//! Parallel parameter-sweep runner.
+//!
+//! Every figure in the paper is a sweep of one scenario parameter evaluated
+//! by several models. The FEM reference dominates the cost, so sweep points
+//! run on scoped threads (one per point, bounded by the point count — the
+//! sweeps here have ≤ 20 points).
+
+use ttsv_core::scenario::{Scenario, ThermalModel};
+use ttsv_core::CoreError;
+
+/// One evaluated sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The swept parameter value (figure x-axis).
+    pub x: f64,
+    /// `ΔT_max` per model, in the same order as the models passed to
+    /// [`run_sweep`].
+    pub delta_t: Vec<f64>,
+    /// Wall-clock seconds each model spent on this point.
+    pub seconds: Vec<f64>,
+}
+
+/// Evaluates every `(x, scenario)` pair with every model, in parallel over
+/// points.
+///
+/// # Errors
+///
+/// Returns the first [`CoreError`] any model produced.
+pub fn run_sweep(
+    points: &[(f64, Scenario)],
+    models: &[&(dyn ThermalModel + Sync)],
+) -> Result<Vec<SweepPoint>, CoreError> {
+    let mut results: Vec<Option<Result<SweepPoint, CoreError>>> = vec![None; points.len()];
+
+    crossbeam::thread::scope(|scope| {
+        for (slot, (x, scenario)) in results.iter_mut().zip(points) {
+            scope.spawn(move |_| {
+                let mut delta_t = Vec::with_capacity(models.len());
+                let mut seconds = Vec::with_capacity(models.len());
+                for model in models {
+                    let start = std::time::Instant::now();
+                    match model.max_delta_t(scenario) {
+                        Ok(dt) => {
+                            delta_t.push(dt.as_kelvin());
+                            seconds.push(start.elapsed().as_secs_f64());
+                        }
+                        Err(e) => {
+                            *slot = Some(Err(e));
+                            return;
+                        }
+                    }
+                }
+                *slot = Some(Ok(SweepPoint {
+                    x: *x,
+                    delta_t,
+                    seconds,
+                }));
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Extracts one model's series (by index) from sweep results.
+#[must_use]
+pub fn series(points: &[SweepPoint], model_index: usize) -> Vec<f64> {
+    points.iter().map(|p| p.delta_t[model_index]).collect()
+}
+
+/// Sums one model's wall-clock seconds across the sweep.
+#[must_use]
+pub fn total_seconds(points: &[SweepPoint], model_index: usize) -> f64 {
+    points.iter().map(|p| p.seconds[model_index]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttsv_core::prelude::*;
+
+    #[test]
+    fn sweep_runs_models_in_declared_order() {
+        let points: Vec<(f64, Scenario)> = [5.0, 10.0]
+            .iter()
+            .map(|&r| {
+                (
+                    r,
+                    Scenario::paper_block()
+                        .with_tsv(TtsvConfig::new(
+                            Length::from_micrometers(r),
+                            Length::from_micrometers(0.5),
+                        ))
+                        .build()
+                        .unwrap(),
+                )
+            })
+            .collect();
+        let a = ModelA::with_coefficients(FittingCoefficients::paper_block());
+        let one_d = OneDModel::new();
+        let models: Vec<&(dyn ThermalModel + Sync)> = vec![&a, &one_d];
+        let results = run_sweep(&points, &models).unwrap();
+        assert_eq!(results.len(), 2);
+        for p in &results {
+            assert_eq!(p.delta_t.len(), 2);
+            // 1-D (index 1) overestimates Model A (index 0).
+            assert!(p.delta_t[1] > p.delta_t[0]);
+        }
+        // Larger via cools better in both models.
+        let a_series = series(&results, 0);
+        assert!(a_series[1] < a_series[0]);
+        assert!(total_seconds(&results, 0) >= 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! The 3-D DRAM-µP case study (paper §IV-E), extended into a design sweep.
+//!
+//! Reproduces the paper's headline numbers (Model A / Model B(1000) / FEM /
+//! 1-D on the 10 mm × 10 mm processor + 2×DRAM stack), then sweeps the TTSV
+//! area density to show how many vias this system actually needs for a
+//! given thermal budget — and how badly the 1-D model over-provisions.
+//!
+//! ```text
+//! cargo run --release --example dram_up_stack
+//! ```
+
+use ttsv::core::full_chip::CaseStudy;
+use ttsv::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    let cs = CaseStudy::paper();
+    println!(
+        "3-D DRAM-µP stack: {:.0} mm² footprint, powers {} W, ~{:.0} TTSVs at {:.1}% density\n",
+        cs.footprint.as_square_millimeters(),
+        cs.plane_powers
+            .iter()
+            .map(|p| format!("{:.0}", p.as_watts()))
+            .collect::<Vec<_>>()
+            .join("/"),
+        cs.via_count(),
+        cs.density * 100.0
+    );
+
+    // --- The paper's table -------------------------------------------------
+    let scenario = cs.unit_cell_scenario()?;
+    let model_a = ModelA::with_coefficients(CaseStudy::paper_fitting());
+    let model_b = ModelB::paper_b1000();
+    let baseline = OneDModel::new();
+    let fem = FemReference::new();
+    let models: Vec<(&str, &dyn ThermalModel, f64)> = vec![
+        ("Model A", &model_a, 12.8),
+        ("Model B (1000)", &model_b, 13.9),
+        ("FEM", &fem, 12.0),
+        ("1-D", &baseline, 20.0),
+    ];
+
+    println!("{:<16} {:>12} {:>12}", "model", "ΔT [°C]", "paper [°C]");
+    println!("{}", "-".repeat(42));
+    for (name, model, paper) in &models {
+        let dt = model.max_delta_t(&scenario)?;
+        println!("{name:<16} {:>12.1} {paper:>12.1}", dt.as_celsius());
+    }
+
+    // --- Density sweep: how many vias do we actually need? ------------------
+    const BUDGET_C: f64 = 15.0;
+    println!("\nTTSV density sweep (budget {BUDGET_C} °C):\n");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12}",
+        "density [%]", "#vias", "B(1000) °C", "1-D °C"
+    );
+    println!("{}", "-".repeat(50));
+    let mut needed_b = None;
+    let mut needed_1d = None;
+    for density_pct in [0.1, 0.2, 0.5, 1.0, 2.0, 4.0] {
+        let mut variant = cs.clone();
+        variant.density = density_pct / 100.0;
+        let s = variant.unit_cell_scenario()?;
+        let dt_b = model_b.max_delta_t(&s)?.as_celsius();
+        let dt_1d = baseline.max_delta_t(&s)?.as_celsius();
+        println!(
+            "{density_pct:<12.1} {:>10.0} {dt_b:>12.1} {dt_1d:>12.1}",
+            variant.via_count()
+        );
+        if dt_b <= BUDGET_C && needed_b.is_none() {
+            needed_b = Some(variant.via_count());
+        }
+        if dt_1d <= BUDGET_C && needed_1d.is_none() {
+            needed_1d = Some(variant.via_count());
+        }
+    }
+    match (needed_b, needed_1d) {
+        (Some(b), Some(d)) => println!(
+            "\nTo stay under {BUDGET_C} °C, Model B asks for ~{b:.0} vias; \
+             the 1-D model would insert ~{d:.0} — {:.1}× more of a critical resource.",
+            d / b
+        ),
+        (Some(b), None) => println!(
+            "\nTo stay under {BUDGET_C} °C, Model B asks for ~{b:.0} vias; \
+             the 1-D model never meets the budget in this sweep."
+        ),
+        _ => println!("\nBudget not met in the swept density range."),
+    }
+    Ok(())
+}

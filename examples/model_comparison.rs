@@ -1,0 +1,101 @@
+//! Deep-dive comparison of the models on a single scenario.
+//!
+//! Runs all four models on the Fig. 5 configuration, reports values,
+//! runtimes, and errors against the FEM reference, and prints Model B's
+//! bulk/via temperature profile next to the FEM z-profile along the via —
+//! the distributed model's extra insight over a single max-ΔT number.
+//!
+//! ```text
+//! cargo run --release --example model_comparison
+//! ```
+
+use std::time::Instant;
+
+use ttsv::prelude::*;
+use ttsv::units::relative_error;
+
+fn main() -> Result<(), CoreError> {
+    let scenario = Scenario::paper_block()
+        .with_tsv(TtsvConfig::new(
+            Length::from_micrometers(5.0),
+            Length::from_micrometers(0.5),
+        ))
+        .with_ild_thickness(Length::from_micrometers(7.0))
+        .build()?;
+
+    let model_a = ModelA::with_coefficients(FittingCoefficients::paper_block());
+    let model_b = ModelB::paper_b100();
+    let baseline = OneDModel::new();
+    let fem = FemReference::new();
+
+    let fem_start = Instant::now();
+    let fem_dt = fem.max_delta_t(&scenario)?.as_celsius();
+    let fem_time = fem_start.elapsed();
+
+    println!("Model comparison — Fig. 5 configuration (r = 5 µm, tL = 0.5 µm)\n");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12}",
+        "model", "ΔT [°C]", "err vs FEM", "runtime"
+    );
+    println!("{}", "-".repeat(54));
+    let models: Vec<(&str, &dyn ThermalModel)> = vec![
+        ("Model A", &model_a),
+        ("Model B (100)", &model_b),
+        ("1-D", &baseline),
+    ];
+    for (name, model) in models {
+        let start = Instant::now();
+        let dt = model.max_delta_t(&scenario)?.as_celsius();
+        let elapsed = start.elapsed();
+        println!(
+            "{name:<16} {dt:>10.2} {:>11.1}% {:>12}",
+            relative_error(dt, fem_dt) * 100.0,
+            format!("{:.2?}", elapsed)
+        );
+    }
+    println!(
+        "{:<16} {fem_dt:>10.2} {:>12} {:>12}",
+        "FEM", "-", format!("{:.2?}", fem_time)
+    );
+
+    // --- Model B's distributed profile --------------------------------------
+    let solution = model_b.solve(&scenario)?;
+    let bulk = solution.bulk_profile();
+    let via = solution.via_profile();
+    println!(
+        "\nModel B ladder: {} segments, T0 = {:.2} °C",
+        bulk.len(),
+        solution.t0().as_celsius()
+    );
+    println!("plane-top bulk temperatures:");
+    for (j, t) in solution.plane_top_temperatures().iter().enumerate() {
+        println!("  plane {}: {:.2} °C", j + 1, t.as_celsius());
+    }
+    // Sample the ladder at ten evenly spaced segments.
+    println!("\n{:<10} {:>10} {:>10} {:>12}", "segment", "bulk °C", "via °C", "bulk − via");
+    println!("{}", "-".repeat(46));
+    let step = (bulk.len() / 10).max(1);
+    for i in (0..bulk.len()).step_by(step) {
+        println!(
+            "{i:<10} {:>10.2} {:>10.2} {:>12.3}",
+            bulk[i].as_celsius(),
+            via[i].as_celsius(),
+            (bulk[i] - via[i]).as_kelvin()
+        );
+    }
+    println!(
+        "\nThe bulk–via gap is the driving force pushing heat through the liner;\n\
+         it is largest near the heated top and vanishes toward the sink."
+    );
+
+    // --- FEM cross-section --------------------------------------------------
+    let field = fem.solve(&scenario)?;
+    let r_probe = Length::from_micrometers(2.0); // inside the via
+    println!("\nFEM z-profile along the via (r = 2 µm), every ~50 µm:");
+    let profile = field.z_profile(r_probe);
+    let step = (profile.len() / 12).max(1);
+    for (z, t) in profile.iter().step_by(step) {
+        println!("  z = {:>7.1} µm: {:>6.2} °C", z.as_micrometers(), t.as_celsius());
+    }
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Quickstart: score one TTSV design with every model in the library.
+//!
+//! Builds the paper's 100 µm × 100 µm three-plane block, inserts a single
+//! copper TTSV, and prints the maximum temperature rise predicted by
+//! Model A (compact), Model B (distributed), the traditional 1-D baseline,
+//! and the finite-volume reference.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ttsv::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    // The §IV test block: 3 planes, t_Si1 = 500 µm, t_D = 4 µm, t_b = 1 µm,
+    // upper substrates 45 µm, device heat 700 W/mm³ + ILD heat 70 W/mm³.
+    let scenario = Scenario::paper_block()
+        .with_tsv(TtsvConfig::new(
+            Length::from_micrometers(8.0),
+            Length::from_micrometers(0.5),
+        ))
+        .build()?;
+
+    println!("TTSV quickstart — paper block, r = 8 µm, tL = 0.5 µm");
+    println!(
+        "stack: {} planes, footprint {:.0} µm², total heat {:.1} mW\n",
+        scenario.stack().plane_count(),
+        scenario.stack().footprint().as_square_micrometers(),
+        scenario.total_power().as_milliwatts()
+    );
+
+    let model_a = ModelA::with_coefficients(FittingCoefficients::paper_block());
+    let model_b = ModelB::paper_b100();
+    let baseline = OneDModel::new();
+    let fem = FemReference::new();
+
+    let models: Vec<(&str, &dyn ThermalModel)> =
+        vec![("Model A", &model_a), ("Model B (100)", &model_b), ("1-D", &baseline), ("FEM", &fem)];
+
+    println!("{:<16} {:>12}", "model", "max ΔT [°C]");
+    println!("{}", "-".repeat(30));
+    for (name, model) in models {
+        let dt = model.max_delta_t(&scenario)?;
+        println!("{name:<16} {:>12.2}", dt.as_celsius());
+    }
+
+    // A peek inside Model A: how much heat actually uses the via?
+    let solution = model_a.solve(&scenario)?;
+    println!(
+        "\nModel A internals: T0 = {:.2} °C, via carries {:.2} mW of {:.2} mW total",
+        solution.t0().as_celsius(),
+        solution.via_heat().as_milliwatts(),
+        scenario.total_power().as_milliwatts()
+    );
+    println!(
+        "temperature above sink per plane (bulk): {}",
+        solution
+            .bulk_temperatures()
+            .iter()
+            .map(|t| format!("{:.2}", t.as_celsius()))
+            .collect::<Vec<_>>()
+            .join(" / ")
+    );
+    Ok(())
+}

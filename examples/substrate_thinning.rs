@@ -1,0 +1,72 @@
+//! Wafer thinning is not always good for you (paper §IV-C).
+//!
+//! The counter-intuitive headline of Fig. 6: ΔT changes *non-monotonically*
+//! with the upper-substrate thickness, because thinning the wafer raises
+//! the liner's lateral resistance (shorter via sidewall) even as it lowers
+//! the vertical resistance. This example sweeps t_Si, prints all models,
+//! and then pinpoints the optimum thickness with a golden-section search on
+//! Model A — something a closed-form analytical model makes cheap.
+//!
+//! ```text
+//! cargo run --release --example substrate_thinning
+//! ```
+
+use ttsv::linalg::golden_section;
+use ttsv::prelude::*;
+
+fn scenario_with_tsi(t_si_um: f64) -> Result<Scenario, CoreError> {
+    Scenario::paper_block()
+        .with_tsv(TtsvConfig::new(
+            Length::from_micrometers(8.0),
+            Length::from_micrometers(1.0),
+        ))
+        .with_ild_thickness(Length::from_micrometers(7.0))
+        .with_upper_si_thickness(Length::from_micrometers(t_si_um))
+        .build()
+}
+
+fn main() -> Result<(), CoreError> {
+    let model_a = ModelA::with_coefficients(FittingCoefficients::paper_block());
+    let model_b = ModelB::paper_b100();
+    let baseline = OneDModel::new();
+    let fem = FemReference::new();
+
+    println!("Max ΔT [°C] vs upper substrate thickness (r = 8 µm, tL = 1 µm)\n");
+    println!(
+        "{:<12} {:>10} {:>12} {:>10} {:>10}",
+        "t_Si [µm]", "Model A", "Model B(100)", "1-D", "FEM"
+    );
+    println!("{}", "-".repeat(58));
+    for t_si in [5.0, 10.0, 15.0, 20.0, 30.0, 45.0, 60.0, 80.0] {
+        let s = scenario_with_tsi(t_si)?;
+        println!(
+            "{t_si:<12.0} {:>10.2} {:>12.2} {:>10.2} {:>10.2}",
+            model_a.max_delta_t(&s)?.as_celsius(),
+            model_b.max_delta_t(&s)?.as_celsius(),
+            baseline.max_delta_t(&s)?.as_celsius(),
+            fem.max_delta_t(&s)?.as_celsius(),
+        );
+    }
+
+    // The analytical model is cheap enough to optimize over directly.
+    let result = golden_section(
+        |t_si| {
+            scenario_with_tsi(t_si)
+                .and_then(|s| model_a.max_delta_t(&s))
+                .map(|t| t.as_celsius())
+                .unwrap_or(f64::INFINITY)
+        },
+        5.0,
+        80.0,
+        0.05,
+    );
+    println!(
+        "\nModel A's optimum: t_Si ≈ {:.1} µm (ΔT = {:.2} °C, {} model evaluations)",
+        result.x, result.f, result.evaluations
+    );
+    println!(
+        "Thinning below the optimum *heats* the stack — the 1-D model, which is\n\
+         monotone in t_Si, would recommend thinning forever."
+    );
+    Ok(())
+}

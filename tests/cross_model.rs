@@ -1,0 +1,150 @@
+//! Cross-crate integration: the three analytical models and the FEM
+//! reference must tell one consistent physical story.
+
+use ttsv::prelude::*;
+
+fn um(v: f64) -> Length {
+    Length::from_micrometers(v)
+}
+
+fn block(r: f64, tl: f64, t_ild: f64, t_si: f64) -> Scenario {
+    Scenario::paper_block()
+        .with_tsv(TtsvConfig::new(um(r), um(tl)))
+        .with_ild_thickness(um(t_ild))
+        .with_upper_si_thickness(um(t_si))
+        .build()
+        .expect("valid block")
+}
+
+/// All models agree with the FEM reference within their documented bands on
+/// the nominal configuration.
+#[test]
+fn all_models_within_bands_on_nominal_block() {
+    let s = block(8.0, 0.5, 4.0, 45.0);
+    let fem = FemReference::new().max_delta_t(&s).unwrap().as_kelvin();
+
+    let b100 = ModelB::paper_b100().max_delta_t(&s).unwrap().as_kelvin();
+    assert!(
+        (b100 - fem).abs() < 0.15 * fem,
+        "Model B {b100} vs FEM {fem}"
+    );
+
+    let a = ModelA::with_coefficients(FittingCoefficients::paper_block())
+        .max_delta_t(&s)
+        .unwrap()
+        .as_kelvin();
+    assert!((a - fem).abs() < 0.25 * fem, "Model A {a} vs FEM {fem}");
+
+    // The 1-D baseline overestimates — that is its documented failure.
+    let one_d = OneDModel::new().max_delta_t(&s).unwrap().as_kelvin();
+    assert!(one_d > fem, "1-D {one_d} must exceed FEM {fem}");
+}
+
+/// Model ordering is stable across the whole block parameter space.
+#[test]
+fn one_d_always_overestimates_the_reference() {
+    let fem = FemReference::new().with_resolution(FemResolution::coarse());
+    let one_d = OneDModel::new();
+    for (r, tl, t_ild, t_si) in [
+        (3.0, 0.5, 4.0, 5.0),
+        (5.0, 2.0, 7.0, 45.0),
+        (10.0, 1.0, 4.0, 45.0),
+        (15.0, 0.5, 7.0, 20.0),
+    ] {
+        let s = block(r, tl, t_ild, t_si);
+        let f = fem.max_delta_t(&s).unwrap().as_kelvin();
+        let d = one_d.max_delta_t(&s).unwrap().as_kelvin();
+        assert!(d > f, "r={r} tl={tl}: 1-D {d} must exceed FEM {f}");
+    }
+}
+
+/// Model B converges (in segments) toward a value close to the reference.
+#[test]
+fn model_b_converges_toward_fem() {
+    let s = block(5.0, 0.5, 7.0, 45.0);
+    let fem = FemReference::new().max_delta_t(&s).unwrap().as_kelvin();
+    let mut errors = Vec::new();
+    for model in [
+        ModelB::paper_b1(),
+        ModelB::paper_b20(),
+        ModelB::paper_b100(),
+        ModelB::paper_b500(),
+    ] {
+        let b = model.max_delta_t(&s).unwrap().as_kelvin();
+        errors.push((b - fem).abs() / fem);
+    }
+    assert!(
+        errors[0] > errors[2] && errors[1] >= errors[2] - 0.01,
+        "errors must shrink with segments: {errors:?}"
+    );
+    assert!(errors[3] < 0.10, "B(500) within 10% of FEM: {errors:?}");
+}
+
+/// The non-monotonic substrate-thickness behaviour (Fig. 6) appears in
+/// Model A, Model B, and FEM — and not in the 1-D baseline.
+#[test]
+fn non_monotonic_substrate_behaviour_is_cross_model() {
+    let sweep = [5.0, 20.0, 80.0];
+    let a = ModelA::with_coefficients(FittingCoefficients::paper_block());
+    let b = ModelB::paper_b100();
+    let fem = FemReference::new().with_resolution(FemResolution::coarse());
+    let one_d = OneDModel::new();
+
+    let eval = |m: &dyn ThermalModel| -> Vec<f64> {
+        sweep
+            .iter()
+            .map(|&t| {
+                m.max_delta_t(&block(8.0, 1.0, 7.0, t)).unwrap().as_kelvin()
+            })
+            .collect()
+    };
+    for (name, series) in [
+        ("Model A", eval(&a)),
+        ("Model B", eval(&b)),
+        ("FEM", eval(&fem)),
+    ] {
+        assert!(
+            series[1] < series[0] && series[2] > series[1],
+            "{name} must dip at 20 µm: {series:?}"
+        );
+    }
+    let d = eval(&one_d);
+    assert!(d[1] > d[0] && d[2] > d[1], "1-D must be monotone: {d:?}");
+}
+
+/// Via division (eq. 22) cools in every model that sees the lateral path,
+/// and the gain saturates.
+#[test]
+fn via_division_cools_with_saturation_everywhere() {
+    let make = |n: usize| {
+        Scenario::paper_block()
+            .with_tsv(TtsvConfig::divided(um(10.0), um(1.0), n))
+            .with_upper_si_thickness(um(20.0))
+            .build()
+            .unwrap()
+    };
+    let a = ModelA::with_coefficients(FittingCoefficients::paper_block());
+    let b = ModelB::paper_b100();
+    let fem = FemReference::new().with_resolution(FemResolution::coarse());
+    for model in [&a as &dyn ThermalModel, &b, &fem] {
+        let d1 = model.max_delta_t(&make(1)).unwrap().as_kelvin();
+        let d4 = model.max_delta_t(&make(4)).unwrap().as_kelvin();
+        let d16 = model.max_delta_t(&make(16)).unwrap().as_kelvin();
+        assert!(d4 < d1 && d16 < d4, "division must cool: {d1}, {d4}, {d16}");
+        assert!(
+            (d4 - d16) < (d1 - d4),
+            "gain must saturate: {d1}, {d4}, {d16}"
+        );
+    }
+}
+
+/// The facade's prelude exposes a complete workflow end to end.
+#[test]
+fn facade_prelude_supports_full_workflow() {
+    let scenario = Scenario::paper_block().build().unwrap();
+    let a = ModelA::with_coefficients(FittingCoefficients::paper_block());
+    let sol = a.solve(&scenario).unwrap();
+    assert!(sol.max_delta_t().as_kelvin() > 0.0);
+    assert!(sol.via_heat().as_watts() > 0.0);
+    assert_eq!(sol.bulk_temperatures().len(), 3);
+}
