@@ -94,7 +94,12 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(&axi).solve().expect("solvable").max_temperature())
     });
     group.bench_function("cartesian_40x40x28", |b| {
-        b.iter(|| black_box(&cart).solve().expect("solvable").max_temperature())
+        b.iter(|| {
+            black_box(&cart)
+                .solve()
+                .expect("solvable")
+                .max_temperature()
+        })
     });
     group.finish();
 }

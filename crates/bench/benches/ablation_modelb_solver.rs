@@ -15,11 +15,9 @@ fn bench(c: &mut Criterion) {
     for segments in [100usize, 500, 1000] {
         let banded = ModelB::with_segments(50, segments);
         let cg = ModelB::with_segments(50, segments).with_solver(LadderSolver::ConjugateGradient);
-        group.bench_with_input(
-            BenchmarkId::new("banded_lu", segments),
-            &banded,
-            |b, m| b.iter(|| m.max_delta_t(black_box(&scenario)).expect("solvable")),
-        );
+        group.bench_with_input(BenchmarkId::new("banded_lu", segments), &banded, |b, m| {
+            b.iter(|| m.max_delta_t(black_box(&scenario)).expect("solvable"))
+        });
         group.bench_with_input(BenchmarkId::new("network_cg", segments), &cg, |b, m| {
             b.iter(|| m.max_delta_t(black_box(&scenario)).expect("solvable"))
         });

@@ -27,10 +27,18 @@ fn bench(c: &mut Criterion) {
     });
     group.sample_size(10);
     group.bench_function("fem_coarse", |b| {
-        b.iter(|| fem_coarse.max_delta_t(black_box(&scenario)).expect("solvable"))
+        b.iter(|| {
+            fem_coarse
+                .max_delta_t(black_box(&scenario))
+                .expect("solvable")
+        })
     });
     group.bench_function("fem_default", |b| {
-        b.iter(|| fem_default.max_delta_t(black_box(&scenario)).expect("solvable"))
+        b.iter(|| {
+            fem_default
+                .max_delta_t(black_box(&scenario))
+                .expect("solvable")
+        })
     });
     group.finish();
 }

@@ -29,9 +29,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("model_b_100", |b| {
         b.iter(|| sweep(black_box(&model_b), &scenarios))
     });
-    group.bench_function("one_d", |b| {
-        b.iter(|| sweep(black_box(&one_d), &scenarios))
-    });
+    group.bench_function("one_d", |b| b.iter(|| sweep(black_box(&one_d), &scenarios)));
     group.sample_size(10);
     group.bench_function("fem_coarse", |b| {
         b.iter(|| sweep(black_box(&fem), &scenarios))

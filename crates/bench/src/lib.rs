@@ -2,7 +2,28 @@
 //!
 //! The benches regenerate the paper's tables/figures through the same
 //! experiment code the `repro` binary uses; this crate only hosts small
-//! scenario constructors so the individual bench files stay terse.
+//! scenario constructors ([`block`], [`block_with_tsi`], [`block_divided`])
+//! so the individual bench files stay terse.
+//!
+//! # Bench → paper mapping
+//!
+//! Run with `cargo bench -p ttsv-bench` (or `--bench <name>` for one).
+//! Each bench times the models over the sweep that produces the
+//! corresponding paper artifact, exposing the cost hierarchy
+//! 1-D ≪ Model A ≪ Model B ≪ FEM:
+//!
+//! | Bench | Paper artifact | Sweep |
+//! |-------|----------------|-------|
+//! | `fig4_radius_sweep` | Fig. 4 | max ΔT vs via radius `r`, per model |
+//! | `fig5_liner_sweep` | Fig. 5 | max ΔT vs liner thickness `t_L`, per model |
+//! | `fig6_substrate_sweep` | Fig. 6 | max ΔT vs upper substrate thickness `t_Si` (via [`block_with_tsi`]) |
+//! | `fig7_division_sweep` | Fig. 7 | one via split into `n` smaller vias, same metal area (via [`block_divided`]) |
+//! | `table1_segments` | Table I | Model B accuracy/cost vs segment count `n` (1, 20, 100, 500, 1000) |
+//! | `calibration` | §II / §IV-A | fitting Model A's `k₁`, `k₂` against the FEM reference |
+//! | `case_study` | §IV-E | the 10 mm × 10 mm DRAM-µP stack unit cell |
+//! | `ablation_axisym_vs_cart` | — | FEM axisymmetric vs full Cartesian discretization cost |
+//! | `ablation_fem_mesh` | — | FEM cost vs mesh resolution (coarse → fine) |
+//! | `ablation_modelb_solver` | — | Model B ladder solver: banded LU vs conjugate gradient |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -70,7 +91,9 @@ mod tests {
     fn constructors_build() {
         assert_eq!(block(8.0, 0.5).stack().plane_count(), 3);
         assert_eq!(
-            block_with_tsi(20.0).stack().planes()[1].t_si().as_micrometers(),
+            block_with_tsi(20.0).stack().planes()[1]
+                .t_si()
+                .as_micrometers(),
             20.0
         );
         assert_eq!(block_divided(9).tsv().count(), 9);

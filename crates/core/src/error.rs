@@ -60,15 +60,11 @@ mod tests {
         }
         .to_string()
         .contains("no planes"));
-        assert!(
-            CoreError::Network(NetworkError::NoReference)
-                .to_string()
-                .contains("reference")
-        );
-        assert!(
-            CoreError::Linalg(LinalgError::Singular { pivot: 2 })
-                .to_string()
-                .contains("singular")
-        );
+        assert!(CoreError::Network(NetworkError::NoReference)
+            .to_string()
+            .contains("reference"));
+        assert!(CoreError::Linalg(LinalgError::Singular { pivot: 2 })
+            .to_string()
+            .contains("singular"));
     }
 }

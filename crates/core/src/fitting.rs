@@ -111,9 +111,15 @@ mod tests {
     #[test]
     fn presets_match_the_paper() {
         let block = FittingCoefficients::paper_block();
-        assert_eq!((block.k1(), block.k2(), block.lateral_spreading()), (1.3, 0.55, 1.0));
+        assert_eq!(
+            (block.k1(), block.k2(), block.lateral_spreading()),
+            (1.3, 0.55, 1.0)
+        );
         let case = FittingCoefficients::paper_case_study();
-        assert_eq!((case.k1(), case.k2(), case.lateral_spreading()), (1.6, 0.8, 3.5));
+        assert_eq!(
+            (case.k1(), case.k2(), case.lateral_spreading()),
+            (1.6, 0.8, 3.5)
+        );
         assert_eq!(FittingCoefficients::default(), FittingCoefficients::unity());
     }
 

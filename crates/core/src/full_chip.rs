@@ -51,7 +51,10 @@ impl CaseStudy {
             t_ild: Length::from_micrometers(20.0),
             t_bond: Length::from_micrometers(10.0),
             l_ext: Length::from_micrometers(1.0),
-            tsv: TtsvConfig::new(Length::from_micrometers(30.0), Length::from_micrometers(1.0)),
+            tsv: TtsvConfig::new(
+                Length::from_micrometers(30.0),
+                Length::from_micrometers(1.0),
+            ),
             density: 0.005,
         }
     }
@@ -155,7 +158,10 @@ mod tests {
             one_d > 1.2 * a,
             "1-D ({one_d}) must substantially overestimate Model A ({a})"
         );
-        assert!(one_d > 1.2 * b, "1-D ({one_d}) must overestimate Model B ({b})");
+        assert!(
+            one_d > 1.2 * b,
+            "1-D ({one_d}) must overestimate Model B ({b})"
+        );
         // The analytic models should land in the same ballpark as each other.
         assert!(
             (a - b).abs() < 0.35 * a.max(b),

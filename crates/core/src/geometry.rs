@@ -622,8 +622,7 @@ mod tests {
         assert!((occupied - expect).abs() < 1e-18);
         assert!(c.liner_area().as_square_meters() > 0.0);
         assert!(
-            (c.fill_area().as_square_meters() + c.liner_area().as_square_meters() - occupied)
-                .abs()
+            (c.fill_area().as_square_meters() + c.liner_area().as_square_meters() - occupied).abs()
                 < 1e-18
         );
     }

@@ -206,9 +206,7 @@ impl ModelA {
         let t = TemperatureDelta::from_kelvin;
         let bulk = vec![t(x[0]), t(x[2]), t(x[4])];
         let via = vec![Some(t(x[1])), Some(t(x[3])), None];
-        let max = x
-            .iter()
-            .fold(t0, |m, &v| m.max(v));
+        let max = x.iter().fold(t0, |m, &v| m.max(v));
         Ok(ModelASolution {
             resistances: res,
             t0: t(t0),
@@ -338,10 +336,7 @@ mod tests {
     fn top_plane_is_the_hottest() {
         let model = ModelA::with_coefficients(FittingCoefficients::paper_block());
         let sol = model.solve(&fig5_scenario(5.0, 0.5)).unwrap();
-        assert_eq!(
-            sol.max_delta_t(),
-            *sol.bulk_temperatures().last().unwrap()
-        );
+        assert_eq!(sol.max_delta_t(), *sol.bulk_temperatures().last().unwrap());
         // Temperatures increase monotonically up the stack.
         for w in sol.bulk_temperatures().windows(2) {
             assert!(w[1] > w[0]);
@@ -373,7 +368,10 @@ mod tests {
                 .max_delta_t(&fig5_scenario(5.0, tl))
                 .unwrap()
                 .as_kelvin();
-            assert!(dt > prev, "ΔT should rise with tL: {prev} → {dt} at tL={tl}");
+            assert!(
+                dt > prev,
+                "ΔT should rise with tL: {prev} → {dt} at tL={tl}"
+            );
             prev = dt;
         }
     }
@@ -394,8 +392,14 @@ mod tests {
         let at5 = dt(5.0);
         let at20 = dt(20.0);
         let at80 = dt(80.0);
-        assert!(at20 < at5, "ΔT(20µm) = {at20} should be below ΔT(5µm) = {at5}");
-        assert!(at80 > at20, "ΔT(80µm) = {at80} should be above ΔT(20µm) = {at20}");
+        assert!(
+            at20 < at5,
+            "ΔT(20µm) = {at20} should be below ΔT(5µm) = {at5}"
+        );
+        assert!(
+            at80 > at20,
+            "ΔT(80µm) = {at80} should be above ΔT(20µm) = {at20}"
+        );
     }
 
     #[test]
@@ -417,7 +421,10 @@ mod tests {
         assert!(d4 < d1, "division must reduce ΔT: {d1} → {d4}");
         assert!(d16 < d4);
         // Saturation: the second division helps less than the first.
-        assert!((d4 - d16) < (d1 - d4), "gains should saturate: {d1}, {d4}, {d16}");
+        assert!(
+            (d4 - d16) < (d1 - d4),
+            "gains should saturate: {d1}, {d4}, {d16}"
+        );
     }
 
     #[test]
@@ -427,7 +434,10 @@ mod tests {
         let sol = model.solve(&s).unwrap();
         let via_q = sol.via_heat().as_watts();
         assert!(via_q > 0.0, "some heat must use the via");
-        assert!(via_q < s.total_power().as_watts(), "via cannot carry more than the total");
+        assert!(
+            via_q < s.total_power().as_watts(),
+            "via cannot carry more than the total"
+        );
     }
 
     #[test]

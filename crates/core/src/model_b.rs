@@ -201,8 +201,11 @@ impl ModelB {
     ///
     /// Propagates solver failures as [`CoreError`].
     pub fn solve(&self, scenario: &Scenario) -> Result<ModelBSolution, CoreError> {
-        let segmentation =
-            Segmentation::paper_scheme(scenario, self.first_plane_segments, self.upper_plane_segments);
+        let segmentation = Segmentation::paper_scheme(
+            scenario,
+            self.first_plane_segments,
+            self.upper_plane_segments,
+        );
         self.solve_segmented(scenario, &segmentation)
     }
 
@@ -398,8 +401,16 @@ fn solve_network(
         } else {
             (bulk_nodes[s - 1], via_nodes[s - 1])
         };
-        net.add_resistor(b, below_b, ThermalResistance::from_kelvin_per_watt(seg.r_bulk));
-        net.add_resistor(v, below_v, ThermalResistance::from_kelvin_per_watt(seg.r_fill));
+        net.add_resistor(
+            b,
+            below_b,
+            ThermalResistance::from_kelvin_per_watt(seg.r_bulk),
+        );
+        net.add_resistor(
+            v,
+            below_v,
+            ThermalResistance::from_kelvin_per_watt(seg.r_fill),
+        );
         net.add_resistor(b, v, ThermalResistance::from_kelvin_per_watt(seg.r_lat));
         if seg.heat != 0.0 {
             net.add_source(b, Power::from_watts(seg.heat));
@@ -569,7 +580,10 @@ mod tests {
             .with_solver(LadderSolver::ConjugateGradient)
             .solve(&s)
             .unwrap();
-        let (a, b) = (banded.max_delta_t().as_kelvin(), cg.max_delta_t().as_kelvin());
+        let (a, b) = (
+            banded.max_delta_t().as_kelvin(),
+            cg.max_delta_t().as_kelvin(),
+        );
         assert!((a - b).abs() < 1e-6 * a, "banded {a} vs cg {b}");
     }
 
@@ -615,7 +629,10 @@ mod tests {
             .unwrap()
             .as_kelvin();
         let b = ModelB::paper_b100().max_delta_t(&s).unwrap().as_kelvin();
-        assert!(b < a, "distributed B ({b}) should run cooler than lumped A ({a})");
+        assert!(
+            b < a,
+            "distributed B ({b}) should run cooler than lumped A ({a})"
+        );
         assert!(
             (a - b).abs() < 0.35 * a,
             "Model A (unity) {a} vs Model B {b}"

@@ -1,6 +1,6 @@
 //! The traditional 1-D TTSV baseline model the paper argues against.
 //!
-//! Following the lineage the paper cites ([1], [7], [8], [9]): heat moves
+//! Following the lineage the paper cites (\[1\], \[7\], \[8\], \[9\]): heat moves
 //! strictly vertically. Between consecutive plane interfaces the bulk stack
 //! and the via column act as independent parallel resistances, and the via
 //! only exchanges heat with its surroundings *through its end caps* — the
@@ -211,8 +211,14 @@ mod tests {
         let rel_change = |lo: f64, hi: f64| (hi - lo).abs() / lo;
 
         let one_d_change = rel_change(
-            one_d.max_delta_t(&scenario_with(5.0, 0.5)).unwrap().as_kelvin(),
-            one_d.max_delta_t(&scenario_with(5.0, 3.0)).unwrap().as_kelvin(),
+            one_d
+                .max_delta_t(&scenario_with(5.0, 0.5))
+                .unwrap()
+                .as_kelvin(),
+            one_d
+                .max_delta_t(&scenario_with(5.0, 3.0))
+                .unwrap()
+                .as_kelvin(),
         );
         let model_a_change = rel_change(
             a.max_delta_t(&scenario_with(5.0, 0.5)).unwrap().as_kelvin(),

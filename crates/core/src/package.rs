@@ -182,9 +182,8 @@ mod tests {
             Temperature::from_celsius(35.0),
         );
         let absolute = pkg.absolute_max_temperature(&model, &s).unwrap();
-        let expect = 35.0
-            + pkg.delta_t(&s).as_kelvin()
-            + model.max_delta_t(&s).unwrap().as_kelvin();
+        let expect =
+            35.0 + pkg.delta_t(&s).as_kelvin() + model.max_delta_t(&s).unwrap().as_kelvin();
         assert!((absolute.as_celsius() - expect).abs() < 1e-9);
     }
 

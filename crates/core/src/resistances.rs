@@ -127,23 +127,24 @@ pub fn model_a_resistances(
             t_over_k += p.t_si().as_meters() / stack.k_si().as_watts_per_meter_kelvin()
                 + p.t_bond_below().as_meters() / stack.k_bond().as_watts_per_meter_kelvin();
         }
-        let bulk = ThermalResistance::from_kelvin_per_watt(
-            t_over_k / (k1 * a_bulk.as_square_meters()),
-        );
+        let bulk =
+            ThermalResistance::from_kelvin_per_watt(t_over_k / (k1 * a_bulk.as_square_meters()));
 
         // Fill: via column over the via height, n vias in parallel.
         let h_via = via_height(stack, j);
         let fill = ThermalResistance::from_kelvin_per_watt(
             h_via.as_meters()
-                / (k1
-                    * tsv.k_fill().as_watts_per_meter_kelvin()
-                    * fill_area.as_square_meters()),
+                / (k1 * tsv.k_fill().as_watts_per_meter_kelvin() * fill_area.as_square_meters()),
         );
 
         // Liner lateral: cylindrical shell of height h_via, n vias in
         // parallel, liner conductivity scaled by k2, optionally spread by c
         // on non-top planes.
-        let spreading = if j == last { 1.0 } else { fit.lateral_spreading() };
+        let spreading = if j == last {
+            1.0
+        } else {
+            fit.lateral_spreading()
+        };
         let shell = tsv.k_liner().shell_resistance(
             tsv.radius(),
             tsv.radius() + tsv.liner_thickness(),
@@ -274,8 +275,8 @@ mod tests {
         let fit = FittingCoefficients::paper_block(); // k2 = 0.55
         let r = model_a_resistances(&stack, &tsv, &fit);
         // R9 = ln((r+tL)/r) / (2π·k2·kL·(tSi3 + tb)).
-        let want = (5.5f64 / 5.0).ln()
-            / (2.0 * std::f64::consts::PI * 0.55 * 1.4 * (45.0e-6 + 1.0e-6));
+        let want =
+            (5.5f64 / 5.0).ln() / (2.0 * std::f64::consts::PI * 0.55 * 1.4 * (45.0e-6 + 1.0e-6));
         let got = r.planes[2].liner_lateral.as_kelvin_per_watt();
         assert!((got - want).abs() < 1e-9 * want, "{got} vs {want}");
     }
@@ -314,10 +315,7 @@ mod tests {
             let want = ((t_l * (n as f64).sqrt() + r0).ln() - r0.ln())
                 / (2.0 * n as f64 * std::f64::consts::PI * 0.55 * 1.4 * h);
             let got = r.planes[0].liner_lateral.as_kelvin_per_watt();
-            assert!(
-                (got - want).abs() < 1e-9 * want,
-                "n={n}: {got} vs {want}"
-            );
+            assert!((got - want).abs() < 1e-9 * want, "n={n}: {got} vs {want}");
         }
     }
 

@@ -2,8 +2,8 @@
 //! randomized scenarios.
 
 use proptest::prelude::*;
-use ttsv_core::prelude::*;
 use ttsv_core::geometry::HeatLoad;
+use ttsv_core::prelude::*;
 
 fn um(v: f64) -> Length {
     Length::from_micrometers(v)
@@ -21,19 +21,21 @@ struct BlockParams {
 
 fn block_params() -> impl Strategy<Value = BlockParams> {
     (
-        1.0..20.0f64,  // radius
-        0.2..3.0f64,   // liner
-        2.0..10.0f64,  // ILD
-        5.0..80.0f64,  // upper substrate
-        2usize..5,     // planes
+        1.0..20.0f64, // radius
+        0.2..3.0f64,  // liner
+        2.0..10.0f64, // ILD
+        5.0..80.0f64, // upper substrate
+        2usize..5,    // planes
     )
-        .prop_map(|(radius_um, liner_um, ild_um, tsi_um, planes)| BlockParams {
-            radius_um,
-            liner_um,
-            ild_um,
-            tsi_um,
-            planes,
-        })
+        .prop_map(
+            |(radius_um, liner_um, ild_um, tsi_um, planes)| BlockParams {
+                radius_um,
+                liner_um,
+                ild_um,
+                tsi_um,
+                planes,
+            },
+        )
 }
 
 fn build(p: &BlockParams) -> Scenario {
@@ -65,17 +67,25 @@ proptest! {
     #[test]
     fn growing_the_via_never_heats_the_stack(p in block_params()) {
         // A wider via (same liner) only improves both vertical and lateral
-        // conduction — ΔT must not increase.
+        // conduction — ΔT must not increase. Exception: the 1-D baseline
+        // sees none of the lateral benefit but still pays the keep-out area
+        // n·π(r + t_L)², so when the liner chokes the via branch
+        // (t_L ≳ r/2) a wider via can heat it by a hair; like the division
+        // test below, only hold the 1-D model to the realistic-liner regime
+        // (paper: t_L/r ≤ 0.6 at most, 0.05–0.1 typically).
         prop_assume!(p.radius_um < 18.0);
         let small = build(&p);
         let mut bigger = p.clone();
         bigger.radius_um += 2.0;
         let big = build(&bigger);
-        for model in [
-            &ModelA::with_coefficients(FittingCoefficients::paper_block()) as &dyn ThermalModel,
-            &ModelB::paper_b100(),
-            &OneDModel::new(),
-        ] {
+        let model_a = ModelA::with_coefficients(FittingCoefficients::paper_block());
+        let model_b = ModelB::paper_b100();
+        let one_d = OneDModel::new();
+        let mut models: Vec<&dyn ThermalModel> = vec![&model_a, &model_b];
+        if p.liner_um <= 0.5 * p.radius_um {
+            models.push(&one_d);
+        }
+        for model in models {
             let dt_small = model.max_delta_t(&small).unwrap().as_kelvin();
             let dt_big = model.max_delta_t(&big).unwrap().as_kelvin();
             prop_assert!(

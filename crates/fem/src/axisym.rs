@@ -7,12 +7,8 @@
 //! (`ln` form), so the thin liner annulus is represented without requiring
 //! sub-micrometre meshing.
 
-use ttsv_linalg::{
-    solve_pcg, CooBuilder, CsrMatrix, IterativeConfig, SsorPreconditioner,
-};
-use ttsv_units::{
-    Length, Power, PowerDensity, TemperatureDelta, ThermalConductivity,
-};
+use ttsv_linalg::{solve_pcg, CooBuilder, CsrMatrix, IterativeConfig, SsorPreconditioner};
+use ttsv_units::{Length, Power, PowerDensity, TemperatureDelta, ThermalConductivity};
 
 use crate::error::FemError;
 use crate::mesh::Axis;
@@ -159,7 +155,10 @@ impl AxisymmetricProblem {
         conductivity: ThermalConductivity,
     ) {
         let kv = conductivity.as_watts_per_meter_kelvin();
-        assert!(kv > 0.0, "conductivity must be positive, got {conductivity}");
+        assert!(
+            kv > 0.0,
+            "conductivity must be positive, got {conductivity}"
+        );
         for (ir, iz) in self.cells_in(r_range, z_range) {
             let i = self.idx(ir, iz);
             self.k[i] = kv;
@@ -336,11 +335,7 @@ impl AxisymmetricProblem {
             }
         }
 
-        let couple = |coo: &mut CooBuilder,
-                          rhs: &mut Vec<f64>,
-                          i: usize,
-                          j: usize,
-                          g: f64| {
+        let couple = |coo: &mut CooBuilder, rhs: &mut Vec<f64>, i: usize, j: usize, g: f64| {
             let (si, sj) = (slot[i], slot[j]);
             match (si != usize::MAX, sj != usize::MAX) {
                 (true, true) => {
@@ -365,10 +360,22 @@ impl AxisymmetricProblem {
             for ir in 0..nr {
                 let i = self.idx(ir, iz);
                 if ir + 1 < nr {
-                    couple(&mut coo, &mut rhs, i, self.idx(ir + 1, iz), self.g_radial(ir, iz));
+                    couple(
+                        &mut coo,
+                        &mut rhs,
+                        i,
+                        self.idx(ir + 1, iz),
+                        self.g_radial(ir, iz),
+                    );
                 }
                 if iz + 1 < nz {
-                    couple(&mut coo, &mut rhs, i, self.idx(ir, iz + 1), self.g_vertical(ir, iz));
+                    couple(
+                        &mut coo,
+                        &mut rhs,
+                        i,
+                        self.idx(ir, iz + 1),
+                        self.g_vertical(ir, iz),
+                    );
                 }
                 if iz == 0 {
                     let g = self.g_bottom(ir);
@@ -523,20 +530,17 @@ impl AxisymSolution {
                 let ti = self.temperatures[i];
                 let mut inflow = 0.0;
                 if ir > 0 {
-                    inflow +=
-                        p.g_radial(ir - 1, iz) * (self.temperatures[p.idx(ir - 1, iz)] - ti);
+                    inflow += p.g_radial(ir - 1, iz) * (self.temperatures[p.idx(ir - 1, iz)] - ti);
                 }
                 if ir + 1 < nr {
-                    inflow +=
-                        p.g_radial(ir, iz) * (self.temperatures[p.idx(ir + 1, iz)] - ti);
+                    inflow += p.g_radial(ir, iz) * (self.temperatures[p.idx(ir + 1, iz)] - ti);
                 }
                 if iz > 0 {
                     inflow +=
                         p.g_vertical(ir, iz - 1) * (self.temperatures[p.idx(ir, iz - 1)] - ti);
                 }
                 if iz + 1 < nz {
-                    inflow +=
-                        p.g_vertical(ir, iz) * (self.temperatures[p.idx(ir, iz + 1)] - ti);
+                    inflow += p.g_vertical(ir, iz) * (self.temperatures[p.idx(ir, iz + 1)] - ti);
                 }
                 // Source inside a pinned cell is absorbed locally.
                 inflow += p.q[i] * p.cell_volume(ir, iz);
@@ -596,14 +600,18 @@ mod tests {
         // injected in the outermost ring: the profile between the pin and the
         // source ring is the exact cylindrical ln() solution.
         let r = Axis::builder()
-            .segment(um(5.0), 2)   // pinned core
+            .segment(um(5.0), 2) // pinned core
             .segment(um(45.0), 90) // conduction region
-            .segment(um(5.0), 2)   // heated rim
+            .segment(um(5.0), 2) // heated rim
             .build();
         let z = Axis::builder().segment(um(10.0), 1).build();
         let mut prob = AxisymmetricProblem::new(r, z, kk(10.0));
         prob.set_bottom(BottomBc::Adiabatic);
-        prob.pin((um(0.0), um(5.0)), (um(0.0), um(10.0)), TemperatureDelta::ZERO);
+        prob.pin(
+            (um(0.0), um(5.0)),
+            (um(0.0), um(10.0)),
+            TemperatureDelta::ZERO,
+        );
         prob.add_source((um(50.0), um(55.0)), (um(0.0), um(10.0)), wmm3(1.0));
 
         let total = prob.total_source_power().as_watts();
@@ -673,10 +681,7 @@ mod tests {
         let z = Axis::builder().segment(um(10.0), 2).build();
         let mut prob = AxisymmetricProblem::new(r, z, kk(1.0));
         prob.set_bottom(BottomBc::Adiabatic);
-        assert!(matches!(
-            prob.solve(),
-            Err(FemError::InvalidProblem { .. })
-        ));
+        assert!(matches!(prob.solve(), Err(FemError::InvalidProblem { .. })));
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl CartesianProblem {
         let (x_lo, x_hi) = (x_range.0.as_meters(), x_range.1.as_meters());
         let (y_lo, y_hi) = (y_range.0.as_meters(), y_range.1.as_meters());
         let (z_lo, z_hi) = (z_range.0.as_meters(), z_range.1.as_meters());
-        assert!(x_lo <= x_hi && y_lo <= y_hi && z_lo <= z_hi, "inverted range");
+        assert!(
+            x_lo <= x_hi && y_lo <= y_hi && z_lo <= z_hi,
+            "inverted range"
+        );
         for iz in 0..nz {
             let zc = self.z.center_m(iz);
             if zc < z_lo || zc > z_hi {
@@ -112,7 +115,10 @@ impl CartesianProblem {
         conductivity: ThermalConductivity,
     ) {
         let kv = conductivity.as_watts_per_meter_kelvin();
-        assert!(kv > 0.0, "conductivity must be positive, got {conductivity}");
+        assert!(
+            kv > 0.0,
+            "conductivity must be positive, got {conductivity}"
+        );
         self.for_cells_in_box(x_range, y_range, z_range, |me, i| me.k[i] = kv);
     }
 
@@ -131,7 +137,10 @@ impl CartesianProblem {
         conductivity: ThermalConductivity,
     ) {
         let kv = conductivity.as_watts_per_meter_kelvin();
-        assert!(kv > 0.0, "conductivity must be positive, got {conductivity}");
+        assert!(
+            kv > 0.0,
+            "conductivity must be positive, got {conductivity}"
+        );
         assert!(radius.as_meters() > 0.0, "radius must be positive");
         let (cx, cy) = (center.0.as_meters(), center.1.as_meters());
         let r2 = radius.as_meters() * radius.as_meters();
@@ -229,8 +238,7 @@ impl CartesianProblem {
                     if ix + 1 < nx {
                         let j = self.idx(ix + 1, iy, iz);
                         let area = self.y.width_m(iy) * self.z.width_m(iz);
-                        let g =
-                            self.g_face(i, j, area, self.x.width_m(ix), self.x.width_m(ix + 1));
+                        let g = self.g_face(i, j, area, self.x.width_m(ix), self.x.width_m(ix + 1));
                         coo.add(i, i, g);
                         coo.add(j, j, g);
                         coo.add(i, j, -g);
@@ -239,8 +247,7 @@ impl CartesianProblem {
                     if iy + 1 < ny {
                         let j = self.idx(ix, iy + 1, iz);
                         let area = self.x.width_m(ix) * self.z.width_m(iz);
-                        let g =
-                            self.g_face(i, j, area, self.y.width_m(iy), self.y.width_m(iy + 1));
+                        let g = self.g_face(i, j, area, self.y.width_m(iy), self.y.width_m(iy + 1));
                         coo.add(i, i, g);
                         coo.add(j, j, g);
                         coo.add(i, j, -g);
@@ -249,8 +256,7 @@ impl CartesianProblem {
                     if iz + 1 < nz {
                         let j = self.idx(ix, iy, iz + 1);
                         let area = self.x.width_m(ix) * self.y.width_m(iy);
-                        let g =
-                            self.g_face(i, j, area, self.z.width_m(iz), self.z.width_m(iz + 1));
+                        let g = self.g_face(i, j, area, self.z.width_m(iz), self.z.width_m(iz + 1));
                         coo.add(i, i, g);
                         coo.add(j, j, g);
                         coo.add(i, j, -g);
@@ -377,7 +383,9 @@ mod tests {
         let sol = prob.solve().unwrap();
         // Probe at cell centers (z cells are 2 µm below 50 µm, 0.25 µm above).
         for z_probe in [11.0, 41.0, 52.625, 54.875] {
-            let got = sol.temperature_at(um(10.0), um(10.0), um(z_probe)).as_kelvin();
+            let got = sol
+                .temperature_at(um(10.0), um(10.0), um(z_probe))
+                .as_kelvin();
             let want = exact.temperature_at(um(z_probe)).as_kelvin();
             assert!(
                 (got - want).abs() <= 5e-3 * want.abs().max(1e-9),

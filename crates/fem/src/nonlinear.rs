@@ -187,9 +187,8 @@ mod tests {
         assert_eq!(result.outer_iterations, 2);
         let linear = prob.solve().unwrap();
         assert!(
-            (result.solution.max_temperature().as_kelvin()
-                - linear.max_temperature().as_kelvin())
-            .abs()
+            (result.solution.max_temperature().as_kelvin() - linear.max_temperature().as_kelvin())
+                .abs()
                 < 1e-9
         );
     }

@@ -202,7 +202,9 @@ impl Slab1dSolution {
     #[must_use]
     pub fn max_temperature(&self) -> TemperatureDelta {
         TemperatureDelta::from_kelvin(
-            self.temperatures.iter().fold(f64::NEG_INFINITY, |m, &t| m.max(t)),
+            self.temperatures
+                .iter()
+                .fold(f64::NEG_INFINITY, |m, &t| m.max(t)),
         )
     }
 
@@ -281,7 +283,10 @@ mod tests {
             let (slab, _) = paper_like_stack(cells);
             let got = slab.solve().unwrap().top_temperature().as_kelvin();
             let err = (got - top_exact).abs();
-            assert!(err < prev_err || err < 1e-9, "error grew: {prev_err} → {err}");
+            assert!(
+                err < prev_err || err < 1e-9,
+                "error grew: {prev_err} → {err}"
+            );
             prev_err = err;
         }
         assert!(prev_err <= 1e-3 * top_exact.abs());

@@ -18,7 +18,11 @@ fn k(v: f64) -> ThermalConductivity {
 /// Up to four random layers: (thickness µm, conductivity, source W/mm³).
 fn layers() -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
     prop::collection::vec(
-        (1.0..200.0f64, prop_oneof![0.1..2.0f64, 50.0..400.0f64], 0.0..500.0f64),
+        (
+            1.0..200.0f64,
+            prop_oneof![0.1..2.0f64, 50.0..400.0f64],
+            0.0..500.0f64,
+        ),
         1..5,
     )
 }

@@ -253,7 +253,8 @@ mod tests {
 
     fn banded_to_dense(b: &BandedMatrix) -> DenseMatrix {
         DenseMatrix::from_fn(b.dim(), b.dim(), |i, j| {
-            if (i as isize - j as isize).unsigned_abs() <= b.lower_bandwidth().max(b.upper_bandwidth())
+            if (i as isize - j as isize).unsigned_abs()
+                <= b.lower_bandwidth().max(b.upper_bandwidth())
             {
                 b.get(i, j)
             } else {

@@ -57,7 +57,11 @@ pub struct SolveReport {
 fn check_system(a: &CsrMatrix, b: &[f64]) -> Result<(), LinalgError> {
     if a.rows() != a.cols() {
         return Err(LinalgError::InvalidInput {
-            reason: format!("iterative solve needs a square matrix, got {}×{}", a.rows(), a.cols()),
+            reason: format!(
+                "iterative solve needs a square matrix, got {}×{}",
+                a.rows(),
+                a.cols()
+            ),
         });
     }
     if b.len() != a.rows() {

@@ -176,11 +176,7 @@ mod tests {
 
     #[test]
     fn solve_known_3x3() {
-        let a = DenseMatrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
         let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
         // Known solution: x = 2, y = 3, z = -1.
         assert!((x[0] - 2.0).abs() < 1e-12);

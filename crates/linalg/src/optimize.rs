@@ -84,10 +84,7 @@ pub fn nelder_mead(
         p[i] += step;
         simplex.push(p);
     }
-    let mut values: Vec<f64> = simplex
-        .iter()
-        .map(|p| eval(p, &mut evaluations))
-        .collect();
+    let mut values: Vec<f64> = simplex.iter().map(|p| eval(p, &mut evaluations)).collect();
 
     let mut converged = false;
     while evaluations < config.max_evaluations {

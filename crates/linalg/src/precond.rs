@@ -55,7 +55,11 @@ impl JacobiPreconditioner {
 
 impl Preconditioner for JacobiPreconditioner {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
-        assert_eq!(r.len(), self.inv_diag.len(), "Jacobi: wrong residual length");
+        assert_eq!(
+            r.len(),
+            self.inv_diag.len(),
+            "Jacobi: wrong residual length"
+        );
         assert_eq!(z.len(), self.inv_diag.len(), "Jacobi: wrong output length");
         for i in 0..r.len() {
             z[i] = r[i] * self.inv_diag[i];

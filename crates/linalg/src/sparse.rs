@@ -308,7 +308,10 @@ mod tests {
         coo.add(3, 3, 1.0);
         let csr = coo.to_csr();
         assert_eq!(csr.get(1, 2), 0.0);
-        assert_eq!(csr.matvec(&[1.0, 1.0, 1.0, 1.0]).unwrap(), vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(
+            csr.matvec(&[1.0, 1.0, 1.0, 1.0]).unwrap(),
+            vec![1.0, 0.0, 0.0, 1.0]
+        );
     }
 
     #[test]

@@ -33,11 +33,7 @@ impl Tridiagonal {
     #[must_use]
     pub fn new(sub: Vec<f64>, diag: Vec<f64>, sup: Vec<f64>) -> Self {
         assert!(!diag.is_empty(), "tridiagonal needs at least one row");
-        assert_eq!(
-            sub.len(),
-            diag.len() - 1,
-            "sub-diagonal length must be n-1"
-        );
+        assert_eq!(sub.len(), diag.len() - 1, "sub-diagonal length must be n-1");
         assert_eq!(
             sup.len(),
             diag.len() - 1,

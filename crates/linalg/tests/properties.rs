@@ -1,9 +1,7 @@
 //! Property-based tests for the linear-algebra kernels.
 
 use proptest::prelude::*;
-use ttsv_linalg::{
-    solve_cg, BandedMatrix, CooBuilder, DenseMatrix, IterativeConfig, Tridiagonal,
-};
+use ttsv_linalg::{solve_cg, BandedMatrix, CooBuilder, DenseMatrix, IterativeConfig, Tridiagonal};
 
 /// Strategy: a well-conditioned SPD matrix built as `A = BᵀB + n·I` from a
 /// random `B` with entries in [−1, 1].

@@ -171,7 +171,12 @@ impl Material {
     pub fn with_inclusions(&self, inclusion: &Material, fraction: f64) -> Material {
         let k = maxwell_garnett(self.conductivity(), inclusion.conductivity(), fraction);
         Material::new(
-            format!("{} + {:.0}% {}", self.name, fraction * 100.0, inclusion.name),
+            format!(
+                "{} + {:.0}% {}",
+                self.name,
+                fraction * 100.0,
+                inclusion.name
+            ),
             k,
         )
     }

@@ -281,8 +281,13 @@ impl ThermalNetwork {
             } else {
                 let csr = coo.to_csr();
                 let pre = SsorPreconditioner::new(&csr, 1.5);
-                solve_pcg(&csr, &rhs, &pre, &IterativeConfig::new(20 * m + 1000, 1e-12))?
-                    .solution
+                solve_pcg(
+                    &csr,
+                    &rhs,
+                    &pre,
+                    &IterativeConfig::new(20 * m + 1000, 1e-12),
+                )?
+                .solution
             }
         };
 
@@ -302,7 +307,7 @@ impl ThermalNetwork {
     /// sources zeroed, `b` taken as the reference, 1 W injected at `a`;
     /// the resulting temperature at `a` *is* the equivalent resistance.
     ///
-    /// This is the compact-model reduction the paper's [10]/[11] lineage
+    /// This is the compact-model reduction the paper's \[10\]/\[11\] lineage
     /// performs on full-circuit networks.
     ///
     /// # Errors
@@ -552,7 +557,10 @@ mod tests {
                 net.add_source(b, Power::from_watts(q2));
             }
             let sol = net.solve().unwrap();
-            (sol.temperature(a).as_kelvin(), sol.temperature(b).as_kelvin())
+            (
+                sol.temperature(a).as_kelvin(),
+                sol.temperature(b).as_kelvin(),
+            )
         };
         let (a1, b1) = build(2.0, 0.0);
         let (a2, b2) = build(0.0, 5.0);

@@ -165,8 +165,7 @@ mod tests {
     fn heat_into_ground_equals_source_power() {
         let (net, sol, _, _) = solved_ladder();
         assert!(
-            (sol.heat_into_ground().as_watts() - net.total_source_power().as_watts()).abs()
-                < 1e-10
+            (sol.heat_into_ground().as_watts() - net.total_source_power().as_watts()).abs() < 1e-10
         );
     }
 

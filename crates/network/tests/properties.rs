@@ -22,13 +22,11 @@ fn random_network(max_nodes: usize) -> impl Strategy<Value = RandomNetwork> {
                 prop::collection::vec((0..n, 0.001..10.0f64), 1..n),
             )
         })
-        .prop_map(
-            |(chain_resistances, cross_links, sources)| RandomNetwork {
-                chain_resistances,
-                cross_links,
-                sources,
-            },
-        )
+        .prop_map(|(chain_resistances, cross_links, sources)| RandomNetwork {
+            chain_resistances,
+            cross_links,
+            sources,
+        })
 }
 
 fn build(spec: &RandomNetwork) -> (ThermalNetwork, Vec<ttsv_network::NodeId>) {

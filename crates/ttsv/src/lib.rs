@@ -16,29 +16,34 @@
 //!
 //! # Quick start
 //!
+//! This snippet is kept byte-identical to the one in the repository
+//! `README.md`, so the README is verified by `cargo test --doc`:
+//!
 //! ```
 //! use ttsv::prelude::*;
 //!
-//! // The paper's 100 µm × 100 µm three-plane block with an 8 µm TTSV:
-//! let scenario = Scenario::paper_block()
-//!     .with_tsv(TtsvConfig::new(
-//!         Length::from_micrometers(8.0),
-//!         Length::from_micrometers(0.5),
-//!     ))
-//!     .build()?;
+//! fn main() -> Result<(), ttsv::core::CoreError> {
+//!     // The paper's 100 µm × 100 µm three-plane block with an 8 µm TTSV:
+//!     let scenario = Scenario::paper_block()
+//!         .with_tsv(TtsvConfig::new(
+//!             Length::from_micrometers(8.0),
+//!             Length::from_micrometers(0.5),
+//!         ))
+//!         .build()?;
 //!
-//! let model_a = ModelA::with_coefficients(FittingCoefficients::paper_block());
-//! let model_b = ModelB::paper_b100();
-//! let baseline = OneDModel::new();
+//!     let model_a = ModelA::with_coefficients(FittingCoefficients::paper_block());
+//!     let model_b = ModelB::paper_b100();
+//!     let baseline = OneDModel::new();
 //!
-//! let dt_a = model_a.max_delta_t(&scenario)?;
-//! let dt_b = model_b.max_delta_t(&scenario)?;
-//! let dt_1d = baseline.max_delta_t(&scenario)?;
+//!     let dt_a = model_a.max_delta_t(&scenario)?;
+//!     let dt_b = model_b.max_delta_t(&scenario)?;
+//!     let dt_1d = baseline.max_delta_t(&scenario)?;
 //!
-//! // The 1-D baseline ignores the lateral liner path and overestimates.
-//! assert!(dt_1d > dt_a);
-//! assert!(dt_1d > dt_b);
-//! # Ok::<(), ttsv::core::CoreError>(())
+//!     // The 1-D baseline ignores the lateral liner path and overestimates.
+//!     assert!(dt_1d > dt_a);
+//!     assert!(dt_1d > dt_b);
+//!     Ok(())
+//! }
 //! ```
 
 #![forbid(unsafe_code)]

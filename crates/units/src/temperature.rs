@@ -166,10 +166,7 @@ mod tests {
     fn delta_over_power_gives_resistance() {
         let dt = TemperatureDelta::from_kelvin(10.0);
         let q = Power::from_watts(2.0);
-        assert_eq!(
-            dt / q,
-            ThermalResistance::from_kelvin_per_watt(5.0)
-        );
+        assert_eq!(dt / q, ThermalResistance::from_kelvin_per_watt(5.0));
         assert_eq!(dt / ThermalResistance::from_kelvin_per_watt(5.0), q);
     }
 

@@ -132,8 +132,7 @@ fn serde_json_like_roundtrip(v: f64) -> f64 {
     // in-memory deserializer.
     use serde::de::IntoDeserializer;
     let as_f64 = p.r.as_kelvin_per_watt();
-    let de: serde::de::value::F64Deserializer<serde::de::value::Error> =
-        as_f64.into_deserializer();
+    let de: serde::de::value::F64Deserializer<serde::de::value::Error> = as_f64.into_deserializer();
     let back = ttsv_units::ThermalResistance::deserialize(de).unwrap();
     back.as_kelvin_per_watt()
 }

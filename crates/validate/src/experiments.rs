@@ -164,7 +164,9 @@ pub fn fig4(fidelity: Fidelity) -> Result<Report, CoreError> {
         fit.k2()
     ));
     for (m, max, avg) in paper_data::FIG4_ERRORS {
-        report.push_note(format!("paper reports {m} vs COMSOL: max {max}%, avg {avg}%"));
+        report.push_note(format!(
+            "paper reports {m} vs COMSOL: max {max}%, avg {avg}%"
+        ));
     }
     Ok(report)
 }
@@ -201,8 +203,7 @@ pub fn fig5(fidelity: Fidelity) -> Result<Report, CoreError> {
     let b500 = ModelB::paper_b500();
     let one_d = OneDModel::new();
     let fem = FemReference::new().with_resolution(fidelity.resolution());
-    let models: Vec<&(dyn ThermalModel + Sync)> =
-        vec![&a, &b1, &b20, &b100, &b500, &one_d, &fem];
+    let models: Vec<&(dyn ThermalModel + Sync)> = vec![&a, &b1, &b20, &b100, &b500, &one_d, &fem];
 
     let results = run_sweep(&points, &models)?;
     let mut report = Report::new(
@@ -346,7 +347,9 @@ pub fn fig6(fidelity: Fidelity) -> Result<Report, CoreError> {
     report.push_series("FEM", series(&results, 3));
     push_error_notes(&mut report, "FEM");
     for (m, max, avg) in paper_data::FIG6_ERRORS {
-        report.push_note(format!("paper reports {m} vs COMSOL: max {max}%, avg {avg}%"));
+        report.push_note(format!(
+            "paper reports {m} vs COMSOL: max {max}%, avg {avg}%"
+        ));
     }
     report.push_note("paper: ΔT is minimal near t_Si ≈ 20 µm; 1-D increases monotonically");
     Ok(report)
@@ -395,7 +398,9 @@ pub fn fig7(fidelity: Fidelity) -> Result<Report, CoreError> {
     report.push_series("FEM", series(&results, 3));
     push_error_notes(&mut report, "FEM");
     for (m, max, avg) in paper_data::FIG7_ERRORS {
-        report.push_note(format!("paper reports {m} vs COMSOL: max {max}%, avg {avg}%"));
+        report.push_note(format!(
+            "paper reports {m} vs COMSOL: max {max}%, avg {avg}%"
+        ));
     }
     Ok(report)
 }
@@ -705,11 +710,22 @@ mod tests {
         let r = table1(Fidelity::Quick).unwrap();
         let avg = &r.series_named("avg_error_pct").unwrap().values;
         // B(1) worst of the B family; error decreases with segments.
-        assert!(avg[0] > avg[2], "B(1) {:.1}% vs B(100) {:.1}%", avg[0], avg[2]);
-        assert!(avg[1] >= avg[2] - 1.0, "B(20) should be no better than B(100)");
+        assert!(
+            avg[0] > avg[2],
+            "B(1) {:.1}% vs B(100) {:.1}%",
+            avg[0],
+            avg[2]
+        );
+        assert!(
+            avg[1] >= avg[2] - 1.0,
+            "B(20) should be no better than B(100)"
+        );
         // 1-D is the worst model overall.
         let one_d = avg[5];
-        assert!(one_d > avg[2] && one_d > avg[4], "1-D must be worst: {avg:?}");
+        assert!(
+            one_d > avg[2] && one_d > avg[4],
+            "1-D must be worst: {avg:?}"
+        );
     }
 
     #[test]

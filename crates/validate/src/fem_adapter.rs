@@ -8,7 +8,7 @@
 
 use ttsv_core::scenario::{Scenario, ThermalModel};
 use ttsv_core::CoreError;
-use ttsv_fem::axisym::{AxisymmetricProblem, AxisymSolution};
+use ttsv_fem::axisym::{AxisymSolution, AxisymmetricProblem};
 use ttsv_fem::Axis;
 use ttsv_units::{Area, Length, TemperatureDelta};
 
@@ -145,17 +145,13 @@ impl FemReference {
         let n_via = tsv.count() as f64;
 
         // Unit cell: footprint / count, mapped to an equal-area disc.
-        let cell_area = Area::from_square_meters(
-            stack.footprint().as_square_meters() / n_via,
-        );
+        let cell_area = Area::from_square_meters(stack.footprint().as_square_meters() / n_via);
         let r_cell = cell_area.equivalent_radius();
         let r_via = tsv.radius();
         let r_liner = tsv.radius() + tsv.liner_thickness();
         if r_liner >= r_cell {
             return Err(CoreError::InvalidScenario {
-                reason: format!(
-                    "via + liner ({r_liner}) does not fit its unit cell ({r_cell})"
-                ),
+                reason: format!("via + liner ({r_liner}) does not fit its unit cell ({r_cell})"),
             });
         }
 
@@ -254,8 +250,7 @@ impl FemReference {
         // from (t_Si1 − l_ext) up to the top plane's silicon top.
         let via_bottom = stack.planes()[0].t_si() - stack.l_ext();
         let top_plane = stack.plane_count() - 1;
-        let via_top = z_top
-            - stack.planes()[top_plane].t_ild();
+        let via_top = z_top - stack.planes()[top_plane].t_ild();
         prob.set_material((Length::ZERO, r_via), (via_bottom, via_top), tsv.k_fill());
         prob.set_material((r_via, r_liner), (via_bottom, via_top), tsv.k_liner());
 
@@ -271,8 +266,7 @@ impl FemReference {
         }
         // Sanity: sources integrate back to the cell share of total power.
         debug_assert!(
-            (prob.total_source_power().as_watts()
-                - scenario.total_power().as_watts() / n_via)
+            (prob.total_source_power().as_watts() - scenario.total_power().as_watts() / n_via)
                 .abs()
                 < 1e-9 * scenario.total_power().as_watts().max(1e-30)
         );
@@ -358,13 +352,15 @@ impl CartesianReference {
         let stack = scenario.stack();
         let tsv = scenario.tsv();
         let n_via = tsv.count() as f64;
-        let cell_area =
-            Area::from_square_meters(stack.footprint().as_square_meters() / n_via);
+        let cell_area = Area::from_square_meters(stack.footprint().as_square_meters() / n_via);
         let side = Length::from_meters(cell_area.as_square_meters().sqrt());
         let r_liner = tsv.radius() + tsv.liner_thickness();
         if r_liner * 2.0 >= side {
             return Err(CoreError::InvalidScenario {
-                reason: format!("via diameter ({}) exceeds the cell side ({side})", r_liner * 2.0),
+                reason: format!(
+                    "via diameter ({}) exceeds the cell side ({side})",
+                    r_liner * 2.0
+                ),
             });
         }
 
@@ -387,7 +383,7 @@ impl CartesianReference {
             let dev = self.device_thickness.min(p.t_si() * 0.5);
             let body = p.t_si() - dev;
             zb = zb.segment(body, if j == 0 { res.si1_cells } else { res.si_cells });
-            z0 = z0 + body;
+            z0 += body;
             let dev_top = z0 + dev;
             zb = zb.segment(dev, res.device_cells);
             device_spans.push((z0, dev_top, j));

@@ -158,7 +158,10 @@ mod tests {
 
     #[test]
     fn digitized_fig7_saturates() {
-        let d: Vec<f64> = FIG7_FEM_DIGITIZED.windows(2).map(|w| w[0].1 - w[1].1).collect();
+        let d: Vec<f64> = FIG7_FEM_DIGITIZED
+            .windows(2)
+            .map(|w| w[0].1 - w[1].1)
+            .collect();
         for w in d.windows(2) {
             assert!(w[1] <= w[0] + 1e-9, "gains shrink with n");
         }

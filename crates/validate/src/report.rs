@@ -28,11 +28,7 @@ pub struct Report {
 impl Report {
     /// Creates an empty report.
     #[must_use]
-    pub fn new(
-        title: impl Into<String>,
-        x_label: impl Into<String>,
-        x: Vec<f64>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, x: Vec<f64>) -> Self {
         Self {
             title: title.into(),
             x_label: x_label.into(),
@@ -78,12 +74,7 @@ impl Report {
         let headers: Vec<String> = std::iter::once(self.x_label.clone())
             .chain(self.series.iter().map(|s| s.name.clone()))
             .collect();
-        let width = headers
-            .iter()
-            .map(String::len)
-            .max()
-            .unwrap_or(8)
-            .max(10);
+        let width = headers.iter().map(String::len).max().unwrap_or(8).max(10);
         for h in &headers {
             out.push_str(&format!("{h:>width$} "));
         }

@@ -32,9 +32,9 @@ pub fn run_sweep(
 ) -> Result<Vec<SweepPoint>, CoreError> {
     let mut results: Vec<Option<Result<SweepPoint, CoreError>>> = vec![None; points.len()];
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, (x, scenario)) in results.iter_mut().zip(points) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut delta_t = Vec::with_capacity(models.len());
                 let mut seconds = Vec::with_capacity(models.len());
                 for model in models {
@@ -57,8 +57,7 @@ pub fn run_sweep(
                 }));
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     results
         .into_iter()

@@ -55,7 +55,9 @@ fn main() -> Result<(), CoreError> {
     }
     println!(
         "{:<16} {fem_dt:>10.2} {:>12} {:>12}",
-        "FEM", "-", format!("{:.2?}", fem_time)
+        "FEM",
+        "-",
+        format!("{:.2?}", fem_time)
     );
 
     // --- Model B's distributed profile --------------------------------------
@@ -72,7 +74,10 @@ fn main() -> Result<(), CoreError> {
         println!("  plane {}: {:.2} °C", j + 1, t.as_celsius());
     }
     // Sample the ladder at ten evenly spaced segments.
-    println!("\n{:<10} {:>10} {:>10} {:>12}", "segment", "bulk °C", "via °C", "bulk − via");
+    println!(
+        "\n{:<10} {:>10} {:>10} {:>12}",
+        "segment", "bulk °C", "via °C", "bulk − via"
+    );
     println!("{}", "-".repeat(46));
     let step = (bulk.len() / 10).max(1);
     for i in (0..bulk.len()).step_by(step) {
@@ -95,7 +100,11 @@ fn main() -> Result<(), CoreError> {
     let profile = field.z_profile(r_probe);
     let step = (profile.len() / 12).max(1);
     for (z, t) in profile.iter().step_by(step) {
-        println!("  z = {:>7.1} µm: {:>6.2} °C", z.as_micrometers(), t.as_celsius());
+        println!(
+            "  z = {:>7.1} µm: {:>6.2} °C",
+            z.as_micrometers(),
+            t.as_celsius()
+        );
     }
     Ok(())
 }

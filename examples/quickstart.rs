@@ -34,8 +34,12 @@ fn main() -> Result<(), CoreError> {
     let baseline = OneDModel::new();
     let fem = FemReference::new();
 
-    let models: Vec<(&str, &dyn ThermalModel)> =
-        vec![("Model A", &model_a), ("Model B (100)", &model_b), ("1-D", &baseline), ("FEM", &fem)];
+    let models: Vec<(&str, &dyn ThermalModel)> = vec![
+        ("Model A", &model_a),
+        ("Model B (100)", &model_b),
+        ("1-D", &baseline),
+        ("FEM", &fem),
+    ];
 
     println!("{:<16} {:>12}", "model", "max ΔT [°C]");
     println!("{}", "-".repeat(30));

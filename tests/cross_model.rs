@@ -93,9 +93,7 @@ fn non_monotonic_substrate_behaviour_is_cross_model() {
     let eval = |m: &dyn ThermalModel| -> Vec<f64> {
         sweep
             .iter()
-            .map(|&t| {
-                m.max_delta_t(&block(8.0, 1.0, 7.0, t)).unwrap().as_kelvin()
-            })
+            .map(|&t| m.max_delta_t(&block(8.0, 1.0, 7.0, t)).unwrap().as_kelvin())
             .collect()
     };
     for (name, series) in [

@@ -33,12 +33,7 @@ fn axisym_mapping_agrees_with_cartesian_3d() {
         .segment(um(t_si), 20)
         .segment(um(t_ild), 8)
         .build();
-    let mut cart = CartesianProblem::new(
-        x,
-        y,
-        z,
-        Material::silicon().conductivity(),
-    );
+    let mut cart = CartesianProblem::new(x, y, z, Material::silicon().conductivity());
     cart.set_material(
         (um(0.0), um(side)),
         (um(0.0), um(side)),
@@ -77,11 +72,8 @@ fn axisym_mapping_agrees_with_cartesian_3d() {
         .segment(um(t_si), 20)
         .segment(um(t_ild), 8)
         .build();
-    let mut axi = ttsv::fem::axisym::AxisymmetricProblem::new(
-        r,
-        z,
-        Material::silicon().conductivity(),
-    );
+    let mut axi =
+        ttsv::fem::axisym::AxisymmetricProblem::new(r, z, Material::silicon().conductivity());
     axi.set_material(
         (Length::ZERO, r_eq),
         (um(t_si), um(t_si + t_ild)),
@@ -122,10 +114,7 @@ fn adapter_conserves_energy() {
         "in {injected} vs out {drained}"
     );
     // And the per-cell injection equals the scenario total (single via).
-    assert!(
-        (injected - scenario.total_power().as_watts()).abs()
-            < 1e-9 * injected
-    );
+    assert!((injected - scenario.total_power().as_watts()).abs() < 1e-9 * injected);
 }
 
 /// Mesh convergence on the real paper block: default vs fine resolution

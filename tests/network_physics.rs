@@ -126,11 +126,12 @@ fn huge_via_approaches_substrate_limit() {
         .unwrap()
         .as_kelvin();
     // Lower bound: all heat through Rs alone.
-    let rs = ThermalResistance::from_kelvin_per_watt(
-        (500.0e-6 - 1.0e-6) / (150.0 * 1.0e-8),
-    );
+    let rs = ThermalResistance::from_kelvin_per_watt((500.0e-6 - 1.0e-6) / (150.0 * 1.0e-8));
     let floor = (scenario.total_power() * rs).as_kelvin();
-    assert!(dt > floor, "ΔT {dt} must exceed the substrate floor {floor}");
+    assert!(
+        dt > floor,
+        "ΔT {dt} must exceed the substrate floor {floor}"
+    );
     assert!(
         dt < 2.2 * floor,
         "a huge via should approach the floor: {dt} vs {floor}"

@@ -11,12 +11,7 @@ fn fig4_model_b_tracks_fem_better_than_one_d() {
     let fem = &r.series_named("FEM").unwrap().values;
     let b = ErrorStats::compare(&r.series_named("Model B (100)").unwrap().values, fem);
     let d = ErrorStats::compare(&r.series_named("1-D").unwrap().values, fem);
-    assert!(
-        b.mean_rel < d.mean_rel,
-        "B ({}) must beat 1-D ({})",
-        b,
-        d
-    );
+    assert!(b.mean_rel < d.mean_rel, "B ({}) must beat 1-D ({})", b, d);
     assert!(b.mean_rel < 0.15, "B within 15% on average: {b}");
 }
 
@@ -29,9 +24,7 @@ fn fig5_fem_rises_and_segments_converge() {
     // the reference itself carries a few percent of mesh error, so only the
     // coarse-end ordering is asserted; the full-fidelity ordering is
     // recorded in EXPERIMENTS.md.)
-    let err = |name: &str| {
-        ErrorStats::compare(&r.series_named(name).unwrap().values, fem).mean_rel
-    };
+    let err = |name: &str| ErrorStats::compare(&r.series_named(name).unwrap().values, fem).mean_rel;
     assert!(err("Model B (1)") > err("Model B (100)"));
     assert!(err("Model B (1)") > err("Model B (500)"));
 }
@@ -41,10 +34,7 @@ fn table1_runtime_grows_with_segments() {
     let r = experiments::table1(Fidelity::Quick).unwrap();
     let t = &r.series_named("time_ms_per_solve").unwrap().values;
     // B(500) (index 3) costs more than B(1) (index 0).
-    assert!(
-        t[3] > t[0],
-        "runtime must grow with segments: {t:?}"
-    );
+    assert!(t[3] > t[0], "runtime must grow with segments: {t:?}");
 }
 
 #[test]

@@ -1,0 +1,436 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! subset of serde's API the workspace actually uses, built around a small
+//! self-describing [`Content`] tree instead of serde's visitor data model:
+//!
+//! * [`Serialize`] / [`Deserialize`] traits with the real method names used
+//!   by callers (`T::deserialize(deserializer)`), implemented for the
+//!   primitives and containers the workspace derives touch;
+//! * `#[derive(Serialize, Deserialize)]` re-exported from the vendored
+//!   `serde_derive` (single-field tuple structs behave as
+//!   `#[serde(transparent)]`);
+//! * [`de::IntoDeserializer`] and [`de::value`] (`F64Deserializer`,
+//!   `Error`), which the `ttsv-units` property suite uses to round-trip a
+//!   quantity through the data model without `serde_json`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A self-describing serialized value — the entire data model of this
+/// stand-in. Derived `Serialize` impls build it; derived `Deserialize`
+/// impls consume it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// The unit value `()` or a unit struct.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// Any signed integer.
+    I64(i64),
+    /// Any unsigned integer.
+    U64(u64),
+    /// Any floating-point number.
+    F64(f64),
+    /// A character.
+    Char(char),
+    /// An owned string.
+    String(String),
+    /// `Option<T>`.
+    Option(Option<Box<Content>>),
+    /// A sequence (`Vec<T>`, arrays, multi-field tuple structs).
+    Seq(Vec<Content>),
+    /// A named-field struct: `(type name, [(field name, value)])`.
+    Struct(&'static str, Vec<(&'static str, Content)>),
+    /// A fieldless enum variant: `(enum name, variant name)`.
+    UnitVariant(&'static str, &'static str),
+    /// A tuple enum variant: `(enum name, variant name, values)`.
+    TupleVariant(&'static str, &'static str, Vec<Content>),
+    /// A struct enum variant: `(enum name, variant name, fields)`.
+    StructVariant(&'static str, &'static str, Vec<(&'static str, Content)>),
+}
+
+/// A type that can be converted into the [`Content`] data model.
+pub trait Serialize {
+    /// Builds the [`Content`] tree for `self`.
+    fn to_content(&self) -> Content;
+
+    /// Serializes `self` into the given serializer (mirrors serde's entry
+    /// point; provided in terms of [`Serialize::to_content`]).
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.to_content())
+    }
+}
+
+/// A sink that consumes a [`Content`] tree.
+pub trait Serializer: Sized {
+    /// The output produced on success.
+    type Ok;
+    /// The error type.
+    type Error: ser::Error;
+    /// Consumes a fully built [`Content`] value.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can be reconstructed from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Content`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the content shape does not
+    /// match `Self`.
+    fn from_content(content: &Content) -> Result<Self, String>;
+
+    /// Deserializes from the given deserializer (mirrors serde's entry
+    /// point; provided in terms of [`Deserialize::from_content`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserializer errors and shape mismatches.
+    fn deserialize<D: Deserializer>(deserializer: D) -> Result<Self, D::Error> {
+        let content = deserializer.deserialize_content()?;
+        Self::from_content(&content).map_err(de::Error::custom)
+    }
+}
+
+/// A source that produces a [`Content`] tree.
+pub trait Deserializer: Sized {
+    /// The error type.
+    type Error: de::Error;
+    /// Produces the next [`Content`] value.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// Looks up a named field in a derived-struct content body.
+///
+/// Used by the generated `Deserialize` impls; not part of the public API
+/// surface mirrored from real serde.
+///
+/// # Errors
+///
+/// Returns a message naming the missing field.
+#[doc(hidden)]
+pub fn __find_field<'a>(
+    fields: &'a [(&'static str, Content)],
+    name: &str,
+) -> Result<&'a Content, String> {
+    fields
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field `{name}`"))
+}
+
+/// Serialization-side error support (mirrors `serde::ser`).
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Trait for serialization error types.
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side support (mirrors `serde::de`).
+pub mod de {
+    use std::fmt::Display;
+
+    /// Trait for deserialization error types.
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Conversion of plain values into ready-made deserializers
+    /// (mirrors `serde::de::IntoDeserializer`).
+    pub trait IntoDeserializer<E: Error = value::Error> {
+        /// The deserializer produced.
+        type Deserializer: crate::Deserializer<Error = E>;
+        /// Wraps `self` in a deserializer.
+        fn into_deserializer(self) -> Self::Deserializer;
+    }
+
+    /// Ready-made in-memory deserializers (mirrors `serde::de::value`).
+    pub mod value {
+        use super::{Error as DeError, IntoDeserializer};
+        use crate::{Content, Deserializer};
+        use std::fmt;
+        use std::marker::PhantomData;
+
+        /// The plain-string error type used by the value deserializers.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct Error(String);
+
+        impl fmt::Display for Error {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl std::error::Error for Error {}
+
+        impl DeError for Error {
+            fn custom<T: fmt::Display>(msg: T) -> Self {
+                Error(msg.to_string())
+            }
+        }
+
+        impl crate::ser::Error for Error {
+            fn custom<T: fmt::Display>(msg: T) -> Self {
+                Error(msg.to_string())
+            }
+        }
+
+        /// A deserializer holding a single `f64`.
+        #[derive(Debug, Clone, Copy)]
+        pub struct F64Deserializer<E> {
+            value: f64,
+            marker: PhantomData<E>,
+        }
+
+        impl<E> F64Deserializer<E> {
+            /// Wraps an `f64` in a deserializer.
+            pub fn new(value: f64) -> Self {
+                F64Deserializer {
+                    value,
+                    marker: PhantomData,
+                }
+            }
+        }
+
+        impl<E: DeError> Deserializer for F64Deserializer<E> {
+            type Error = E;
+            fn deserialize_content(self) -> Result<Content, E> {
+                Ok(Content::F64(self.value))
+            }
+        }
+
+        impl<E: DeError> IntoDeserializer<E> for f64 {
+            type Deserializer = F64Deserializer<E>;
+            fn into_deserializer(self) -> F64Deserializer<E> {
+                F64Deserializer::new(self)
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ primitives
+
+macro_rules! impl_int {
+    ($($t:ty => $variant:ident as $wide:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::$variant(*self as $wide)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, String> {
+                match content {
+                    Content::I64(v) => <$t>::try_from(*v).map_err(|_| {
+                        format!(concat!("integer {} out of range for ", stringify!($t)), v)
+                    }),
+                    Content::U64(v) => <$t>::try_from(*v).map_err(|_| {
+                        format!(concat!("integer {} out of range for ", stringify!($t)), v)
+                    }),
+                    other => Err(format!(
+                        concat!("expected integer for ", stringify!($t), ", got {:?}"),
+                        other
+                    )),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int! {
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64,
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64,
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, String> {
+                match content {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    other => Err(format!("expected number, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Bool(v) => Ok(*v),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Char(*self)
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Char(v) => Ok(*v),
+            other => Err(format!("expected char, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::String(v) => Ok(v.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for std::borrow::Cow<'_, str> {
+    fn to_content(&self) -> Content {
+        Content::String(self.as_ref().to_string())
+    }
+}
+
+impl Deserialize for std::borrow::Cow<'_, str> {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        String::from_content(content).map(std::borrow::Cow::Owned)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::String(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Unit
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Unit => Ok(()),
+            other => Err(format!("expected unit, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(format!("expected sequence, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        Content::Option(self.as_ref().map(|v| Box::new(v.to_content())))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Option(None) | Content::Unit => Ok(None),
+            Content::Option(Some(inner)) => T::from_content(inner).map(Some),
+            // A bare value deserializes as `Some(value)`, matching the
+            // self-describing-format behavior callers expect.
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        let items = Vec::<T>::from_content(content)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| format!("expected array of length {N}, got {len}"))
+    }
+}
+
+impl fmt::Display for Content {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}

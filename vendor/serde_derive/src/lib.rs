@@ -1,0 +1,427 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! re-implements the `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! macros against the vendored mini-`serde` data model (`serde::Content`),
+//! parsing the item by hand instead of via `syn`/`quote`.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! * named-field structs,
+//! * tuple structs (a single field is treated as a transparent newtype,
+//!   matching `#[serde(transparent)]` semantics),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants.
+//!
+//! `#[serde(...)]` helper attributes are accepted and ignored except for
+//! `transparent`, whose behavior single-field tuple structs get by default.
+//! Generic types are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field list of a struct or enum variant.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive stub emitted invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive stub emitted invalid Rust")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`) and visibility.
+    let kind = loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // consume the bracketed attribute body
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // optional `pub(...)` restriction
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                } else if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // skip any other modifier-ish ident
+            }
+            other => panic!("serde_derive stub: unexpected token before item: {other:?}"),
+        }
+    };
+
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+    };
+
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic types are not supported (type `{name}`)");
+        }
+    }
+
+    match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Item::Struct {
+                    name,
+                    fields: Fields::Named(parse_named_fields(g.stream())),
+                }
+            } else {
+                Item::Enum {
+                    name,
+                    variants: parse_variants(g.stream()),
+                }
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            assert_eq!(
+                kind, "struct",
+                "serde_derive stub: paren body on non-struct"
+            );
+            Item::Struct {
+                name,
+                fields: Fields::Tuple(count_tuple_fields(g.stream())),
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+            name,
+            fields: Fields::Unit,
+        },
+        other => panic!("serde_derive stub: unexpected item body: {other:?}"),
+    }
+}
+
+/// Parse `name: Type, ...` skipping attributes, visibility, and type tokens.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        // skip attributes and visibility before the field name
+        let name = loop {
+            match it.next() {
+                None => return names,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => panic!("serde_derive stub: unexpected token in fields: {other:?}"),
+            }
+        };
+        names.push(name);
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stub: expected `:` after field name, got {other:?}"),
+        }
+        skip_type_until_comma(&mut it);
+    }
+}
+
+/// Skip a type, stopping after the `,` that ends the field (angle-depth aware).
+fn skip_type_until_comma(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut depth = 0i32;
+    for tt in it.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Count top-level comma-separated fields of a tuple struct/variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut last_was_sep = false;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    last_was_sep = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens = true;
+        last_was_sep = false;
+    }
+    if saw_tokens && !last_was_sep {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        // skip attributes (doc comments, #[default], ...) before the name
+        let name = loop {
+            match it.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+                other => panic!("serde_derive stub: unexpected token in enum body: {other:?}"),
+            }
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                it.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                it.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // skip an optional discriminant and the trailing comma
+        let mut depth = 0i32;
+        while let Some(tt) = it.peek() {
+            match tt {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    } else if c == ',' && depth == 0 {
+                        it.next();
+                        break;
+                    }
+                    it.next();
+                }
+                _ => {
+                    it.next();
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, ser_fields_body(name, fields, "self")),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::UnitVariant({name:?}, {vn:?}),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Content::TupleVariant({name:?}, {vn:?}, ::std::vec![{}]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let items: Vec<String> = fs
+                            .iter()
+                            .map(|f| format!("({f:?}, ::serde::Serialize::to_content({f}))"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Content::StructVariant({name:?}, {vn:?}, ::std::vec![{}]),\n",
+                            fs.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn ser_fields_body(name: &str, fields: &Fields, recv: &str) -> String {
+    match fields {
+        Fields::Unit => "::serde::Content::Unit".to_string(),
+        Fields::Tuple(1) => format!("::serde::Serialize::to_content(&{recv}.0)"),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&{recv}.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Named(fs) => {
+            let items: Vec<String> = fs
+                .iter()
+                .map(|f| format!("({f:?}, ::serde::Serialize::to_content(&{recv}.{f}))"))
+                .collect();
+            format!(
+                "::serde::Content::Struct({name:?}, ::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __items = match __c {{\n\
+                             ::serde::Content::Seq(v) => v,\n\
+                             _ => return ::std::result::Result::Err(::std::format!(\"expected seq for {name}\")),\n\
+                         }};\n\
+                         if __items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::std::format!(\"expected {n} elements for {name}\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fs) => {
+                    let items: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_content(::serde::__find_field(__fields, {f:?})?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let __fields = match __c {{\n\
+                             ::serde::Content::Struct(_, f) => f,\n\
+                             _ => return ::std::result::Result::Err(::std::format!(\"expected struct for {name}\")),\n\
+                         }};\n\
+                         ::std::result::Result::Ok({name} {{ {} }})",
+                        items.join(", ")
+                    )
+                }
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "::serde::Content::UnitVariant(_, {vn:?}) => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "::serde::Content::TupleVariant(_, {vn:?}, __items) if __items.len() == {n} => \
+                             ::std::result::Result::Ok({name}::{vn}({})),\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let items: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_content(::serde::__find_field(__fields, {f:?})?)?"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "::serde::Content::StructVariant(_, {vn:?}, __fields) => \
+                             ::std::result::Result::Ok({name}::{vn} {{ {} }}),\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match __c {{\n{arms}\
+                 _ => ::std::result::Result::Err(::std::format!(\"unexpected content for enum {name}\")),\n\
+                 }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::std::string::String> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
