@@ -7,6 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use ttsv::core::model_b::LadderSolver;
 use ttsv::prelude::*;
 use ttsv_bench::block;
 
@@ -24,6 +25,20 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(label), &model, |b, m| {
             b.iter(|| m.max_delta_t(black_box(&scenario)).expect("solvable"))
         });
+    }
+    // Ladder-solver variants at the deepest segment counts: the dedicated
+    // block-tridiagonal kernel (the default above) vs the generic banded
+    // LU it replaced.
+    for segments in [500usize, 1000] {
+        for (label, solver) in [
+            ("block_tridiag", LadderSolver::BlockTridiagonal),
+            ("banded_lu", LadderSolver::BandedLu),
+        ] {
+            let model = ModelB::with_segments(50, segments).with_solver(solver);
+            group.bench_with_input(BenchmarkId::new(label, segments), &model, |b, m| {
+                b.iter(|| m.max_delta_t(black_box(&scenario)).expect("solvable"))
+            });
+        }
     }
     // The comparison rows of Table I.
     let a = ModelA::with_coefficients(FittingCoefficients::paper_block());

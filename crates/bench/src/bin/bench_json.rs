@@ -1,0 +1,166 @@
+//! Machine-readable perf tracking: times the headline benchmarks and
+//! writes their median wall-clock to a JSON file so future PRs can compare
+//! against the recorded trajectory.
+//!
+//! Usage: `cargo run --release -p ttsv-bench --bin bench_json [-- PATH]`
+//! (default output: `BENCH_2.json` in the current directory). See the
+//! `ttsv-bench` crate docs for the bench → paper mapping.
+
+use std::time::{Duration, Instant};
+
+use ttsv::core::model_b::LadderSolver;
+use ttsv::fem::{FemPreconditioner, FemSolver};
+use ttsv::prelude::*;
+use ttsv::validate::sweep::run_sweep;
+use ttsv_bench::block;
+
+/// Wall-clock budget per benchmark (after the warm-up call).
+const TIME_BUDGET: Duration = Duration::from_secs(2);
+/// Target sample count per benchmark.
+const TARGET_SAMPLES: usize = 15;
+
+/// PR-1 numbers for the same workloads, measured with the vendored
+/// criterion harness on the seed solvers (SSOR-PCG FEM reference, generic
+/// banded-LU Model B) immediately before the PR-2 rework — the baseline
+/// the acceptance criteria compare against.
+const BASELINE_PR1_NS: &[(&str, u128)] = &[
+    ("fig4_radius_sweep/fem_coarse", 9_736_141),
+    ("fig4_radius_sweep/model_b_100", 113_510),
+    ("table1_segments/B(500)", 136_661),
+    ("table1_segments/B(1000)", 307_379),
+];
+
+struct Sampler {
+    results: Vec<(String, u128, usize)>,
+}
+
+impl Sampler {
+    fn bench<O>(&mut self, name: &str, mut f: impl FnMut() -> O) {
+        std::hint::black_box(f()); // warm-up
+        let start = Instant::now();
+        let mut samples = Vec::with_capacity(TARGET_SAMPLES);
+        while samples.len() < TARGET_SAMPLES && start.elapsed() < TIME_BUDGET {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            samples.push(t.elapsed().as_nanos());
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        eprintln!(
+            "{name:<45} median {median:>12} ns ({} samples)",
+            samples.len()
+        );
+        self.results.push((name.to_string(), median, samples.len()));
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"ttsv-bench-json/1\",\n  \"pr\": 2,\n");
+        out.push_str(
+            "  \"generated_by\": \"cargo run --release -p ttsv-bench --bin bench_json\",\n",
+        );
+        out.push_str("  \"benches\": {\n");
+        for (i, (name, median, samples)) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    \"{name}\": {{\"median_ns\": {median}, \"samples\": {samples}}}{comma}\n"
+            ));
+        }
+        out.push_str("  },\n  \"baseline_pr1_ns\": {\n");
+        for (i, (name, ns)) in BASELINE_PR1_NS.iter().enumerate() {
+            let comma = if i + 1 < BASELINE_PR1_NS.len() {
+                ","
+            } else {
+                ""
+            };
+            out.push_str(&format!("    \"{name}\": {ns}{comma}\n"));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+fn fig4_scenarios() -> Vec<Scenario> {
+    [1.0, 3.0, 5.0, 8.0, 14.0, 20.0]
+        .iter()
+        .map(|&r| block(r, 0.5))
+        .collect()
+}
+
+fn sweep_sum(model: &dyn ThermalModel, scenarios: &[Scenario]) -> f64 {
+    scenarios
+        .iter()
+        .map(|s| model.max_delta_t(s).expect("solvable").as_kelvin())
+        .sum()
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_2.json".into());
+    let mut sampler = Sampler {
+        results: Vec::new(),
+    };
+
+    // fig4_radius_sweep: the 6-radius sweep per model, matching the
+    // criterion bench of the same name.
+    let scenarios = fig4_scenarios();
+    let fem = FemReference::new().with_resolution(FemResolution::coarse());
+    sampler.bench("fig4_radius_sweep/fem_coarse", || {
+        sweep_sum(&fem, &scenarios)
+    });
+    let b100 = ModelB::paper_b100();
+    sampler.bench("fig4_radius_sweep/model_b_100", || {
+        sweep_sum(&b100, &scenarios)
+    });
+
+    // table1_segments: per-solve cost at deep segment counts.
+    let table1 = block(5.0, 1.0);
+    for (name, model) in [
+        ("table1_segments/B(500)", ModelB::paper_b500()),
+        ("table1_segments/B(1000)", ModelB::paper_b1000()),
+        (
+            "table1_segments/banded_lu/1000",
+            ModelB::paper_b1000().with_solver(LadderSolver::BandedLu),
+        ),
+    ] {
+        sampler.bench(name, || model.max_delta_t(&table1).expect("solvable"));
+    }
+
+    // ablation_fem_precond at the coarse mesh: one solve per option.
+    let fem_problem = fem.build_problem(&scenarios[2]).expect("valid scenario");
+    for (name, solver) in [
+        (
+            "ablation_fem_precond/ssor/coarse",
+            FemSolver::Pcg(FemPreconditioner::ssor()),
+        ),
+        (
+            "ablation_fem_precond/multigrid/coarse",
+            FemSolver::Pcg(FemPreconditioner::Multigrid),
+        ),
+        (
+            "ablation_fem_precond/direct_banded/coarse",
+            FemSolver::DirectBanded,
+        ),
+    ] {
+        let mut problem = fem_problem.clone();
+        problem.set_solver(solver);
+        sampler.bench(name, || problem.solve().expect("solvable"));
+    }
+
+    // The bounded sweep runner end to end (fig4-quick shape: 4 models
+    // including the FEM reference, warm starts shared across workers).
+    let points: Vec<(f64, Scenario)> = [1.0, 3.0, 5.0, 8.0, 14.0, 20.0]
+        .iter()
+        .map(|&r| (r, block(r, 0.5)))
+        .collect();
+    let a = ModelA::with_coefficients(FittingCoefficients::paper_block());
+    let one_d = OneDModel::new();
+    sampler.bench("sweep_runner/fig4_quick", || {
+        let models: Vec<&(dyn ThermalModel + Sync)> = vec![&a, &b100, &one_d, &fem];
+        run_sweep(&points, &models).expect("sweep succeeds")
+    });
+
+    let json = sampler.to_json();
+    std::fs::write(&path, &json).expect("write BENCH json");
+    println!("wrote {path}");
+}

@@ -18,12 +18,24 @@
 //! | `fig5_liner_sweep` | Fig. 5 | max ΔT vs liner thickness `t_L`, per model |
 //! | `fig6_substrate_sweep` | Fig. 6 | max ΔT vs upper substrate thickness `t_Si` (via [`block_with_tsi`]) |
 //! | `fig7_division_sweep` | Fig. 7 | one via split into `n` smaller vias, same metal area (via [`block_divided`]) |
-//! | `table1_segments` | Table I | Model B accuracy/cost vs segment count `n` (1, 20, 100, 500, 1000) |
+//! | `table1_segments` | Table I | Model B accuracy/cost vs segment count `n` (1, 20, 100, 500, 1000), plus block-tridiagonal vs banded-LU solver variants |
 //! | `calibration` | §II / §IV-A | fitting Model A's `k₁`, `k₂` against the FEM reference |
 //! | `case_study` | §IV-E | the 10 mm × 10 mm DRAM-µP stack unit cell |
 //! | `ablation_axisym_vs_cart` | — | FEM axisymmetric vs full Cartesian discretization cost |
 //! | `ablation_fem_mesh` | — | FEM cost vs mesh resolution (coarse → fine) |
-//! | `ablation_modelb_solver` | — | Model B ladder solver: banded LU vs conjugate gradient |
+//! | `ablation_modelb_solver` | — | Model B ladder solver: block tridiagonal vs banded LU vs conjugate gradient |
+//! | `ablation_fem_precond` | — | FEM linear solver: plain/Jacobi/SSOR/multigrid PCG vs direct banded, two mesh resolutions |
+//!
+//! # Machine-readable perf tracking
+//!
+//! `cargo run --release -p ttsv-bench --bin bench_json [-- PATH]` times the
+//! headline workloads (the fig4 FEM sweep, Model B at deep segment counts,
+//! the preconditioner ablation, and the bounded sweep runner) with its own
+//! median-of-N harness and writes them to `BENCH_2.json` (default path).
+//! The file also embeds the PR-1 baseline numbers for the same workloads,
+//! so each future PR can re-run the binary and compare the trajectory.
+//! CI runs the emitter every push to catch perf-path code that compiles
+//! but panics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -6,10 +6,12 @@
 //! via-fill resistor (`R_M/n`), and a lateral liner resistor (`n·R_L`);
 //! plane heat enters the ILD bulk nodes as `q_j/n_D` (eq. 20). The
 //! resulting KCL system `A·T = b` (eq. 19) is symmetric positive-definite
-//! and banded (half-bandwidth 2 with interleaved numbering) and is solved
-//! by banded LU in `O(n)`.
+//! and, with interleaved bulk/via numbering, block tridiagonal with 2×2
+//! blocks — solved in `O(n)` by the dedicated
+//! [`BlockTridiagonal`] kernel (the generic banded LU and a CG path remain
+//! as ablation cross-checks).
 
-use ttsv_linalg::BandedMatrix;
+use ttsv_linalg::{BandedMatrix, BlockTridiagonal};
 use ttsv_network::{SolverChoice, Terminal, ThermalNetwork};
 use ttsv_units::{Power, TemperatureDelta, ThermalResistance};
 
@@ -110,8 +112,13 @@ impl Segmentation {
 /// to solver tolerance).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LadderSolver {
-    /// Direct banded LU over the interleaved numbering (default; `O(n)`).
+    /// Dedicated 2×2 block-tridiagonal elimination over the interleaved
+    /// numbering (default; `O(n)` with flat per-block arithmetic — no
+    /// per-entry band bookkeeping).
     #[default]
+    BlockTridiagonal,
+    /// Generic banded LU over the interleaved numbering (`O(n)`, but pays
+    /// per-entry offset arithmetic; the pre-block-kernel default).
     BandedLu,
     /// SSOR-preconditioned conjugate gradients via the generic network.
     ConjugateGradient,
@@ -222,6 +229,9 @@ impl ModelB {
         let segments = build_segments(scenario, segmentation)?;
         let rs = substrate_resistance(scenario);
         match self.solver {
+            LadderSolver::BlockTridiagonal => {
+                solve_block_tridiag(scenario, segmentation, &segments, rs)
+            }
             LadderSolver::BandedLu => solve_banded(scenario, segmentation, &segments, rs),
             LadderSolver::ConjugateGradient => solve_network(scenario, segmentation, &segments, rs),
         }
@@ -330,7 +340,78 @@ fn build_segments(
     Ok(segments)
 }
 
-/// Direct banded assembly: unknowns `[T0, B₁, V₁, B₂, V₂, ...]`, bandwidth 2.
+/// Dedicated `O(n)` path: the ladder's natural 2×2 block-tridiagonal
+/// structure, solved by block Thomas elimination.
+///
+/// Unknowns are padded to an even count — block 0 is `(T₀, dummy)` with a
+/// decoupled unit-diagonal dummy, block `s + 1` is `(B_s, V_s)` — so T₀'s
+/// coupling to both first-segment nodes lands in the single off-diagonal
+/// block between blocks 0 and 1.
+fn solve_block_tridiag(
+    scenario: &Scenario,
+    segmentation: &Segmentation,
+    segments: &[Segment],
+    rs: f64,
+) -> Result<ModelBSolution, CoreError> {
+    let n_seg = segments.len();
+    let nb = n_seg + 1;
+
+    // Per-segment conductances, computed once (the assembly below reads
+    // each one twice: once for its own block, once as the coupling into
+    // the block above).
+    let gb: Vec<f64> = segments.iter().map(|s| 1.0 / s.r_bulk).collect();
+    let gf: Vec<f64> = segments.iter().map(|s| 1.0 / s.r_fill).collect();
+
+    // Assemble the blocks directly — the ladder stencil is known, so no
+    // per-entry indexing: D[0] holds T₀ (grounded through Rs and coupled
+    // to both first-segment nodes) plus the decoupled dummy; D[s+1] holds
+    // (B_s, V_s) with the lateral liner rung on the off-diagonal; the
+    // inter-block coupling blocks are diagonal (bulk→bulk, via→via),
+    // except the first, where T₀ reaches both chains.
+    let mut diag = Vec::with_capacity(nb);
+    let mut lower = Vec::with_capacity(nb - 1);
+    let mut upper = Vec::with_capacity(nb - 1);
+    let mut rhs = vec![0.0; 2 * nb];
+
+    diag.push([1.0 / rs + gb[0] + gf[0], 0.0, 0.0, 1.0]);
+    upper.push([-gb[0], -gf[0], 0.0, 0.0]);
+    lower.push([-gb[0], 0.0, -gf[0], 0.0]);
+    for (s, seg) in segments.iter().enumerate() {
+        let (up_b, up_f) = if s + 1 < n_seg {
+            (gb[s + 1], gf[s + 1])
+        } else {
+            (0.0, 0.0)
+        };
+        let lat = 1.0 / seg.r_lat;
+        diag.push([gb[s] + lat + up_b, -lat, -lat, gf[s] + lat + up_f]);
+        if s + 1 < n_seg {
+            upper.push([-up_b, 0.0, 0.0, -up_f]);
+            lower.push([-up_b, 0.0, 0.0, -up_f]);
+        }
+        rhs[2 * (s + 1)] = seg.heat;
+    }
+
+    let m = BlockTridiagonal::from_blocks(diag, lower, upper);
+    let lu = m.factorize()?;
+    let mut x = rhs;
+    lu.solve_in_place(&mut x)?;
+
+    // Strip the dummy back out into the `[T0, B₁, V₁, …]` layout.
+    let mut t = Vec::with_capacity(1 + 2 * n_seg);
+    t.push(x[0]);
+    for s in 0..n_seg {
+        t.push(x[2 * s + 2]);
+        t.push(x[2 * s + 3]);
+    }
+    Ok(ModelBSolution::from_node_temps(
+        scenario,
+        segmentation,
+        &t,
+        n_seg,
+    ))
+}
+
+/// Generic banded assembly: unknowns `[T0, B₁, V₁, B₂, V₂, ...]`, bandwidth 2.
 fn solve_banded(
     scenario: &Scenario,
     segmentation: &Segmentation,
@@ -573,18 +654,37 @@ mod tests {
     }
 
     #[test]
-    fn banded_and_network_cg_agree() {
+    fn all_three_ladder_solvers_agree() {
         let s = scenario();
-        let banded = ModelB::paper_b100().solve(&s).unwrap();
+        let block = ModelB::paper_b100().solve(&s).unwrap();
+        let banded = ModelB::paper_b100()
+            .with_solver(LadderSolver::BandedLu)
+            .solve(&s)
+            .unwrap();
         let cg = ModelB::paper_b100()
             .with_solver(LadderSolver::ConjugateGradient)
             .solve(&s)
             .unwrap();
-        let (a, b) = (
-            banded.max_delta_t().as_kelvin(),
-            cg.max_delta_t().as_kelvin(),
+        let reference = block.max_delta_t().as_kelvin();
+        // The two direct eliminations agree to rounding; CG to its
+        // tolerance.
+        let banded_dt = banded.max_delta_t().as_kelvin();
+        assert!(
+            (reference - banded_dt).abs() < 1e-10 * reference,
+            "block {reference} vs banded {banded_dt}"
         );
-        assert!((a - b).abs() < 1e-6 * a, "banded {a} vs cg {b}");
+        let cg_dt = cg.max_delta_t().as_kelvin();
+        assert!(
+            (reference - cg_dt).abs() < 1e-6 * reference,
+            "block {reference} vs cg {cg_dt}"
+        );
+        // The whole profiles, not just the max.
+        for (a, b) in block.bulk_profile().iter().zip(banded.bulk_profile()) {
+            assert!((a.as_kelvin() - b.as_kelvin()).abs() < 1e-10 * reference);
+        }
+        for (a, b) in block.via_profile().iter().zip(banded.via_profile()) {
+            assert!((a.as_kelvin() - b.as_kelvin()).abs() < 1e-10 * reference);
+        }
     }
 
     #[test]

@@ -7,11 +7,12 @@
 //! (`ln` form), so the thin liner annulus is represented without requiring
 //! sub-micrometre meshing.
 
-use ttsv_linalg::{solve_pcg, CooBuilder, CsrMatrix, IterativeConfig, SsorPreconditioner};
+use ttsv_linalg::{BandedMatrix, CooBuilder, CsrMatrix, IterativeConfig};
 use ttsv_units::{Length, Power, PowerDensity, TemperatureDelta, ThermalConductivity};
 
 use crate::error::FemError;
 use crate::mesh::Axis;
+use crate::solver::{solve_preconditioned, FemPreconditioner, FemSolver};
 
 /// Boundary condition at the bottom (`z = 0`) plane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,6 +60,7 @@ pub struct AxisymmetricProblem {
     /// Pinned cell temperatures (K above reference).
     pins: Vec<Option<f64>>,
     bottom: BottomBc,
+    solver: FemSolver,
 }
 
 impl AxisymmetricProblem {
@@ -74,6 +76,7 @@ impl AxisymmetricProblem {
             q: vec![0.0; n],
             pins: vec![None; n],
             bottom: BottomBc::default(),
+            solver: FemSolver::default(),
         }
     }
 
@@ -110,6 +113,40 @@ impl AxisymmetricProblem {
     /// Selects the bottom boundary condition (default: heat sink).
     pub fn set_bottom(&mut self, bc: BottomBc) {
         self.bottom = bc;
+    }
+
+    /// Selects the linear solver (default: [`FemSolver::Auto`], which
+    /// picks banded LU for these small-bandwidth meshes) — an ablation
+    /// knob; the solution is identical to solver tolerance.
+    pub fn set_solver(&mut self, solver: FemSolver) {
+        self.solver = solver;
+    }
+
+    /// Shorthand for [`AxisymmetricProblem::set_solver`] with
+    /// [`FemSolver::Pcg`] — selects the PCG preconditioner.
+    pub fn set_preconditioner(&mut self, precond: FemPreconditioner) {
+        self.solver = FemSolver::Pcg(precond);
+    }
+
+    /// The configured linear solver.
+    #[must_use]
+    pub fn solver(&self) -> FemSolver {
+        self.solver
+    }
+
+    /// The solver [`FemSolver::Auto`] resolves to on this mesh (callers
+    /// use this to skip PCG-only work — warm-start guesses — when the
+    /// direct path will run).
+    #[must_use]
+    pub fn resolved_solver(&self) -> FemSolver {
+        self.solver.resolve(self.nr())
+    }
+
+    /// The iteration budget and tolerance [`AxisymmetricProblem::solve`]
+    /// uses.
+    #[must_use]
+    pub fn default_config(&self) -> IterativeConfig {
+        IterativeConfig::new(40 * self.cell_count() + 2000, 1e-11)
     }
 
     #[inline]
@@ -285,11 +322,11 @@ impl AxisymmetricProblem {
     ///
     /// See [`AxisymmetricProblem::solve_with`].
     pub fn solve(&self) -> Result<AxisymSolution, FemError> {
-        let n = self.cell_count();
-        self.solve_with(&IterativeConfig::new(40 * n + 2000, 1e-11))
+        self.solve_with(&self.default_config())
     }
 
-    /// Solves the finite-volume system with SSOR-preconditioned CG.
+    /// Solves the finite-volume system with preconditioned CG (see
+    /// [`AxisymmetricProblem::set_preconditioner`]).
     ///
     /// # Errors
     ///
@@ -297,6 +334,25 @@ impl AxisymmetricProblem {
     ///   (adiabatic bottom and no pins).
     /// * [`FemError::Solver`] if CG fails to converge within `config`.
     pub fn solve_with(&self, config: &IterativeConfig) -> Result<AxisymSolution, FemError> {
+        self.solve_with_guess(config, None)
+    }
+
+    /// Solves like [`AxisymmetricProblem::solve_with`], warm-starting PCG
+    /// from `guess` — a full per-cell temperature field (indexed
+    /// `ir + iz·nr`, as returned by
+    /// [`AxisymSolution::cell_temperatures_kelvin`]), typically the
+    /// solution of a nearby problem (previous sweep point or Picard
+    /// iterate). The warm start changes the iteration count only; the
+    /// result converges to the same tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AxisymmetricProblem::solve_with`].
+    pub fn solve_with_guess(
+        &self,
+        config: &IterativeConfig,
+        guess: Option<&[f64]>,
+    ) -> Result<AxisymSolution, FemError> {
         if self.bottom == BottomBc::Adiabatic && self.pins.iter().all(Option::is_none) {
             return Err(FemError::InvalidProblem {
                 reason: "no temperature reference: adiabatic bottom and no pinned cells".into(),
@@ -324,7 +380,6 @@ impl AxisymmetricProblem {
             });
         }
 
-        let mut coo = CooBuilder::with_capacity(m, m, 5 * m);
         let mut rhs = vec![0.0; m];
         for iz in 0..nz {
             for ir in 0..nr {
@@ -335,65 +390,33 @@ impl AxisymmetricProblem {
             }
         }
 
-        let couple = |coo: &mut CooBuilder, rhs: &mut Vec<f64>, i: usize, j: usize, g: f64| {
-            let (si, sj) = (slot[i], slot[j]);
-            match (si != usize::MAX, sj != usize::MAX) {
-                (true, true) => {
-                    coo.add(si, si, g);
-                    coo.add(sj, sj, g);
-                    coo.add(si, sj, -g);
-                    coo.add(sj, si, -g);
-                }
-                (true, false) => {
-                    coo.add(si, si, g);
-                    rhs[si] += g * self.pins[j].expect("pinned");
-                }
-                (false, true) => {
-                    coo.add(sj, sj, g);
-                    rhs[sj] += g * self.pins[i].expect("pinned");
-                }
-                (false, false) => {}
+        // The unknown numbering preserves the `ir + iz·nr` order, so the
+        // lexicographic half-bandwidth is at most nr — small enough on
+        // every axisymmetric mesh that `FemSolver::Auto` picks the direct
+        // banded factorization; the PCG path remains for the ablations and
+        // as the large-problem route.
+        let (solution, iterations) = match self.solver.resolve(nr) {
+            FemSolver::DirectBanded => {
+                let mut banded = BandedMatrix::zeros(m, nr, nr);
+                self.assemble(&slot, &mut rhs, &mut |si, sj, g| banded.add(si, sj, g));
+                (banded.factorize()?.solve(&rhs)?, 0)
             }
+            FemSolver::Pcg(precond) => {
+                let mut coo = CooBuilder::with_capacity(m, m, 5 * m);
+                self.assemble(&slot, &mut rhs, &mut |si, sj, g| coo.add(si, sj, g));
+                let csr: CsrMatrix = coo.to_csr();
+                // Project a full-field guess onto the unknown slots.
+                let guess_unknowns: Option<Vec<f64>> = guess
+                    .filter(|g| g.len() == n)
+                    .map(|g| cells.iter().map(|&i| g[i]).collect());
+                solve_preconditioned(&csr, &rhs, precond, config, guess_unknowns.as_deref())?
+            }
+            FemSolver::Auto => unreachable!("resolve() never returns Auto"),
         };
-
-        for iz in 0..nz {
-            for ir in 0..nr {
-                let i = self.idx(ir, iz);
-                if ir + 1 < nr {
-                    couple(
-                        &mut coo,
-                        &mut rhs,
-                        i,
-                        self.idx(ir + 1, iz),
-                        self.g_radial(ir, iz),
-                    );
-                }
-                if iz + 1 < nz {
-                    couple(
-                        &mut coo,
-                        &mut rhs,
-                        i,
-                        self.idx(ir, iz + 1),
-                        self.g_vertical(ir, iz),
-                    );
-                }
-                if iz == 0 {
-                    let g = self.g_bottom(ir);
-                    if g > 0.0 && slot[i] != usize::MAX {
-                        coo.add(slot[i], slot[i], g);
-                        // Sink is at T = 0: no RHS contribution.
-                    }
-                }
-            }
-        }
-
-        let csr: CsrMatrix = coo.to_csr();
-        let pre = SsorPreconditioner::new(&csr, 1.5);
-        let report = solve_pcg(&csr, &rhs, &pre, config)?;
 
         let mut temperatures = vec![0.0; n];
         for (s, &cell) in cells.iter().enumerate() {
-            temperatures[cell] = report.solution[s];
+            temperatures[cell] = solution[s];
         }
         for (i, p) in self.pins.iter().enumerate() {
             if let Some(t) = p {
@@ -403,8 +426,57 @@ impl AxisymmetricProblem {
         Ok(AxisymSolution {
             problem: self.clone(),
             temperatures,
-            iterations: report.iterations,
+            iterations,
         })
+    }
+
+    /// Walks every face conductance once, emitting the unknown-by-unknown
+    /// stencil contributions through `add` (pinned neighbours fold into
+    /// `rhs`). Shared by the banded and CSR assemblies.
+    fn assemble(&self, slot: &[usize], rhs: &mut [f64], add: &mut dyn FnMut(usize, usize, f64)) {
+        let (nr, nz) = (self.nr(), self.nz());
+        let couple = |i: usize,
+                      j: usize,
+                      g: f64,
+                      rhs: &mut [f64],
+                      add: &mut dyn FnMut(usize, usize, f64)| {
+            let (si, sj) = (slot[i], slot[j]);
+            match (si != usize::MAX, sj != usize::MAX) {
+                (true, true) => {
+                    add(si, si, g);
+                    add(sj, sj, g);
+                    add(si, sj, -g);
+                    add(sj, si, -g);
+                }
+                (true, false) => {
+                    add(si, si, g);
+                    rhs[si] += g * self.pins[j].expect("pinned");
+                }
+                (false, true) => {
+                    add(sj, sj, g);
+                    rhs[sj] += g * self.pins[i].expect("pinned");
+                }
+                (false, false) => {}
+            }
+        };
+        for iz in 0..nz {
+            for ir in 0..nr {
+                let i = self.idx(ir, iz);
+                if ir + 1 < nr {
+                    couple(i, self.idx(ir + 1, iz), self.g_radial(ir, iz), rhs, add);
+                }
+                if iz + 1 < nz {
+                    couple(i, self.idx(ir, iz + 1), self.g_vertical(ir, iz), rhs, add);
+                }
+                if iz == 0 {
+                    let g = self.g_bottom(ir);
+                    if g > 0.0 && slot[i] != usize::MAX {
+                        // Sink is at T = 0: no RHS contribution.
+                        add(slot[i], slot[i], g);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -418,7 +490,7 @@ pub struct AxisymSolution {
 }
 
 impl AxisymSolution {
-    /// CG iterations the solve took.
+    /// PCG iterations the solve took (0 for the direct banded solver).
     #[must_use]
     pub fn iterations(&self) -> usize {
         self.iterations
@@ -672,6 +744,61 @@ mod tests {
         assert!(
             with < 0.5 * without,
             "via should cut ΔT substantially: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn preconditioner_choices_agree() {
+        let build = || {
+            let r = Axis::builder()
+                .segment(um(8.0), 4)
+                .segment(um(42.0), 12)
+                .build();
+            let z = Axis::builder().segment(um(100.0), 30).build();
+            let mut prob = AxisymmetricProblem::new(r, z, kk(150.0));
+            prob.set_material((um(0.0), um(8.0)), (um(0.0), um(100.0)), kk(400.0));
+            prob.add_source((um(0.0), um(50.0)), (um(95.0), um(100.0)), wmm3(100.0));
+            prob
+        };
+        let reference = build().solve().unwrap().max_temperature().as_kelvin();
+        for precond in [
+            FemPreconditioner::Identity,
+            FemPreconditioner::Jacobi,
+            FemPreconditioner::ssor(),
+        ] {
+            let mut prob = build();
+            prob.set_preconditioner(precond);
+            let got = prob.solve().unwrap().max_temperature().as_kelvin();
+            assert!(
+                (got - reference).abs() < 1e-7 * reference,
+                "{precond:?}: {got} vs multigrid {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_from_own_solution_converges_immediately() {
+        let r = Axis::builder().segment(um(30.0), 10).build();
+        let z = Axis::builder().segment(um(60.0), 20).build();
+        let mut prob = AxisymmetricProblem::new(r, z, kk(100.0));
+        prob.add_source((um(0.0), um(30.0)), (um(55.0), um(60.0)), wmm3(200.0));
+        // Force the iterative path: the direct solver has no warm start.
+        prob.set_preconditioner(FemPreconditioner::Multigrid);
+        let cold = prob.solve().unwrap();
+        let warm = prob
+            .solve_with_guess(
+                &prob.default_config(),
+                Some(cold.cell_temperatures_kelvin()),
+            )
+            .unwrap();
+        assert!(
+            warm.iterations() <= 1,
+            "warm restart took {} iterations",
+            warm.iterations()
+        );
+        assert!(
+            (warm.max_temperature().as_kelvin() - cold.max_temperature().as_kelvin()).abs()
+                < 1e-9 * cold.max_temperature().as_kelvin()
         );
     }
 

@@ -6,11 +6,12 @@
 //! the cylindrical via, and compared against
 //! [`axisym`](crate::axisym::AxisymmetricProblem).
 
-use ttsv_linalg::{solve_pcg, CooBuilder, IterativeConfig, SsorPreconditioner};
+use ttsv_linalg::{BandedMatrix, CooBuilder, IterativeConfig};
 use ttsv_units::{Length, Power, PowerDensity, TemperatureDelta, ThermalConductivity};
 
 use crate::error::FemError;
 use crate::mesh::Axis;
+use crate::solver::{solve_preconditioned, FemPreconditioner, FemSolver};
 
 /// A steady heat-conduction problem on a `[0,Lx] × [0,Ly] × [0,Lz]` box with
 /// a heat sink at `z = 0` and adiabatic walls elsewhere.
@@ -27,6 +28,7 @@ pub struct CartesianProblem {
     k: Vec<f64>,
     /// Cell volumetric source (W/m³).
     q: Vec<f64>,
+    solver: FemSolver,
 }
 
 impl CartesianProblem {
@@ -40,7 +42,27 @@ impl CartesianProblem {
             z,
             k: vec![background.as_watts_per_meter_kelvin(); n],
             q: vec![0.0; n],
+            solver: FemSolver::default(),
         }
+    }
+
+    /// Selects the linear solver (default: [`FemSolver::Auto`], which
+    /// picks multigrid-PCG for all but the tiniest boxes) — an ablation
+    /// knob; the solution is identical to solver tolerance.
+    pub fn set_solver(&mut self, solver: FemSolver) {
+        self.solver = solver;
+    }
+
+    /// Shorthand for [`CartesianProblem::set_solver`] with
+    /// [`FemSolver::Pcg`] — selects the PCG preconditioner.
+    pub fn set_preconditioner(&mut self, precond: FemPreconditioner) {
+        self.solver = FemSolver::Pcg(precond);
+    }
+
+    /// The configured linear solver.
+    #[must_use]
+    pub fn solver(&self) -> FemSolver {
+        self.solver
     }
 
     /// Cell counts along (x, y, z).
@@ -218,7 +240,8 @@ impl CartesianProblem {
         self.solve_with(&IterativeConfig::new(40 * n + 2000, 1e-10))
     }
 
-    /// Solves the finite-volume system with SSOR-preconditioned CG.
+    /// Solves the finite-volume system with preconditioned CG (see
+    /// [`CartesianProblem::set_preconditioner`]).
     ///
     /// # Errors
     ///
@@ -226,9 +249,40 @@ impl CartesianProblem {
     pub fn solve_with(&self, config: &IterativeConfig) -> Result<CartesianSolution, FemError> {
         let (nx, ny, nz) = self.dims();
         let n = nx * ny * nz;
-        let mut coo = CooBuilder::with_capacity(n, n, 7 * n);
         let mut rhs = vec![0.0; n];
+        // Lexicographic half-bandwidth is nx·ny: only the tiniest boxes
+        // qualify for the direct path under `FemSolver::Auto`.
+        let (temperatures, iterations) = match self.solver.resolve(nx * ny) {
+            FemSolver::DirectBanded => {
+                let mut banded = BandedMatrix::zeros(n, nx * ny, nx * ny);
+                self.assemble(&mut rhs, &mut |i, j, g| banded.add(i, j, g));
+                (banded.factorize()?.solve(&rhs)?, 0)
+            }
+            FemSolver::Pcg(precond) => {
+                let mut coo = CooBuilder::with_capacity(n, n, 7 * n);
+                self.assemble(&mut rhs, &mut |i, j, g| coo.add(i, j, g));
+                solve_preconditioned(&coo.to_csr(), &rhs, precond, config, None)?
+            }
+            FemSolver::Auto => unreachable!("resolve() never returns Auto"),
+        };
+        Ok(CartesianSolution {
+            problem: self.clone(),
+            temperatures,
+            iterations,
+        })
+    }
 
+    /// Walks every face conductance once, emitting the stencil
+    /// contributions through `add` (mirrors the axisymmetric solver's
+    /// assembly; shared by the banded and CSR paths).
+    fn assemble(&self, rhs: &mut [f64], add: &mut dyn FnMut(usize, usize, f64)) {
+        let (nx, ny, nz) = self.dims();
+        let couple = |i: usize, j: usize, g: f64, add: &mut dyn FnMut(usize, usize, f64)| {
+            add(i, i, g);
+            add(j, j, g);
+            add(i, j, -g);
+            add(j, i, -g);
+        };
         for iz in 0..nz {
             for iy in 0..ny {
                 for ix in 0..nx {
@@ -239,47 +293,29 @@ impl CartesianProblem {
                         let j = self.idx(ix + 1, iy, iz);
                         let area = self.y.width_m(iy) * self.z.width_m(iz);
                         let g = self.g_face(i, j, area, self.x.width_m(ix), self.x.width_m(ix + 1));
-                        coo.add(i, i, g);
-                        coo.add(j, j, g);
-                        coo.add(i, j, -g);
-                        coo.add(j, i, -g);
+                        couple(i, j, g, add);
                     }
                     if iy + 1 < ny {
                         let j = self.idx(ix, iy + 1, iz);
                         let area = self.x.width_m(ix) * self.z.width_m(iz);
                         let g = self.g_face(i, j, area, self.y.width_m(iy), self.y.width_m(iy + 1));
-                        coo.add(i, i, g);
-                        coo.add(j, j, g);
-                        coo.add(i, j, -g);
-                        coo.add(j, i, -g);
+                        couple(i, j, g, add);
                     }
                     if iz + 1 < nz {
                         let j = self.idx(ix, iy, iz + 1);
                         let area = self.x.width_m(ix) * self.y.width_m(iy);
                         let g = self.g_face(i, j, area, self.z.width_m(iz), self.z.width_m(iz + 1));
-                        coo.add(i, i, g);
-                        coo.add(j, j, g);
-                        coo.add(i, j, -g);
-                        coo.add(j, i, -g);
+                        couple(i, j, g, add);
                     }
                     if iz == 0 {
                         // Dirichlet sink at z = 0, T = 0.
                         let area = self.x.width_m(ix) * self.y.width_m(iy);
                         let g = area / (self.z.width_m(0) / (2.0 * self.k[i]));
-                        coo.add(i, i, g);
+                        add(i, i, g);
                     }
                 }
             }
         }
-
-        let csr = coo.to_csr();
-        let pre = SsorPreconditioner::new(&csr, 1.5);
-        let report = solve_pcg(&csr, &rhs, &pre, config)?;
-        Ok(CartesianSolution {
-            problem: self.clone(),
-            temperatures: report.solution,
-            iterations: report.iterations,
-        })
     }
 }
 
@@ -292,7 +328,7 @@ pub struct CartesianSolution {
 }
 
 impl CartesianSolution {
-    /// CG iterations the solve took.
+    /// PCG iterations the solve took (0 for the direct banded solver).
     #[must_use]
     pub fn iterations(&self) -> usize {
         self.iterations
@@ -441,6 +477,39 @@ mod tests {
         let without = build(false);
         let with = build(true);
         assert!(with < 0.5 * without, "via: {with} vs no via: {without}");
+    }
+
+    #[test]
+    fn preconditioner_choices_agree() {
+        let build = || {
+            let x = Axis::builder().segment(um(20.0), 6).build();
+            let y = Axis::builder().segment(um(20.0), 6).build();
+            let z = Axis::builder().segment(um(30.0), 8).build();
+            let mut prob = CartesianProblem::new(x, y, z, kk(1.4));
+            prob.set_material_cylinder(
+                (um(10.0), um(10.0)),
+                um(4.0),
+                (um(0.0), um(30.0)),
+                kk(400.0),
+            );
+            prob.add_source(
+                (um(0.0), um(20.0)),
+                (um(0.0), um(20.0)),
+                (um(25.0), um(30.0)),
+                wmm3(40.0),
+            );
+            prob
+        };
+        let reference = build().solve().unwrap().max_temperature().as_kelvin();
+        for precond in [FemPreconditioner::Jacobi, FemPreconditioner::ssor()] {
+            let mut prob = build();
+            prob.set_preconditioner(precond);
+            let got = prob.solve().unwrap().max_temperature().as_kelvin();
+            assert!(
+                (got - reference).abs() < 1e-6 * reference,
+                "{precond:?}: {got} vs multigrid {reference}"
+            );
+        }
     }
 
     #[test]

@@ -57,6 +57,8 @@ mod error;
 mod mesh;
 pub mod nonlinear;
 pub mod slab1d;
+mod solver;
 
 pub use error::FemError;
 pub use mesh::Axis;
+pub use solver::{FemPreconditioner, FemSolver};

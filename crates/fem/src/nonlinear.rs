@@ -98,7 +98,10 @@ pub fn solve_nonlinear(
     let mut previous: Option<Vec<f64>> = None;
 
     for outer in 1..=config.max_iterations {
-        let solution = current.solve_with(&config.inner)?;
+        // Warm-start each re-linearized solve from the previous outer
+        // iterate: near convergence the field barely moves, so the inner
+        // PCG terminates in a handful of iterations.
+        let solution = current.solve_with_guess(&config.inner, previous.as_deref())?;
         let field = solution.cell_temperatures_kelvin().to_vec();
 
         // Convergence check against the previous outer iterate.

@@ -163,31 +163,46 @@ impl BandedMatrix {
 
     /// Consumes the matrix and produces an in-band LU factorization.
     ///
+    /// The elimination runs on the flat row-compact storage directly
+    /// (entry `(i, j)` lives at `i·w + (j − i + kl)` with
+    /// `w = kl + ku + 1`), with no per-entry offset validation — this is
+    /// the hot loop of the direct finite-volume solver.
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::Singular`] on a numerically zero pivot.
     pub fn factorize(mut self) -> Result<BandedLu, LinalgError> {
         let n = self.n;
+        let (kl, ku) = (self.kl, self.ku);
+        let w = kl + ku + 1;
         let scale = self
             .data
             .iter()
             .fold(0.0f64, |m, v| m.max(v.abs()))
             .max(f64::MIN_POSITIVE);
+        let tiny = 1e-13 * scale;
         for k in 0..n {
-            let pivot = self.get(k, k);
-            if pivot.abs() <= 1e-13 * scale {
+            // Rows ≤ k stay read-only; rows > k receive the updates.
+            let (head, tail) = self.data.split_at_mut((k + 1) * w);
+            let row_k = &head[k * w..];
+            let pivot = row_k[kl];
+            if pivot.abs() <= tiny {
                 return Err(LinalgError::Singular { pivot: k });
             }
-            let ilo = k + 1;
-            let ihi = (k + self.kl).min(n - 1);
-            for i in ilo..=ihi {
-                let factor = self.get(i, k) / pivot;
-                self.set(i, k, factor);
-                let jhi = (k + self.ku).min(n - 1);
-                for j in (k + 1)..=jhi {
-                    let ukj = self.get(k, j);
-                    if ukj != 0.0 {
-                        self.add(i, j, -factor * ukj);
+            let inv_pivot = 1.0 / pivot;
+            let ihi = (k + kl).min(n - 1);
+            let jhi = (k + ku).min(n - 1);
+            for i in (k + 1)..=ihi {
+                let row_i = &mut tail[(i - k - 1) * w..(i - k) * w];
+                // Column k in row i sits at kl + k − i; in row k, column j
+                // sits at kl + j − k. Both index ranges are in-band by
+                // construction (j ≤ k + ku, i ≤ k + kl).
+                let ck = kl + k - i;
+                let factor = row_i[ck] * inv_pivot;
+                row_i[ck] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..=jhi {
+                        row_i[kl + j - i] -= factor * row_k[kl + j - k];
                     }
                 }
             }
@@ -223,24 +238,30 @@ impl BandedLu {
                 actual: b.len(),
             });
         }
+        let (kl, ku) = (self.lu.kl, self.lu.ku);
+        let w = kl + ku + 1;
+        let data = &self.lu.data;
         let mut x = b.to_vec();
-        // Forward substitution with unit-lower L.
+        // Forward substitution with unit-lower L (flat indexing; entry
+        // `(i, j)` lives at `i·w + (j − i + kl)`).
         for i in 0..n {
-            let jlo = i.saturating_sub(self.lu.kl);
+            let jlo = i.saturating_sub(kl);
+            let row = &data[i * w..(i + 1) * w];
             let mut sum = x[i];
             for j in jlo..i {
-                sum -= self.lu.get(i, j) * x[j];
+                sum -= row[kl + j - i] * x[j];
             }
             x[i] = sum;
         }
         // Back substitution with U.
         for i in (0..n).rev() {
-            let jhi = (i + self.lu.ku).min(n - 1);
+            let jhi = (i + ku).min(n - 1);
+            let row = &data[i * w..(i + 1) * w];
             let mut sum = x[i];
             for j in (i + 1)..=jhi {
-                sum -= self.lu.get(i, j) * x[j];
+                sum -= row[kl + j - i] * x[j];
             }
-            x[i] = sum / self.lu.get(i, i);
+            x[i] = sum / row[kl];
         }
         Ok(x)
     }

@@ -7,11 +7,15 @@
 //! * [`DenseMatrix`] with [LU](DenseMatrix::lu) (partial pivoting) and
 //!   [QR](DenseMatrix::qr) (Householder) factorizations — Model A's small KCL
 //!   systems and least-squares fitting.
-//! * [`Tridiagonal`] (Thomas algorithm) and [`BandedMatrix`] (banded LU) —
-//!   Model B's π-segment ladders are banded SPD systems.
+//! * [`Tridiagonal`] (Thomas algorithm), [`BandedMatrix`] (banded LU), and
+//!   [`BlockTridiagonal`] (2×2 block Thomas) — Model B's π-segment ladders
+//!   are banded SPD systems, solved `O(n)` by the dedicated block kernel.
 //! * [`CsrMatrix`] sparse storage with [conjugate-gradient](solve_cg)
-//!   solvers and [Jacobi](JacobiPreconditioner)/[SSOR](SsorPreconditioner)
-//!   preconditioning — the finite-volume reference solver.
+//!   solvers ([allocation-free and warm-startable](solve_pcg_into) via
+//!   [`PcgWorkspace`]), [Jacobi](JacobiPreconditioner)/[SSOR](SsorPreconditioner)
+//!   preconditioning, and a geometric [multigrid](MultigridPreconditioner)
+//!   V-cycle for the structured finite-volume grids — the reference solver's
+//!   hot path.
 //! * Derivative-free optimizers ([`nelder_mead`], [`golden_section`]) — the
 //!   k₁/k₂ fitting-coefficient calibration.
 //!
@@ -33,10 +37,12 @@
 #![allow(clippy::needless_range_loop)]
 
 mod banded;
+mod block_tridiag;
 mod dense;
 mod error;
 mod iterative;
 mod lu;
+mod multigrid;
 mod optimize;
 mod precond;
 mod qr;
@@ -45,12 +51,15 @@ mod tridiagonal;
 mod vector;
 
 pub use banded::{BandedLu, BandedMatrix};
+pub use block_tridiag::{BlockTridiagonal, BlockTridiagonalLu};
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
 pub use iterative::{
-    solve_cg, solve_gauss_seidel, solve_pcg, solve_sor, IterativeConfig, SolveReport,
+    solve_cg, solve_gauss_seidel, solve_pcg, solve_pcg_into, solve_sor, IterativeConfig,
+    PcgWorkspace, SolveReport, SolveStats,
 };
 pub use lu::LuDecomposition;
+pub use multigrid::{MultigridConfig, MultigridPreconditioner};
 pub use optimize::{
     golden_section, nelder_mead, GoldenSectionResult, NelderMeadConfig, NelderMeadResult,
 };

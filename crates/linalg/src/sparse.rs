@@ -138,6 +138,36 @@ pub struct CsrMatrix {
 }
 
 impl CsrMatrix {
+    /// Assembles a CSR matrix from raw parts (used by kernels that build
+    /// rows in order, skipping the COO sort). Columns must be sorted and
+    /// unique within each row.
+    pub(crate) fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), rows + 1);
+        debug_assert_eq!(*row_ptr.last().expect("nonempty"), col_idx.len());
+        debug_assert_eq!(col_idx.len(), values.len());
+        debug_assert!((0..rows).all(|i| {
+            col_idx[row_ptr[i]..row_ptr[i + 1]]
+                .windows(2)
+                .all(|w| w[0] < w[1])
+                && col_idx[row_ptr[i]..row_ptr[i + 1]]
+                    .iter()
+                    .all(|&c| c < cols)
+        }));
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
     /// Number of rows.
     #[must_use]
     pub fn rows(&self) -> usize {

@@ -1,7 +1,83 @@
 //! Property-based tests for the linear-algebra kernels.
 
 use proptest::prelude::*;
-use ttsv_linalg::{solve_cg, BandedMatrix, CooBuilder, DenseMatrix, IterativeConfig, Tridiagonal};
+use ttsv_linalg::{
+    solve_cg, solve_pcg, BandedMatrix, BlockTridiagonal, CooBuilder, CsrMatrix, DenseMatrix,
+    IterativeConfig, MultigridConfig, MultigridPreconditioner, SsorPreconditioner, Tridiagonal,
+};
+
+/// A random finite-volume-style SPD system on an `nx × ny × nz` box:
+/// 7-point stencil with harmonic-mean-like positive face conductances and
+/// a Dirichlet anchor below the first layer (mirrors the Cartesian heat
+/// solver's structure, including conductivity jumps).
+fn random_box_matrix(dims: (usize, usize, usize), k: &[f64]) -> CsrMatrix {
+    let (nx, ny, nz) = dims;
+    let n = nx * ny * nz;
+    let idx = |x: usize, y: usize, z: usize| x + y * nx + z * nx * ny;
+    let mut coo = CooBuilder::new(n, n);
+    let face = |a: f64, b: f64| 2.0 * a * b / (a + b);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = idx(x, y, z);
+                if x + 1 < nx {
+                    let j = idx(x + 1, y, z);
+                    let g = face(k[i], k[j]);
+                    coo.add(i, i, g);
+                    coo.add(j, j, g);
+                    coo.add(i, j, -g);
+                    coo.add(j, i, -g);
+                }
+                if y + 1 < ny {
+                    let j = idx(x, y + 1, z);
+                    let g = face(k[i], k[j]);
+                    coo.add(i, i, g);
+                    coo.add(j, j, g);
+                    coo.add(i, j, -g);
+                    coo.add(j, i, -g);
+                }
+                if z + 1 < nz {
+                    let j = idx(x, y, z + 1);
+                    let g = face(k[i], k[j]);
+                    coo.add(i, i, g);
+                    coo.add(j, j, g);
+                    coo.add(i, j, -g);
+                    coo.add(j, i, -g);
+                }
+                if z == 0 {
+                    coo.add(i, i, 2.0 * k[i]); // sink anchor
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Strategy: box dimensions plus per-cell conductivities spanning a
+/// 100 : 1 jump range (the solvers must agree across material contrast).
+fn box_system() -> impl Strategy<Value = ((usize, usize, usize), Vec<f64>, Vec<f64>)> {
+    (2usize..5, 2usize..5, 2usize..6).prop_flat_map(|(nx, ny, nz)| {
+        let n = nx * ny * nz;
+        (
+            Just((nx, ny, nz)),
+            prop::collection::vec(0.1..10.0f64, n),
+            prop::collection::vec(-5.0..5.0f64, n),
+        )
+    })
+}
+
+/// Strategy: a Model-B-shaped ladder — per-segment (bulk, fill, lateral)
+/// conductances plus heat inputs and a substrate conductance.
+#[allow(clippy::type_complexity)]
+fn ladder_system() -> impl Strategy<Value = (Vec<(f64, f64, f64)>, Vec<f64>, f64)> {
+    (2usize..41).prop_flat_map(|segs| {
+        (
+            prop::collection::vec((0.1..50.0f64, 0.1..50.0f64, 0.1..50.0f64), segs),
+            prop::collection::vec(0.0..5.0f64, segs),
+            0.1..10.0f64,
+        )
+    })
+}
 
 /// Strategy: a well-conditioned SPD matrix built as `A = BᵀB + n·I` from a
 /// random `B` with entries in [−1, 1].
@@ -120,6 +196,124 @@ proptest! {
         let x_dense = dense.solve(&b).unwrap();
         for (a, d) in x_band.iter().zip(&x_dense) {
             prop_assert!((a - d).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn block_tridiag_and_banded_lu_agree_on_random_ladders(
+        (segs, heats, g_sub) in ladder_system(),
+    ) {
+        // The Model B pattern: interleaved [T0, B1, V1, ...] for the
+        // banded assembly, the dummy-padded block layout for the block
+        // kernel. Both direct eliminations must agree to rounding.
+        let n_seg = segs.len();
+        let n = 1 + 2 * n_seg;
+        let mut banded = BandedMatrix::zeros(n, 2, 2);
+        let mut block = BlockTridiagonal::zeros(n_seg + 1);
+        let mut rhs_banded = vec![0.0; n];
+        let mut rhs_block = vec![0.0; 2 * (n_seg + 1)];
+        banded.add(0, 0, g_sub);
+        block.add(0, 0, g_sub);
+        block.add(1, 1, 1.0);
+        let couple_banded = |m: &mut BandedMatrix, i: usize, j: usize, g: f64| {
+            m.add(i, i, g);
+            m.add(j, j, g);
+            if i != j {
+                m.add(i, j, -g);
+                m.add(j, i, -g);
+            }
+        };
+        let couple_block = |m: &mut BlockTridiagonal, i: usize, j: usize, g: f64| {
+            m.add(i, i, g);
+            m.add(j, j, g);
+            if i != j {
+                m.add(i, j, -g);
+                m.add(j, i, -g);
+            }
+        };
+        for (s, &(gb, gf, gl)) in segs.iter().enumerate() {
+            let (bulk_b, via_b) = (1 + 2 * s, 2 + 2 * s);
+            let (bulk_k, via_k) = (2 * s + 2, 2 * s + 3);
+            let (below_bulk_b, below_via_b) = if s == 0 { (0, 0) } else { (bulk_b - 2, via_b - 2) };
+            let (below_bulk_k, below_via_k) = if s == 0 { (0, 0) } else { (bulk_k - 2, via_k - 2) };
+            couple_banded(&mut banded, bulk_b, below_bulk_b, gb);
+            couple_banded(&mut banded, via_b, below_via_b, gf);
+            couple_banded(&mut banded, bulk_b, via_b, gl);
+            couple_block(&mut block, bulk_k, below_bulk_k, gb);
+            couple_block(&mut block, via_k, below_via_k, gf);
+            couple_block(&mut block, bulk_k, via_k, gl);
+            rhs_banded[bulk_b] = heats[s];
+            rhs_block[bulk_k] = heats[s];
+        }
+        let x_banded = banded.solve(&rhs_banded).unwrap();
+        let x_block = block.solve(&rhs_block).unwrap();
+        let scale = x_banded.iter().fold(1e-30f64, |m, v| m.max(v.abs()));
+        prop_assert!((x_banded[0] - x_block[0]).abs() <= 1e-9 * scale);
+        for s in 0..n_seg {
+            prop_assert!(
+                (x_banded[1 + 2 * s] - x_block[2 * s + 2]).abs() <= 1e-9 * scale,
+                "bulk {s}: {} vs {}", x_banded[1 + 2 * s], x_block[2 * s + 2]
+            );
+            prop_assert!(
+                (x_banded[2 + 2 * s] - x_block[2 * s + 3]).abs() <= 1e-9 * scale,
+                "via {s}: {} vs {}", x_banded[2 + 2 * s], x_block[2 * s + 3]
+            );
+        }
+    }
+
+    #[test]
+    fn mg_pcg_and_ssor_pcg_and_plain_cg_agree_on_random_boxes(
+        (dims, k, b) in box_system(),
+    ) {
+        let a = random_box_matrix(dims, &k);
+        let cfg = IterativeConfig::new(50_000, 1e-11);
+        let plain = solve_cg(&a, &b, &cfg).unwrap().solution;
+        let ssor = solve_pcg(&a, &b, &SsorPreconditioner::new(&a, 1.5), &cfg)
+            .unwrap()
+            .solution;
+        let mg = MultigridPreconditioner::new(&a, &MultigridConfig::default()).unwrap();
+        let mg_x = solve_pcg(&a, &b, &mg, &cfg).unwrap().solution;
+        let scale = plain.iter().fold(1e-30f64, |m, v| m.max(v.abs()));
+        for i in 0..plain.len() {
+            prop_assert!((plain[i] - ssor[i]).abs() <= 1e-6 * scale, "ssor differs at {i}");
+            prop_assert!((plain[i] - mg_x[i]).abs() <= 1e-6 * scale, "multigrid differs at {i}");
+        }
+    }
+
+    #[test]
+    fn vcycle_reduces_energy_error_monotonically_on_random_boxes(
+        (dims, k, x_star) in box_system(),
+    ) {
+        // The V-cycle as a stationary iteration must contract the energy
+        // norm ‖e‖_A every cycle until rounding-level convergence.
+        let a = random_box_matrix(dims, &k);
+        let b = a.matvec(&x_star).unwrap();
+        let mg = MultigridPreconditioner::new(&a, &MultigridConfig::default()).unwrap();
+        let n = b.len();
+        let energy = |x: &[f64]| {
+            let e: Vec<f64> = x_star.iter().zip(x).map(|(s, v)| s - v).collect();
+            ttsv_linalg::dot(&e, &a.matvec(&e).unwrap()).max(0.0).sqrt()
+        };
+        let mut x = vec![0.0; n];
+        let mut prev = energy(&x);
+        let floor = 1e-10 * prev.max(1e-30);
+        for cycle in 0..8 {
+            if prev <= floor {
+                break; // already at rounding level
+            }
+            let ax = a.matvec(&x).unwrap();
+            let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+            let mut dz = vec![0.0; n];
+            ttsv_linalg::Preconditioner::apply(&mg, &r, &mut dz);
+            for i in 0..n {
+                x[i] += dz[i];
+            }
+            let now = energy(&x);
+            prop_assert!(
+                now < prev,
+                "cycle {cycle}: energy error grew from {prev:.3e} to {now:.3e}"
+            );
+            prev = now;
         }
     }
 

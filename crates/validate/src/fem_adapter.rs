@@ -6,10 +6,13 @@
 //! identical cells each carrying `1/n` of the heat, and each plane's power
 //! enters a thin device sheet on top of its substrate.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use ttsv_core::scenario::{Scenario, ThermalModel};
 use ttsv_core::CoreError;
 use ttsv_fem::axisym::{AxisymSolution, AxisymmetricProblem};
-use ttsv_fem::Axis;
+use ttsv_fem::{Axis, FemSolver};
 use ttsv_units::{Area, Length, TemperatureDelta};
 
 /// Mesh-resolution knobs for the reference solves.
@@ -80,6 +83,12 @@ impl FemResolution {
     }
 }
 
+/// Warm-start cache: the latest solved temperature field per mesh shape.
+/// Shared across clones (one sweep shares one cache between its worker
+/// threads); keyed by `(nr, nz)` so a guess is only ever applied to a
+/// mesh of identical layout.
+type WarmCache = Arc<Mutex<HashMap<(usize, usize), Vec<f64>>>>;
+
 /// The FEM reference model: a [`ThermalModel`] backed by the axisymmetric
 /// finite-volume solver.
 ///
@@ -97,6 +106,8 @@ impl FemResolution {
 pub struct FemReference {
     resolution: FemResolution,
     device_thickness: Length,
+    solver: FemSolver,
+    warm: WarmCache,
 }
 
 impl Default for FemReference {
@@ -113,6 +124,8 @@ impl FemReference {
         Self {
             resolution: FemResolution::default(),
             device_thickness: Length::from_micrometers(1.0),
+            solver: FemSolver::default(),
+            warm: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -120,6 +133,13 @@ impl FemReference {
     #[must_use]
     pub fn with_resolution(mut self, resolution: FemResolution) -> Self {
         self.resolution = resolution;
+        self
+    }
+
+    /// Overrides the linear solver (default: [`FemSolver::Auto`]).
+    #[must_use]
+    pub fn with_solver(mut self, solver: FemSolver) -> Self {
+        self.solver = solver;
         self
     }
 
@@ -276,14 +296,42 @@ impl FemReference {
 
     /// Runs the reference solve and returns the full field.
     ///
+    /// Successive solves on meshes of the same shape (every point of a
+    /// parameter sweep) warm-start PCG from the previous field via a cache
+    /// shared across clones; the direct solver ignores the guess, and the
+    /// warm start never changes what the solve converges to — only how
+    /// fast it gets there.
+    ///
     /// # Errors
     ///
     /// Propagates mesh/solver failures as [`CoreError::InvalidScenario`].
     pub fn solve(&self, scenario: &Scenario) -> Result<AxisymSolution, CoreError> {
-        let prob = self.build_problem(scenario)?;
-        prob.solve().map_err(|e| CoreError::InvalidScenario {
-            reason: format!("FEM reference solve failed: {e}"),
-        })
+        let mut prob = self.build_problem(scenario)?;
+        prob.set_solver(self.solver);
+        // The warm-start cache only matters on the iterative path; the
+        // direct banded solver (the `Auto` resolution on every standard
+        // mesh) ignores guesses, so skip the lock-and-clone entirely.
+        let iterative = matches!(prob.resolved_solver(), FemSolver::Pcg(_));
+        let key = (prob.nr(), prob.nz());
+        let guess = if iterative {
+            self.warm
+                .lock()
+                .ok()
+                .and_then(|cache| cache.get(&key).cloned())
+        } else {
+            None
+        };
+        let solution = prob
+            .solve_with_guess(&prob.default_config(), guess.as_deref())
+            .map_err(|e| CoreError::InvalidScenario {
+                reason: format!("FEM reference solve failed: {e}"),
+            })?;
+        if iterative {
+            if let Ok(mut cache) = self.warm.lock() {
+                cache.insert(key, solution.cell_temperatures_kelvin().to_vec());
+            }
+        }
+        Ok(solution)
     }
 }
 
@@ -316,6 +364,9 @@ pub struct CartesianReference {
     pub lateral_cells: usize,
     /// Vertical resolution knobs (shared with the axisymmetric adapter).
     pub resolution: FemResolution,
+    /// Linear solver for the 3-D system (default: [`FemSolver::Auto`],
+    /// which resolves to multigrid-PCG at these sizes).
+    pub solver: FemSolver,
     device_thickness: Length,
 }
 
@@ -332,6 +383,7 @@ impl CartesianReference {
         Self {
             lateral_cells: 30,
             resolution: FemResolution::default(),
+            solver: FemSolver::default(),
             device_thickness: Length::from_micrometers(1.0),
         }
     }
@@ -397,6 +449,7 @@ impl CartesianReference {
         let z = zb.build();
 
         let mut prob = CartesianProblem::new(x, y, z, stack.k_si());
+        prob.set_solver(self.solver);
         let full = (Length::ZERO, side);
         for (lo, hi, k) in bands {
             prob.set_material(full, full, (lo, hi), k);

@@ -1,9 +1,17 @@
 //! Parallel parameter-sweep runner.
 //!
 //! Every figure in the paper is a sweep of one scenario parameter evaluated
-//! by several models. The FEM reference dominates the cost, so sweep points
-//! run on scoped threads (one per point, bounded by the point count — the
-//! sweeps here have ≤ 20 points).
+//! by several models. The FEM reference dominates the cost, so points run
+//! on a bounded pool of scoped worker threads — at most
+//! `available_parallelism()` of them — that claim points one at a time
+//! from a shared atomic queue (self-scheduling work distribution). Dense
+//! sweeps of 100+ points therefore never oversubscribe the machine, and
+//! expensive points naturally load-balance across workers. Evaluation
+//! order within the sweep is unspecified; the results come back in point
+//! order regardless, and models with internal warm-start caches (the FEM
+//! reference) share them across workers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ttsv_core::scenario::{Scenario, ThermalModel};
 use ttsv_core::CoreError;
@@ -20,48 +28,73 @@ pub struct SweepPoint {
     pub seconds: Vec<f64>,
 }
 
+fn evaluate_point(
+    x: f64,
+    scenario: &Scenario,
+    models: &[&(dyn ThermalModel + Sync)],
+) -> Result<SweepPoint, CoreError> {
+    let mut delta_t = Vec::with_capacity(models.len());
+    let mut seconds = Vec::with_capacity(models.len());
+    for model in models {
+        let start = std::time::Instant::now();
+        delta_t.push(model.max_delta_t(scenario)?.as_kelvin());
+        seconds.push(start.elapsed().as_secs_f64());
+    }
+    Ok(SweepPoint {
+        x,
+        delta_t,
+        seconds,
+    })
+}
+
 /// Evaluates every `(x, scenario)` pair with every model, in parallel over
-/// points.
+/// points on a bounded worker pool.
 ///
 /// # Errors
 ///
-/// Returns the first [`CoreError`] any model produced.
+/// Returns the first (by point order) [`CoreError`] any model produced.
 pub fn run_sweep(
     points: &[(f64, Scenario)],
     models: &[&(dyn ThermalModel + Sync)],
 ) -> Result<Vec<SweepPoint>, CoreError> {
-    let mut results: Vec<Option<Result<SweepPoint, CoreError>>> = vec![None; points.len()];
+    if points.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(points.len());
+
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<Result<SweepPoint, CoreError>>> = Vec::new();
+    results.resize_with(points.len(), || None);
 
     std::thread::scope(|scope| {
-        for (slot, (x, scenario)) in results.iter_mut().zip(points) {
-            scope.spawn(move || {
-                let mut delta_t = Vec::with_capacity(models.len());
-                let mut seconds = Vec::with_capacity(models.len());
-                for model in models {
-                    let start = std::time::Instant::now();
-                    match model.max_delta_t(scenario) {
-                        Ok(dt) => {
-                            delta_t.push(dt.as_kelvin());
-                            seconds.push(start.elapsed().as_secs_f64());
-                        }
-                        Err(e) => {
-                            *slot = Some(Err(e));
-                            return;
-                        }
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((x, scenario)) = points.get(i) else {
+                            break;
+                        };
+                        out.push((i, evaluate_point(*x, scenario, models)));
                     }
-                }
-                *slot = Some(Ok(SweepPoint {
-                    x: *x,
-                    delta_t,
-                    seconds,
-                }));
-            });
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("sweep worker panicked") {
+                results[i] = Some(result);
+            }
         }
     });
 
     results
         .into_iter()
-        .map(|r| r.expect("every slot filled"))
+        .map(|r| r.expect("every point evaluated"))
         .collect()
 }
 
@@ -82,9 +115,8 @@ mod tests {
     use super::*;
     use ttsv_core::prelude::*;
 
-    #[test]
-    fn sweep_runs_models_in_declared_order() {
-        let points: Vec<(f64, Scenario)> = [5.0, 10.0]
+    fn radius_points(radii: &[f64]) -> Vec<(f64, Scenario)> {
+        radii
             .iter()
             .map(|&r| {
                 (
@@ -98,7 +130,12 @@ mod tests {
                         .unwrap(),
                 )
             })
-            .collect();
+            .collect()
+    }
+
+    #[test]
+    fn sweep_runs_models_in_declared_order() {
+        let points = radius_points(&[5.0, 10.0]);
         let a = ModelA::with_coefficients(FittingCoefficients::paper_block());
         let one_d = OneDModel::new();
         let models: Vec<&(dyn ThermalModel + Sync)> = vec![&a, &one_d];
@@ -113,5 +150,48 @@ mod tests {
         let a_series = series(&results, 0);
         assert!(a_series[1] < a_series[0]);
         assert!(total_seconds(&results, 0) >= 0.0);
+    }
+
+    #[test]
+    fn dense_sweeps_exceeding_the_core_count_complete_in_order() {
+        // More points than any plausible worker pool: the bounded runner
+        // must queue them, and results must come back in point order.
+        let radii: Vec<f64> = (0..120).map(|i| 1.0 + 19.0 * (i as f64) / 119.0).collect();
+        let points = radius_points(&radii);
+        let a = ModelA::with_coefficients(FittingCoefficients::paper_block());
+        let models: Vec<&(dyn ThermalModel + Sync)> = vec![&a];
+        let results = run_sweep(&points, &models).unwrap();
+        assert_eq!(results.len(), points.len());
+        for (got, want) in results.iter().zip(&radii) {
+            assert_eq!(got.x, *want, "results must stay in point order");
+        }
+        // ΔT falls monotonically with radius on this sweep.
+        let series = series(&results, 0);
+        assert!(series.windows(2).all(|w| w[1] < w[0]));
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let models: Vec<&(dyn ThermalModel + Sync)> = vec![];
+        assert!(run_sweep(&[], &models).unwrap().is_empty());
+    }
+
+    #[test]
+    fn model_error_is_propagated() {
+        struct Failing;
+        impl ThermalModel for Failing {
+            fn name(&self) -> String {
+                "failing".into()
+            }
+            fn max_delta_t(&self, _: &Scenario) -> Result<TemperatureDelta, CoreError> {
+                Err(CoreError::InvalidScenario {
+                    reason: "synthetic failure".into(),
+                })
+            }
+        }
+        let points = radius_points(&[5.0]);
+        let failing = Failing;
+        let models: Vec<&(dyn ThermalModel + Sync)> = vec![&failing];
+        assert!(run_sweep(&points, &models).is_err());
     }
 }
