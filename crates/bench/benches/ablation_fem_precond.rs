@@ -27,7 +27,11 @@ fn bench(c: &mut Criterion) {
             ("identity", FemSolver::Pcg(FemPreconditioner::Identity)),
             ("jacobi", FemSolver::Pcg(FemPreconditioner::Jacobi)),
             ("ssor", FemSolver::Pcg(FemPreconditioner::ssor())),
-            ("multigrid", FemSolver::Pcg(FemPreconditioner::Multigrid)),
+            ("multigrid", FemSolver::Pcg(FemPreconditioner::multigrid())),
+            (
+                "multigrid_cheby",
+                FemSolver::Pcg(FemPreconditioner::multigrid_chebyshev(2)),
+            ),
             ("direct_banded", FemSolver::DirectBanded),
         ] {
             let problem = {

@@ -3,31 +3,38 @@
 //! against the recorded trajectory.
 //!
 //! Usage: `cargo run --release -p ttsv-bench --bin bench_json [-- PATH]`
-//! (default output: `BENCH_2.json` in the current directory). See the
+//! (default output: `BENCH_3.json` in the current directory). See the
 //! `ttsv-bench` crate docs for the bench → paper mapping.
 
 use std::time::{Duration, Instant};
 
 use ttsv::core::model_b::LadderSolver;
 use ttsv::fem::{FemPreconditioner, FemSolver};
+use ttsv::linalg::{MultigridConfig, MultigridHierarchy, MultigridPreconditioner, Preconditioner};
 use ttsv::prelude::*;
 use ttsv::validate::sweep::run_sweep;
-use ttsv_bench::block;
+use ttsv_bench::{block, mg_box_matrix};
 
 /// Wall-clock budget per benchmark (after the warm-up call).
 const TIME_BUDGET: Duration = Duration::from_secs(2);
 /// Target sample count per benchmark.
 const TARGET_SAMPLES: usize = 15;
 
-/// PR-1 numbers for the same workloads, measured with the vendored
-/// criterion harness on the seed solvers (SSOR-PCG FEM reference, generic
-/// banded-LU Model B) immediately before the PR-2 rework — the baseline
-/// the acceptance criteria compare against.
-const BASELINE_PR1_NS: &[(&str, u128)] = &[
-    ("fig4_radius_sweep/fem_coarse", 9_736_141),
-    ("fig4_radius_sweep/model_b_100", 113_510),
-    ("table1_segments/B(500)", 136_661),
-    ("table1_segments/B(1000)", 307_379),
+/// PR-2 numbers for the same workloads (recorded in `BENCH_2.json`,
+/// measured on the PR-2 solvers: direct banded FEM under `FemSolver::Auto`
+/// with warm-started sweeps, block-tridiagonal Model B, per-solve
+/// multigrid setup) — the baseline the PR-3 acceptance criteria compare
+/// against.
+const BASELINE_PR2_NS: &[(&str, u128)] = &[
+    ("fig4_radius_sweep/fem_coarse", 1_181_901),
+    ("fig4_radius_sweep/model_b_100", 73_392),
+    ("table1_segments/B(500)", 58_235),
+    ("table1_segments/B(1000)", 177_835),
+    ("table1_segments/banded_lu/1000", 281_829),
+    ("ablation_fem_precond/ssor/coarse", 1_687_206),
+    ("ablation_fem_precond/multigrid/coarse", 810_132),
+    ("ablation_fem_precond/direct_banded/coarse", 171_057),
+    ("sweep_runner/fig4_quick", 1_288_199),
 ];
 
 struct Sampler {
@@ -54,7 +61,7 @@ impl Sampler {
     }
 
     fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": \"ttsv-bench-json/1\",\n  \"pr\": 2,\n");
+        let mut out = String::from("{\n  \"schema\": \"ttsv-bench-json/1\",\n  \"pr\": 3,\n");
         out.push_str(
             "  \"generated_by\": \"cargo run --release -p ttsv-bench --bin bench_json\",\n",
         );
@@ -65,9 +72,9 @@ impl Sampler {
                 "    \"{name}\": {{\"median_ns\": {median}, \"samples\": {samples}}}{comma}\n"
             ));
         }
-        out.push_str("  },\n  \"baseline_pr1_ns\": {\n");
-        for (i, (name, ns)) in BASELINE_PR1_NS.iter().enumerate() {
-            let comma = if i + 1 < BASELINE_PR1_NS.len() {
+        out.push_str("  },\n  \"baseline_pr2_ns\": {\n");
+        for (i, (name, ns)) in BASELINE_PR2_NS.iter().enumerate() {
+            let comma = if i + 1 < BASELINE_PR2_NS.len() {
                 ","
             } else {
                 ""
@@ -96,7 +103,7 @@ fn sweep_sum(model: &dyn ThermalModel, scenarios: &[Scenario]) -> f64 {
 fn main() {
     let path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_2.json".into());
+        .unwrap_or_else(|| "BENCH_3.json".into());
     let mut sampler = Sampler {
         results: Vec::new(),
     };
@@ -135,7 +142,11 @@ fn main() {
         ),
         (
             "ablation_fem_precond/multigrid/coarse",
-            FemSolver::Pcg(FemPreconditioner::Multigrid),
+            FemSolver::Pcg(FemPreconditioner::multigrid()),
+        ),
+        (
+            "ablation_fem_precond/multigrid_cheby/coarse",
+            FemSolver::Pcg(FemPreconditioner::multigrid_chebyshev(2)),
         ),
         (
             "ablation_fem_precond/direct_banded/coarse",
@@ -146,6 +157,47 @@ fn main() {
         problem.set_solver(solver);
         sampler.bench(name, || problem.solve().expect("solvable"));
     }
+
+    // Multigrid setup amortization: full hierarchy build vs numeric-only
+    // refresh on the 32 k-cell Cartesian box, plus one V-cycle per
+    // smoother (the per-PCG-iteration cost).
+    let a1 = mg_box_matrix(1.0);
+    let a2 = mg_box_matrix(3.0);
+    let config = MultigridConfig::default();
+    sampler.bench("mg_hierarchy/build/box32k", || {
+        MultigridHierarchy::build(&a1, &config).expect("coarsens")
+    });
+    let mut hierarchy = MultigridHierarchy::build(&a1, &config).expect("coarsens");
+    sampler.bench("mg_hierarchy/refresh/box32k", || {
+        hierarchy.refresh(&a2).expect("same pattern");
+    });
+    let n = 32 * 32 * 32;
+    let r: Vec<f64> = (0..n).map(|i| ((i % 17) as f64) - 8.0).collect();
+    let mut z = vec![0.0; n];
+    let jacobi = MultigridPreconditioner::new(&a1, &config).expect("coarsens");
+    sampler.bench("mg_vcycle/jacobi/box32k", || jacobi.apply(&r, &mut z));
+    let cheby =
+        MultigridPreconditioner::new(&a1, &MultigridConfig::chebyshev(3)).expect("coarsens");
+    sampler.bench("mg_vcycle/chebyshev3/box32k", || cheby.apply(&r, &mut z));
+
+    // Hierarchy reuse end to end: a 3-point radius sweep on the 3-D
+    // Cartesian reference (the workload where multigrid setup is a real
+    // fraction of the solve). "rebuild" constructs a fresh reference per
+    // sweep (every point re-aggregates); "reuse" shares one reference, so
+    // later points only refresh the pooled hierarchy.
+    use ttsv::validate::fem_adapter::CartesianReference;
+    let mg_points: Vec<Scenario> = [6.0, 9.0, 12.0].iter().map(|&r| block(r, 2.0)).collect();
+    let cart = || {
+        CartesianReference::new()
+            .with_lateral_cells(16)
+            .with_resolution(FemResolution::coarse())
+    };
+    sampler.bench("fem_mg_sweep/rebuild", || {
+        let cold = cart();
+        sweep_sum(&cold, &mg_points)
+    });
+    let warm = cart();
+    sampler.bench("fem_mg_sweep/reuse", || sweep_sum(&warm, &mg_points));
 
     // The bounded sweep runner end to end (fig4-quick shape: 4 models
     // including the FEM reference, warm starts shared across workers).

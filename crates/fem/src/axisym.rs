@@ -12,7 +12,7 @@ use ttsv_units::{Length, Power, PowerDensity, TemperatureDelta, ThermalConductiv
 
 use crate::error::FemError;
 use crate::mesh::Axis;
-use crate::solver::{solve_preconditioned, FemPreconditioner, FemSolver};
+use crate::solver::{solve_preconditioned, FemPreconditioner, FemSolver, MultigridContext};
 
 /// Boundary condition at the bottom (`z = 0`) plane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -353,6 +353,26 @@ impl AxisymmetricProblem {
         config: &IterativeConfig,
         guess: Option<&[f64]>,
     ) -> Result<AxisymSolution, FemError> {
+        self.solve_with_context(config, guess, None)
+    }
+
+    /// Solves like [`AxisymmetricProblem::solve_with_guess`], additionally
+    /// reusing (or populating) the multigrid hierarchy in `mg` on the
+    /// iterative path: repeated solves on this mesh shape — Picard
+    /// iterations, sweep points — skip aggregation/Galerkin setup after
+    /// the first call. The context is ignored by the direct and
+    /// non-multigrid solvers; the converged result is identical either
+    /// way.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AxisymmetricProblem::solve_with`].
+    pub fn solve_with_context(
+        &self,
+        config: &IterativeConfig,
+        guess: Option<&[f64]>,
+        mg: Option<&mut MultigridContext>,
+    ) -> Result<AxisymSolution, FemError> {
         if self.bottom == BottomBc::Adiabatic && self.pins.iter().all(Option::is_none) {
             return Err(FemError::InvalidProblem {
                 reason: "no temperature reference: adiabatic bottom and no pinned cells".into(),
@@ -409,7 +429,7 @@ impl AxisymmetricProblem {
                 let guess_unknowns: Option<Vec<f64>> = guess
                     .filter(|g| g.len() == n)
                     .map(|g| cells.iter().map(|&i| g[i]).collect());
-                solve_preconditioned(&csr, &rhs, precond, config, guess_unknowns.as_deref())?
+                solve_preconditioned(&csr, &rhs, precond, config, guess_unknowns.as_deref(), mg)?
             }
             FemSolver::Auto => unreachable!("resolve() never returns Auto"),
         };
@@ -783,7 +803,7 @@ mod tests {
         let mut prob = AxisymmetricProblem::new(r, z, kk(100.0));
         prob.add_source((um(0.0), um(30.0)), (um(55.0), um(60.0)), wmm3(200.0));
         // Force the iterative path: the direct solver has no warm start.
-        prob.set_preconditioner(FemPreconditioner::Multigrid);
+        prob.set_preconditioner(FemPreconditioner::multigrid());
         let cold = prob.solve().unwrap();
         let warm = prob
             .solve_with_guess(

@@ -11,7 +11,7 @@ use ttsv_units::{Length, Power, PowerDensity, TemperatureDelta, ThermalConductiv
 
 use crate::error::FemError;
 use crate::mesh::Axis;
-use crate::solver::{solve_preconditioned, FemPreconditioner, FemSolver};
+use crate::solver::{solve_preconditioned, FemPreconditioner, FemSolver, MultigridContext};
 
 /// A steady heat-conduction problem on a `[0,Lx] × [0,Ly] × [0,Lz]` box with
 /// a heat sink at `z = 0` and adiabatic walls elsewhere.
@@ -230,14 +230,21 @@ impl CartesianProblem {
         area / (wi / (2.0 * self.k[i]) + wj / (2.0 * self.k[j]))
     }
 
+    /// The iteration budget and tolerance [`CartesianProblem::solve`]
+    /// uses (callers supplying their own context solve to the same
+    /// target).
+    #[must_use]
+    pub fn default_config(&self) -> IterativeConfig {
+        IterativeConfig::new(40 * self.cell_count() + 2000, 1e-10)
+    }
+
     /// Solves with a default iteration budget.
     ///
     /// # Errors
     ///
     /// See [`CartesianProblem::solve_with`].
     pub fn solve(&self) -> Result<CartesianSolution, FemError> {
-        let n = self.cell_count();
-        self.solve_with(&IterativeConfig::new(40 * n + 2000, 1e-10))
+        self.solve_with(&self.default_config())
     }
 
     /// Solves the finite-volume system with preconditioned CG (see
@@ -247,6 +254,25 @@ impl CartesianProblem {
     ///
     /// Returns [`FemError::Solver`] if CG fails to converge within `config`.
     pub fn solve_with(&self, config: &IterativeConfig) -> Result<CartesianSolution, FemError> {
+        self.solve_with_context(config, None, None)
+    }
+
+    /// Solves like [`CartesianProblem::solve_with`], warm-starting the
+    /// iterative path from `guess` (a full per-cell field, indexed
+    /// `ix + iy·nx + iz·nx·ny`) and reusing (or populating) the multigrid
+    /// hierarchy in `mg` — repeated solves on one box shape skip
+    /// aggregation/Galerkin setup after the first call. Neither knob
+    /// changes what the solve converges to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FemError::Solver`] if CG fails to converge within `config`.
+    pub fn solve_with_context(
+        &self,
+        config: &IterativeConfig,
+        guess: Option<&[f64]>,
+        mg: Option<&mut MultigridContext>,
+    ) -> Result<CartesianSolution, FemError> {
         let (nx, ny, nz) = self.dims();
         let n = nx * ny * nz;
         let mut rhs = vec![0.0; n];
@@ -261,7 +287,8 @@ impl CartesianProblem {
             FemSolver::Pcg(precond) => {
                 let mut coo = CooBuilder::with_capacity(n, n, 7 * n);
                 self.assemble(&mut rhs, &mut |i, j, g| coo.add(i, j, g));
-                solve_preconditioned(&coo.to_csr(), &rhs, precond, config, None)?
+                let guess = guess.filter(|g| g.len() == n);
+                solve_preconditioned(&coo.to_csr(), &rhs, precond, config, guess, mg)?
             }
             FemSolver::Auto => unreachable!("resolve() never returns Auto"),
         };
@@ -332,6 +359,14 @@ impl CartesianSolution {
     #[must_use]
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// Raw per-cell temperatures in kelvin above the sink, indexed
+    /// `ix + iy·nx + iz·nx·ny` — the warm-start guess format of
+    /// [`CartesianProblem::solve_with_context`].
+    #[must_use]
+    pub fn cell_temperatures_kelvin(&self) -> &[f64] {
+        &self.temperatures
     }
 
     /// Temperature of the cell containing `(x, y, z)`.

@@ -12,6 +12,7 @@ use ttsv_units::Temperature;
 
 use crate::axisym::{AxisymSolution, AxisymmetricProblem};
 use crate::error::FemError;
+use crate::solver::MultigridContext;
 
 /// Convergence controls for [`solve_nonlinear`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -96,12 +97,17 @@ pub fn solve_nonlinear(
     let k_cold = problem.cell_conductivities().to_vec();
     let mut current = problem.clone();
     let mut previous: Option<Vec<f64>> = None;
+    // Re-linearization changes matrix values, never the sparsity pattern:
+    // one multigrid hierarchy serves every outer iteration (numeric
+    // refresh per solve; no-op on the direct banded path).
+    let mut mg = MultigridContext::new();
 
     for outer in 1..=config.max_iterations {
         // Warm-start each re-linearized solve from the previous outer
         // iterate: near convergence the field barely moves, so the inner
         // PCG terminates in a handful of iterations.
-        let solution = current.solve_with_guess(&config.inner, previous.as_deref())?;
+        let solution =
+            current.solve_with_context(&config.inner, previous.as_deref(), Some(&mut mg))?;
         let field = solution.cell_temperatures_kelvin().to_vec();
 
         // Convergence check against the previous outer iterate.

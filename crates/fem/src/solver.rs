@@ -7,14 +7,22 @@
 //! the default is the geometric multigrid V-cycle, which cuts the
 //! iteration count by roughly an order of magnitude on the reference
 //! meshes.
+//!
+//! Multigrid setup (aggregation, Galerkin products) is a one-time cost per
+//! sparsity pattern: callers that solve many systems on one mesh — Picard
+//! iterations, parameter sweeps — pass a [`MultigridContext`] and every
+//! solve after the first refreshes the cached
+//! [`MultigridHierarchy`](ttsv_linalg::MultigridHierarchy) numerically
+//! instead of rebuilding it.
 
 use ttsv_linalg::{
     solve_pcg_into, CsrMatrix, IdentityPreconditioner, IterativeConfig, JacobiPreconditioner,
-    LinalgError, MultigridConfig, MultigridPreconditioner, PcgWorkspace, SsorPreconditioner,
+    LinalgError, MultigridConfig, MultigridHierarchy, MultigridPreconditioner, PcgWorkspace,
+    SsorPreconditioner,
 };
 
 /// Which preconditioner backs the finite-volume PCG solves.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FemPreconditioner {
     /// No preconditioning (plain CG) — the ablation baseline.
     Identity,
@@ -26,11 +34,18 @@ pub enum FemPreconditioner {
         /// Relaxation factor in `(0, 2)`.
         omega: f64,
     },
-    /// Smoothed-aggregation geometric multigrid V-cycle built from the
-    /// structured grid coordinates (default — fastest on every mesh the
-    /// reference sweeps use).
-    #[default]
-    Multigrid,
+    /// Smoothed-aggregation geometric multigrid V-cycle with the given
+    /// hierarchy/smoother knobs (default configuration — fastest on every
+    /// mesh the reference sweeps use). Construct via
+    /// [`FemPreconditioner::multigrid`] /
+    /// [`FemPreconditioner::multigrid_chebyshev`] for the common choices.
+    Multigrid(MultigridConfig),
+}
+
+impl Default for FemPreconditioner {
+    fn default() -> Self {
+        FemPreconditioner::multigrid()
+    }
 }
 
 impl FemPreconditioner {
@@ -38,6 +53,19 @@ impl FemPreconditioner {
     #[must_use]
     pub fn ssor() -> Self {
         FemPreconditioner::Ssor { omega: 1.5 }
+    }
+
+    /// Multigrid with the default (Jacobi-smoothed) configuration.
+    #[must_use]
+    pub fn multigrid() -> Self {
+        FemPreconditioner::Multigrid(MultigridConfig::default())
+    }
+
+    /// Multigrid with a degree-`degree` Chebyshev polynomial smoother —
+    /// the stronger per-cycle relaxation for large 3-D boxes.
+    #[must_use]
+    pub fn multigrid_chebyshev(degree: usize) -> Self {
+        FemPreconditioner::Multigrid(MultigridConfig::chebyshev(degree))
     }
 }
 
@@ -65,7 +93,7 @@ impl FemSolver {
                 if half_bandwidth <= 64 {
                     FemSolver::DirectBanded
                 } else {
-                    FemSolver::Pcg(FemPreconditioner::Multigrid)
+                    FemSolver::Pcg(FemPreconditioner::multigrid())
                 }
             }
             other => other,
@@ -73,15 +101,95 @@ impl FemSolver {
     }
 }
 
+/// Reusable multigrid state for repeated solves on one mesh.
+///
+/// Holds the smoothed-aggregation hierarchy between solves; as long as the
+/// assembled matrix keeps its sparsity pattern (same mesh, new
+/// coefficients), each solve after the first performs a cheap numeric
+/// refresh instead of re-running aggregation and Galerkin-pattern
+/// discovery. Pass one context across Picard iterations or sweep points
+/// via `solve_with_context`; a context is also the hand-off vehicle for
+/// hierarchies parked in a cross-solve cache
+/// ([`MultigridContext::from_hierarchy`] /
+/// [`MultigridContext::into_hierarchy`]).
+#[derive(Debug, Default)]
+pub struct MultigridContext {
+    pre: Option<MultigridPreconditioner>,
+    /// PCG scratch, reused across the repeated solves the context serves.
+    workspace: PcgWorkspace,
+    builds: usize,
+    refreshes: usize,
+}
+
+impl MultigridContext {
+    /// An empty context; the first multigrid solve populates it.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a hierarchy taken from a cache (counts as neither a build nor
+    /// a refresh until the next solve).
+    #[must_use]
+    pub fn from_hierarchy(hierarchy: MultigridHierarchy) -> Self {
+        Self {
+            pre: Some(MultigridPreconditioner::from_hierarchy(hierarchy)),
+            ..Self::default()
+        }
+    }
+
+    /// Surrenders the hierarchy (to park it in a cache between solves).
+    #[must_use]
+    pub fn into_hierarchy(self) -> Option<MultigridHierarchy> {
+        self.pre.map(MultigridPreconditioner::into_hierarchy)
+    }
+
+    /// How many times this context ran the full hierarchy build
+    /// (aggregation + Galerkin pattern discovery).
+    #[must_use]
+    pub fn builds(&self) -> usize {
+        self.builds
+    }
+
+    /// How many times this context got away with a numeric-only refresh.
+    #[must_use]
+    pub fn refreshes(&self) -> usize {
+        self.refreshes
+    }
+
+    /// Builds or refreshes the preconditioner for `a` under `config`,
+    /// reusing the cached hierarchy when the sparsity pattern (and config)
+    /// still match.
+    fn prepare(&mut self, a: &CsrMatrix, config: &MultigridConfig) -> Result<(), LinalgError> {
+        let reusable = self
+            .pre
+            .as_ref()
+            .is_some_and(|p| p.hierarchy().config() == config && p.hierarchy().pattern_matches(a));
+        if reusable {
+            self.pre
+                .as_mut()
+                .expect("reusable implies present")
+                .refresh(a)?;
+            self.refreshes += 1;
+        } else {
+            self.pre = Some(MultigridPreconditioner::new(a, config)?);
+            self.builds += 1;
+        }
+        Ok(())
+    }
+}
+
 /// Solves the assembled SPD system with PCG under the selected
-/// preconditioner, warm-starting from `guess` when one is supplied.
-/// Returns the solution and the iteration count.
+/// preconditioner, warm-starting from `guess` when one is supplied and
+/// reusing (or populating) the multigrid hierarchy in `mg` when one is
+/// provided. Returns the solution and the iteration count.
 pub(crate) fn solve_preconditioned(
     a: &CsrMatrix,
     rhs: &[f64],
     choice: FemPreconditioner,
     config: &IterativeConfig,
     guess: Option<&[f64]>,
+    mg: Option<&mut MultigridContext>,
 ) -> Result<(Vec<f64>, usize), LinalgError> {
     let mut x = match guess {
         Some(g) if g.len() == rhs.len() => g.to_vec(),
@@ -105,10 +213,20 @@ pub(crate) fn solve_preconditioned(
             let pre = SsorPreconditioner::new(a, omega);
             solve_pcg_into(a, rhs, &pre, config, &mut x, &mut workspace)?
         }
-        FemPreconditioner::Multigrid => {
-            let pre = MultigridPreconditioner::new(a, &MultigridConfig::default())?;
-            solve_pcg_into(a, rhs, &pre, config, &mut x, &mut workspace)?
-        }
+        FemPreconditioner::Multigrid(mg_config) => match mg {
+            Some(ctx) => {
+                ctx.prepare(a, &mg_config)?;
+                // Split the context borrow so the cached PCG workspace is
+                // reused alongside the prepared preconditioner.
+                let MultigridContext { pre, workspace, .. } = ctx;
+                let pre = pre.as_ref().expect("just prepared");
+                solve_pcg_into(a, rhs, pre, config, &mut x, workspace)?
+            }
+            None => {
+                let pre = MultigridPreconditioner::new(a, &mg_config)?;
+                solve_pcg_into(a, rhs, &pre, config, &mut x, &mut workspace)?
+            }
+        },
     };
     Ok((x, stats.iterations))
 }
@@ -119,10 +237,64 @@ mod tests {
 
     #[test]
     fn default_is_multigrid() {
-        assert_eq!(FemPreconditioner::default(), FemPreconditioner::Multigrid);
+        assert_eq!(
+            FemPreconditioner::default(),
+            FemPreconditioner::Multigrid(MultigridConfig::default())
+        );
         assert_eq!(
             FemPreconditioner::ssor(),
             FemPreconditioner::Ssor { omega: 1.5 }
         );
+        assert_eq!(
+            FemPreconditioner::multigrid_chebyshev(2),
+            FemPreconditioner::Multigrid(MultigridConfig::chebyshev(2))
+        );
+    }
+
+    #[test]
+    fn context_counts_builds_and_refreshes() {
+        use ttsv_linalg::CooBuilder;
+        let assemble = |scale: f64| {
+            let n = 128;
+            let mut coo = CooBuilder::new(n, n);
+            for i in 0..n {
+                coo.add(i, i, 2.0 * scale);
+                if i + 1 < n {
+                    coo.add(i, i + 1, -scale);
+                    coo.add(i + 1, i, -scale);
+                }
+            }
+            coo.to_csr()
+        };
+        let mut ctx = MultigridContext::new();
+        let cfg = IterativeConfig::default();
+        let b = vec![1.0; 128];
+        let a1 = assemble(1.0);
+        let a2 = assemble(4.0);
+        let (x1, _) = solve_preconditioned(
+            &a1,
+            &b,
+            FemPreconditioner::multigrid(),
+            &cfg,
+            None,
+            Some(&mut ctx),
+        )
+        .unwrap();
+        let (x2, _) = solve_preconditioned(
+            &a2,
+            &b,
+            FemPreconditioner::multigrid(),
+            &cfg,
+            None,
+            Some(&mut ctx),
+        )
+        .unwrap();
+        assert_eq!((ctx.builds(), ctx.refreshes()), (1, 1));
+        assert!(a1.residual_norm(&x1, &b).unwrap() < 1e-7);
+        assert!(a2.residual_norm(&x2, &b).unwrap() < 1e-7);
+        // The scaled system's solution is the original divided by 4.
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - 4.0 * v).abs() < 1e-6);
+        }
     }
 }

@@ -192,17 +192,23 @@ impl BandedMatrix {
             let inv_pivot = 1.0 / pivot;
             let ihi = (k + kl).min(n - 1);
             let jhi = (k + ku).min(n - 1);
-            for i in (k + 1)..=ihi {
-                let row_i = &mut tail[(i - k - 1) * w..(i - k) * w];
-                // Column k in row i sits at kl + k − i; in row k, column j
-                // sits at kl + j − k. Both index ranges are in-band by
+            // Row k's update entries for columns k+1..=jhi are contiguous
+            // starting at kl + 1; in row i the same columns start at
+            // kl + k − i + 1. Expressing the rank-1 update as a pair of
+            // slice zips lets the elimination auto-vectorize.
+            let len = jhi - k;
+            let src = &row_k[kl + 1..=kl + len];
+            for (idx, row_i) in tail.chunks_exact_mut(w).take(ihi - k).enumerate() {
+                // Column k in row i = k + 1 + idx sits at kl + k − i =
+                // kl − 1 − idx; both index ranges are in-band by
                 // construction (j ≤ k + ku, i ≤ k + kl).
-                let ck = kl + k - i;
+                let ck = kl - 1 - idx;
                 let factor = row_i[ck] * inv_pivot;
                 row_i[ck] = factor;
                 if factor != 0.0 {
-                    for j in (k + 1)..=jhi {
-                        row_i[kl + j - i] -= factor * row_k[kl + j - k];
+                    let dst = &mut row_i[ck + 1..=ck + len];
+                    for (d, s) in dst.iter_mut().zip(src) {
+                        *d -= factor * s;
                     }
                 }
             }
@@ -243,25 +249,28 @@ impl BandedLu {
         let data = &self.lu.data;
         let mut x = b.to_vec();
         // Forward substitution with unit-lower L (flat indexing; entry
-        // `(i, j)` lives at `i·w + (j − i + kl)`).
+        // `(i, j)` lives at `i·w + (j − i + kl)`; the in-band entries of a
+        // row are contiguous, so both sweeps reduce to slice dot products).
         for i in 0..n {
             let jlo = i.saturating_sub(kl);
             let row = &data[i * w..(i + 1) * w];
-            let mut sum = x[i];
-            for j in jlo..i {
-                sum -= row[kl + j - i] * x[j];
-            }
-            x[i] = sum;
+            let dot: f64 = row[kl + jlo - i..kl]
+                .iter()
+                .zip(&x[jlo..i])
+                .map(|(l, xj)| l * xj)
+                .sum();
+            x[i] -= dot;
         }
         // Back substitution with U.
         for i in (0..n).rev() {
             let jhi = (i + ku).min(n - 1);
             let row = &data[i * w..(i + 1) * w];
-            let mut sum = x[i];
-            for j in (i + 1)..=jhi {
-                sum -= row[kl + j - i] * x[j];
-            }
-            x[i] = sum / row[kl];
+            let dot: f64 = row[kl + 1..=kl + jhi - i]
+                .iter()
+                .zip(&x[i + 1..=jhi])
+                .map(|(u, xj)| u * xj)
+                .sum();
+            x[i] = (x[i] - dot) / row[kl];
         }
         Ok(x)
     }

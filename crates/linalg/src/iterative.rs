@@ -194,10 +194,15 @@ pub fn solve_pcg_into<P: Preconditioner + ?Sized>(
     workspace.prepare(n);
     let PcgWorkspace { r, z, p, ap } = workspace;
 
-    // r = b − A·x (honours the warm start; x = 0 gives r = b).
-    a.matvec_into(x, r);
-    for i in 0..n {
-        r[i] = b[i] - r[i];
+    // r = b − A·x (honours the warm start; the all-zero guess of a cold
+    // start skips the matvec entirely — an O(n) check vs an O(nnz) pass).
+    if x.iter().all(|&v| v == 0.0) {
+        r.copy_from_slice(b);
+    } else {
+        a.matvec_into(x, r);
+        for i in 0..n {
+            r[i] = b[i] - r[i];
+        }
     }
     m.apply(r, z);
     p.copy_from_slice(z);

@@ -59,7 +59,9 @@ pub use iterative::{
     PcgWorkspace, SolveReport, SolveStats,
 };
 pub use lu::LuDecomposition;
-pub use multigrid::{MultigridConfig, MultigridPreconditioner};
+pub use multigrid::{
+    ChebyshevSmoother, MgSmoother, MultigridConfig, MultigridHierarchy, MultigridPreconditioner,
+};
 pub use optimize::{
     golden_section, nelder_mead, GoldenSectionResult, NelderMeadConfig, NelderMeadResult,
 };

@@ -256,14 +256,62 @@ impl CsrMatrix {
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "matvec_into: x has wrong length");
         assert_eq!(y.len(), self.rows, "matvec_into: y has wrong length");
-        for i in 0..self.rows {
+        self.matvec_range(x, y, 0);
+    }
+
+    /// Computes rows `start..start + y.len()` of `A·x` into `y` — the
+    /// row-chunk kernel behind the threaded multigrid sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row range exceeds the matrix or `x` is too short.
+    pub(crate) fn matvec_range(&self, x: &[f64], y: &mut [f64], start: usize) {
+        assert!(
+            start + y.len() <= self.rows,
+            "matvec_range: rows out of bounds"
+        );
+        assert_eq!(x.len(), self.cols, "matvec_range: x has wrong length");
+        for (k, yi) in y.iter_mut().enumerate() {
+            let i = start + k;
             let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
             let mut acc = 0.0;
-            for k in lo..hi {
-                acc += self.values[k] * x[self.col_idx[k]];
+            for e in lo..hi {
+                acc += self.values[e] * x[self.col_idx[e]];
             }
-            y[i] = acc;
+            *yi = acc;
         }
+    }
+
+    /// `true` when both matrices share dimensions and the exact sparsity
+    /// pattern (`row_ptr` and `col_idx` equal entry for entry) — the
+    /// precondition for numeric-only multigrid refreshes.
+    #[must_use]
+    pub fn same_pattern(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
+    }
+
+    /// The stored values, in row-major pattern order.
+    pub(crate) fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values (pattern-preserving numeric
+    /// refresh; the pattern itself is immutable).
+    pub(crate) fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The `(start, end)` range into [`CsrMatrix::values`] for row `i`.
+    pub(crate) fn row_range(&self, i: usize) -> (usize, usize) {
+        (self.row_ptr[i], self.row_ptr[i + 1])
+    }
+
+    /// The stored column indices, in row-major pattern order.
+    pub(crate) fn col_indices(&self) -> &[usize] {
+        &self.col_idx
     }
 
     /// The main diagonal as a vector (missing entries are zero).

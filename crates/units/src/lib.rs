@@ -39,7 +39,7 @@ mod resistance;
 mod temperature;
 mod volume;
 
-pub use approx::{assert_close, relative_error, ApproxEq};
+pub use approx::{assert_close, f64_approx_eq, relative_error, ApproxEq};
 pub use area::Area;
 pub use conductivity::ThermalConductivity;
 pub use length::Length;

@@ -1,0 +1,197 @@
+//! Edge-case coverage for the quantity algebra: rejection of nonphysical
+//! inputs, conversion round-trips across every named unit, and the
+//! [`ApproxEq`] comparison exactly at its tolerance boundaries.
+
+use ttsv_units::{
+    assert_close, f64_approx_eq, relative_error, ApproxEq, Area, Length, Power, PowerDensity,
+    Temperature, TemperatureDelta, ThermalConductivity, ThermalResistance, Volume,
+};
+
+// ---------------------------------------------------------------------------
+// Rejection of nonphysical inputs
+// ---------------------------------------------------------------------------
+
+#[test]
+#[should_panic(expected = "positive conductivity")]
+fn zero_conductivity_column_rejected() {
+    let k = ThermalConductivity::from_watts_per_meter_kelvin(0.0);
+    let _ = k.column_resistance(
+        Length::from_micrometers(1.0),
+        Area::from_square_micrometers(1.0),
+    );
+}
+
+#[test]
+#[should_panic(expected = "positive conductivity")]
+fn negative_conductivity_column_rejected() {
+    let k = ThermalConductivity::from_watts_per_meter_kelvin(-5.0);
+    let _ = k.column_resistance(
+        Length::from_micrometers(1.0),
+        Area::from_square_micrometers(1.0),
+    );
+}
+
+#[test]
+#[should_panic(expected = "positive cross-section")]
+fn negative_area_column_rejected() {
+    let k = ThermalConductivity::from_watts_per_meter_kelvin(1.0);
+    let _ = k.column_resistance(
+        Length::from_micrometers(1.0),
+        Area::from_square_meters(-1.0e-12),
+    );
+}
+
+#[test]
+#[should_panic(expected = "positive height")]
+fn zero_height_shell_rejected() {
+    let k = ThermalConductivity::from_watts_per_meter_kelvin(1.4);
+    let r = Length::from_micrometers(5.0);
+    let _ = k.shell_resistance(r, r + Length::from_micrometers(0.5), Length::ZERO);
+}
+
+#[test]
+#[should_panic(expected = "r_inner <= r_outer")]
+fn zero_inner_radius_shell_rejected() {
+    let k = ThermalConductivity::from_watts_per_meter_kelvin(1.4);
+    let _ = k.shell_resistance(
+        Length::ZERO,
+        Length::from_micrometers(1.0),
+        Length::from_micrometers(1.0),
+    );
+}
+
+#[test]
+#[should_panic(expected = "r_inner <= r_outer")]
+fn inverted_shell_radii_rejected() {
+    let k = ThermalConductivity::from_watts_per_meter_kelvin(1.4);
+    let _ = k.shell_resistance(
+        Length::from_micrometers(2.0),
+        Length::from_micrometers(1.0),
+        Length::from_micrometers(1.0),
+    );
+}
+
+#[test]
+#[should_panic(expected = "below absolute zero")]
+fn negative_kelvin_rejected() {
+    let _ = Temperature::from_kelvin(-0.001);
+}
+
+#[test]
+#[should_panic(expected = "below absolute zero")]
+fn too_cold_celsius_rejected() {
+    let _ = Temperature::from_celsius(-273.16);
+}
+
+#[test]
+fn absolute_zero_is_representable() {
+    assert_eq!(Temperature::ABSOLUTE_ZERO.as_kelvin(), 0.0);
+    assert_eq!(Temperature::from_celsius(-273.15).as_kelvin(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Conversion round-trips across named units
+// ---------------------------------------------------------------------------
+
+#[test]
+fn length_roundtrips_through_every_named_unit() {
+    for v in [1.0e-3, 0.5, 1.0, 45.0, 1.0e4] {
+        let from_um = Length::from_micrometers(v).as_micrometers();
+        assert!((from_um - v).abs() <= 1e-12 * v, "µm: {from_um} vs {v}");
+        let from_mm = Length::from_millimeters(v).as_millimeters();
+        assert!((from_mm - v).abs() <= 1e-12 * v, "mm: {from_mm} vs {v}");
+        let from_nm = Length::from_nanometers(v).as_nanometers();
+        assert!((from_nm - v).abs() <= 1e-12 * v, "nm: {from_nm} vs {v}");
+    }
+    // Cross-unit identity: 1 mm = 1000 µm = 1e6 nm.
+    let l = Length::from_millimeters(1.0);
+    assert!((l.as_micrometers() - 1000.0).abs() < 1e-9);
+    assert!((l.as_nanometers() - 1.0e6).abs() < 1e-6);
+}
+
+#[test]
+fn power_and_density_roundtrip() {
+    let p = Power::from_milliwatts(250.0);
+    assert!((p.as_watts() - 0.25).abs() < 1e-15);
+    assert!((p.as_milliwatts() - 250.0).abs() < 1e-12);
+    let d = PowerDensity::from_watts_per_cubic_millimeter(70.0);
+    assert!((d.as_watts_per_cubic_meter() - 70.0e9).abs() < 1.0e-3);
+    assert!((d.as_watts_per_cubic_millimeter() - 70.0).abs() < 1e-12);
+}
+
+#[test]
+fn area_and_volume_roundtrip() {
+    let a = Area::from_square_micrometers(100.0 * 100.0);
+    assert!((a.as_square_meters() - 1.0e-8).abs() < 1e-20);
+    assert!((a.as_square_micrometers() - 1.0e4).abs() < 1e-8);
+    let v = Volume::from_cubic_millimeters(2.0);
+    assert!((v.as_cubic_meters() - 2.0e-9).abs() < 1e-21);
+    assert!((v.as_cubic_millimeters() - 2.0).abs() < 1e-12);
+}
+
+#[test]
+fn temperature_celsius_kelvin_roundtrip() {
+    let t = Temperature::from_celsius(27.0);
+    assert!((t.as_kelvin() - 300.15).abs() < 1e-12);
+    assert!((t.as_celsius() - 27.0).abs() < 1e-12);
+    // Deltas are scale-identical in °C and K.
+    let dt = TemperatureDelta::from_celsius(12.8);
+    assert_eq!(dt.as_kelvin(), 12.8);
+    assert_eq!(dt.as_celsius(), 12.8);
+}
+
+#[test]
+fn resistance_conductance_roundtrip_at_extremes() {
+    for v in [1.0e-9, 1.0, 1.0e9] {
+        let r = ThermalResistance::from_kelvin_per_watt(v);
+        let back = r.conductance().resistance().as_kelvin_per_watt();
+        assert!((back - v).abs() <= 1e-12 * v, "K/W {v}: got {back}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Approximate comparison at tolerance boundaries
+// ---------------------------------------------------------------------------
+
+#[test]
+fn approx_eq_accepts_exactly_at_the_relative_boundary() {
+    // diff == rel_tol · max(|a|, |b|) must pass (the comparison is ≤).
+    let a = 100.0f64;
+    let b = 101.0f64; // diff 1.0, max 101 → rel 1/101
+    assert!(f64_approx_eq(a, b, 1.0 / 101.0, 0.0));
+    // Infinitesimally tighter tolerance must fail.
+    assert!(!f64_approx_eq(a, b, 1.0 / 101.0 * (1.0 - 1e-12), 0.0));
+}
+
+#[test]
+fn approx_eq_accepts_exactly_at_the_absolute_boundary() {
+    assert!(f64_approx_eq(0.0, 1.0e-9, 0.0, 1.0e-9));
+    assert!(!f64_approx_eq(0.0, 1.0e-9, 0.0, 0.999999e-9));
+}
+
+#[test]
+fn approx_eq_handles_signed_zero_and_opposite_signs() {
+    assert!(f64_approx_eq(0.0, -0.0, 0.0, 0.0));
+    // Opposite signs: relative tolerance scales with magnitude, so ±1
+    // agree only under a huge tolerance.
+    assert!(!f64_approx_eq(1.0, -1.0, 0.5, 0.0));
+    assert!(f64_approx_eq(1.0, -1.0, 2.0, 0.0));
+}
+
+#[test]
+fn quantity_approx_eq_follows_f64_contract() {
+    let a = Length::from_micrometers(10.0);
+    let b = Length::from_micrometers(10.1);
+    assert!(a.approx_eq(&b, 0.01, 0.0));
+    assert!(!a.approx_eq(&b, 1e-4, 0.0));
+    assert_close(&a, &Length::from_micrometers(10.0), 0.0, 0.0);
+}
+
+#[test]
+fn relative_error_boundary_cases() {
+    assert_eq!(relative_error(1.0, 1.0), 0.0);
+    // Zero reference falls back to the absolute difference.
+    assert_eq!(relative_error(-2.5, 0.0), 2.5);
+    // Negative reference uses its magnitude.
+    assert!((relative_error(-11.0, -10.0) - 0.1).abs() < 1e-12);
+}

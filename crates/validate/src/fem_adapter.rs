@@ -7,12 +7,13 @@
 //! enters a thin device sheet on top of its substrate.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use ttsv_core::scenario::{Scenario, ThermalModel};
 use ttsv_core::CoreError;
 use ttsv_fem::axisym::{AxisymSolution, AxisymmetricProblem};
-use ttsv_fem::{Axis, FemSolver};
+use ttsv_fem::{Axis, FemSolver, MultigridContext, MultigridHierarchy};
 use ttsv_units::{Area, Length, TemperatureDelta};
 
 /// Mesh-resolution knobs for the reference solves.
@@ -89,6 +90,13 @@ impl FemResolution {
 /// mesh of identical layout.
 type WarmCache = Arc<Mutex<HashMap<(usize, usize), Vec<f64>>>>;
 
+/// Multigrid-hierarchy pool: reusable smoothed-aggregation setups per mesh
+/// shape, shared across clones exactly like [`WarmCache`]. A solve pops a
+/// hierarchy, numerically refreshes it for its matrix values, and returns
+/// it — so an entire sweep over one mesh re-runs aggregation zero times
+/// after the first point (each concurrent worker at most once).
+type MgPool<K> = Arc<Mutex<HashMap<K, Vec<MultigridHierarchy>>>>;
+
 /// The FEM reference model: a [`ThermalModel`] backed by the axisymmetric
 /// finite-volume solver.
 ///
@@ -108,6 +116,10 @@ pub struct FemReference {
     device_thickness: Length,
     solver: FemSolver,
     warm: WarmCache,
+    mg: MgPool<(usize, usize)>,
+    /// Full hierarchy builds performed on the iterative path (shared
+    /// across clones) — sweep tests assert this stays at one per mesh.
+    mg_builds: Arc<AtomicUsize>,
 }
 
 impl Default for FemReference {
@@ -126,7 +138,18 @@ impl FemReference {
             device_thickness: Length::from_micrometers(1.0),
             solver: FemSolver::default(),
             warm: Arc::new(Mutex::new(HashMap::new())),
+            mg: Arc::new(Mutex::new(HashMap::new())),
+            mg_builds: Arc::new(AtomicUsize::new(0)),
         }
+    }
+
+    /// How many full multigrid hierarchy builds (aggregation + Galerkin
+    /// pattern discovery) the iterative path has performed across all
+    /// clones sharing this reference. Solves that reuse a pooled
+    /// hierarchy only refresh it numerically and do not count.
+    #[must_use]
+    pub fn multigrid_builds(&self) -> usize {
+        self.mg_builds.load(Ordering::Relaxed)
     }
 
     /// Overrides the mesh resolution.
@@ -308,27 +331,48 @@ impl FemReference {
     pub fn solve(&self, scenario: &Scenario) -> Result<AxisymSolution, CoreError> {
         let mut prob = self.build_problem(scenario)?;
         prob.set_solver(self.solver);
-        // The warm-start cache only matters on the iterative path; the
-        // direct banded solver (the `Auto` resolution on every standard
-        // mesh) ignores guesses, so skip the lock-and-clone entirely.
+        // The warm-start and hierarchy caches only matter on the iterative
+        // path; the direct banded solver (the `Auto` resolution on every
+        // standard mesh) ignores them, so skip the lock-and-clone entirely.
         let iterative = matches!(prob.resolved_solver(), FemSolver::Pcg(_));
         let key = (prob.nr(), prob.nz());
-        let guess = if iterative {
-            self.warm
+        let (guess, mut mg) = if iterative {
+            let guess = self
+                .warm
                 .lock()
                 .ok()
-                .and_then(|cache| cache.get(&key).cloned())
+                .and_then(|cache| cache.get(&key).cloned());
+            // Pop a pooled hierarchy for this mesh shape: the solve will
+            // refresh its numeric content instead of re-aggregating.
+            let pooled = self
+                .mg
+                .lock()
+                .ok()
+                .and_then(|mut pool| pool.get_mut(&key).and_then(Vec::pop));
+            let ctx = match pooled {
+                Some(hierarchy) => MultigridContext::from_hierarchy(hierarchy),
+                None => MultigridContext::new(),
+            };
+            (guess, Some(ctx))
         } else {
-            None
+            (None, None)
         };
         let solution = prob
-            .solve_with_guess(&prob.default_config(), guess.as_deref())
+            .solve_with_context(&prob.default_config(), guess.as_deref(), mg.as_mut())
             .map_err(|e| CoreError::InvalidScenario {
                 reason: format!("FEM reference solve failed: {e}"),
             })?;
         if iterative {
             if let Ok(mut cache) = self.warm.lock() {
                 cache.insert(key, solution.cell_temperatures_kelvin().to_vec());
+            }
+            if let Some(ctx) = mg {
+                self.mg_builds.fetch_add(ctx.builds(), Ordering::Relaxed);
+                if let Some(hierarchy) = ctx.into_hierarchy() {
+                    if let Ok(mut pool) = self.mg.lock() {
+                        pool.entry(key).or_default().push(hierarchy);
+                    }
+                }
             }
         }
         Ok(solution)
@@ -368,6 +412,10 @@ pub struct CartesianReference {
     /// which resolves to multigrid-PCG at these sizes).
     pub solver: FemSolver,
     device_thickness: Length,
+    /// Reusable multigrid hierarchies per box shape (these solves run the
+    /// multigrid-PCG path, where setup dominates repeated evaluations).
+    mg: MgPool<(usize, usize, usize)>,
+    mg_builds: Arc<AtomicUsize>,
 }
 
 impl Default for CartesianReference {
@@ -385,7 +433,37 @@ impl CartesianReference {
             resolution: FemResolution::default(),
             solver: FemSolver::default(),
             device_thickness: Length::from_micrometers(1.0),
+            mg: Arc::new(Mutex::new(HashMap::new())),
+            mg_builds: Arc::new(AtomicUsize::new(0)),
         }
+    }
+
+    /// Full multigrid hierarchy builds performed so far (shared across
+    /// clones) — see [`FemReference::multigrid_builds`].
+    #[must_use]
+    pub fn multigrid_builds(&self) -> usize {
+        self.mg_builds.load(Ordering::Relaxed)
+    }
+
+    /// Overrides the lateral cell count.
+    #[must_use]
+    pub fn with_lateral_cells(mut self, cells: usize) -> Self {
+        self.lateral_cells = cells;
+        self
+    }
+
+    /// Overrides the vertical mesh resolution.
+    #[must_use]
+    pub fn with_resolution(mut self, resolution: FemResolution) -> Self {
+        self.resolution = resolution;
+        self
+    }
+
+    /// Overrides the linear solver (default: [`FemSolver::Auto`]).
+    #[must_use]
+    pub fn with_solver(mut self, solver: FemSolver) -> Self {
+        self.solver = solver;
+        self
     }
 
     /// Builds the 3-D problem for a scenario (single via or one cell of a
@@ -489,9 +567,27 @@ impl ThermalModel for CartesianReference {
 
     fn max_delta_t(&self, scenario: &Scenario) -> Result<TemperatureDelta, CoreError> {
         let prob = self.build_problem(scenario)?;
-        let solution = prob.solve().map_err(|e| CoreError::InvalidScenario {
-            reason: format!("Cartesian reference solve failed: {e}"),
-        })?;
+        let key = prob.dims();
+        let pooled = self
+            .mg
+            .lock()
+            .ok()
+            .and_then(|mut pool| pool.get_mut(&key).and_then(Vec::pop));
+        let mut ctx = match pooled {
+            Some(hierarchy) => MultigridContext::from_hierarchy(hierarchy),
+            None => MultigridContext::new(),
+        };
+        let solution = prob
+            .solve_with_context(&prob.default_config(), None, Some(&mut ctx))
+            .map_err(|e| CoreError::InvalidScenario {
+                reason: format!("Cartesian reference solve failed: {e}"),
+            })?;
+        self.mg_builds.fetch_add(ctx.builds(), Ordering::Relaxed);
+        if let Some(hierarchy) = ctx.into_hierarchy() {
+            if let Ok(mut pool) = self.mg.lock() {
+                pool.entry(key).or_default().push(hierarchy);
+            }
+        }
         Ok(solution.max_temperature())
     }
 }
@@ -607,6 +703,50 @@ mod tests {
             (axisym - cart).abs() < 0.10 * cart,
             "axisym {axisym} vs cartesian {cart}"
         );
+    }
+
+    #[test]
+    fn sweep_over_one_mesh_builds_the_hierarchy_once() {
+        use ttsv_fem::FemPreconditioner;
+
+        // Force the iterative path (Auto picks direct banded on these
+        // meshes) and walk a Fig. 4-style radius sweep: every point has
+        // the same mesh shape, so aggregation/Galerkin setup must run
+        // exactly once — later points only refresh numeric values.
+        let fem = FemReference::new()
+            .with_resolution(FemResolution::coarse())
+            .with_solver(FemSolver::Pcg(FemPreconditioner::multigrid()));
+        let radii = [3.0, 5.0, 8.0, 12.0];
+        let direct = FemReference::new().with_resolution(FemResolution::coarse());
+        for &r in &radii {
+            let s = scenario(r, 0.5);
+            let iterative = fem.max_delta_t(&s).unwrap().as_kelvin();
+            let reference = direct.max_delta_t(&s).unwrap().as_kelvin();
+            assert!(
+                (iterative - reference).abs() < 1e-6 * reference,
+                "r = {r}: pooled-hierarchy solve {iterative} vs direct {reference}"
+            );
+        }
+        assert_eq!(
+            fem.multigrid_builds(),
+            1,
+            "one mesh shape must aggregate exactly once across the sweep"
+        );
+    }
+
+    #[test]
+    fn cartesian_reference_reuses_its_hierarchy() {
+        // Radii far enough apart that the staircase via covers different
+        // cell sets at this lateral resolution (6.25 µm cells).
+        let cart = CartesianReference {
+            lateral_cells: 16,
+            resolution: FemResolution::coarse(),
+            ..CartesianReference::new()
+        };
+        let d1 = cart.max_delta_t(&scenario(6.0, 2.0)).unwrap();
+        let d2 = cart.max_delta_t(&scenario(12.0, 2.0)).unwrap();
+        assert!(d2 < d1, "larger via must cool: {d1} vs {d2}");
+        assert_eq!(cart.multigrid_builds(), 1, "same box shape: one build");
     }
 
     #[test]

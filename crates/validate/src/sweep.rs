@@ -48,7 +48,8 @@ fn evaluate_point(
 }
 
 /// Evaluates every `(x, scenario)` pair with every model, in parallel over
-/// points on a bounded worker pool.
+/// points on a bounded worker pool (at most `available_parallelism()`
+/// workers).
 ///
 /// # Errors
 ///
@@ -57,13 +58,40 @@ pub fn run_sweep(
     points: &[(f64, Scenario)],
     models: &[&(dyn ThermalModel + Sync)],
 ) -> Result<Vec<SweepPoint>, CoreError> {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    run_sweep_with_workers(points, models, workers)
+}
+
+/// Like [`run_sweep`] but with an explicit worker-pool size (clamped to
+/// the point count; `1` runs the sweep on a single spawned worker).
+/// For deterministic models, point evaluation is independent of which
+/// worker claims it, so the returned series are identical for every
+/// `workers` value — the determinism tests run the same sweep at 1 and
+/// `available_parallelism` and compare bitwise. Models with internal
+/// cross-point caches on an *iterative* solve path (a `FemReference`
+/// forced onto PCG warm-starts each point from whichever field a worker
+/// cached last) converge to the same solver tolerance but not bitwise;
+/// the default direct-banded FEM path is exact and order-independent.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+///
+/// # Errors
+///
+/// Returns the first (by point order) [`CoreError`] any model produced.
+pub fn run_sweep_with_workers(
+    points: &[(f64, Scenario)],
+    models: &[&(dyn ThermalModel + Sync)],
+    workers: usize,
+) -> Result<Vec<SweepPoint>, CoreError> {
+    assert!(workers > 0, "need at least one sweep worker");
     if points.is_empty() {
         return Ok(Vec::new());
     }
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(points.len());
+    let workers = workers.min(points.len());
 
     let next = AtomicUsize::new(0);
     let mut results: Vec<Option<Result<SweepPoint, CoreError>>> = Vec::new();
@@ -168,6 +196,38 @@ mod tests {
         // ΔT falls monotonically with radius on this sweep.
         let series = series(&results, 0);
         assert!(series.windows(2).all(|w| w[1] < w[0]));
+    }
+
+    #[test]
+    fn sweep_results_are_identical_for_any_worker_count() {
+        use crate::fem_adapter::{FemReference, FemResolution};
+
+        // A small Fig. 4-style grid evaluated by deterministic models,
+        // including the FEM reference (direct banded path at this
+        // resolution): the series must be bitwise identical whether one
+        // worker or a full pool evaluates the points.
+        let points = radius_points(&[2.0, 5.0, 8.0, 12.0, 16.0, 20.0]);
+        let a = ModelA::with_coefficients(FittingCoefficients::paper_block());
+        let one_d = OneDModel::new();
+        let b100 = ModelB::paper_b100();
+        let fem = FemReference::new().with_resolution(FemResolution::coarse());
+        let models: Vec<&(dyn ThermalModel + Sync)> = vec![&a, &b100, &one_d, &fem];
+
+        let serial = run_sweep_with_workers(&points, &models, 1).unwrap();
+        let pooled = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let parallel = run_sweep_with_workers(&points, &models, pooled).unwrap();
+
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.x, p.x);
+            assert_eq!(
+                s.delta_t, p.delta_t,
+                "worker count changed a sweep result at x = {}",
+                s.x
+            );
+        }
     }
 
     #[test]
