@@ -1,0 +1,41 @@
+//! Full-chip floorplan-engine benchmark (§IV-E generalized to
+//! non-uniform maps): a 32×32 hotspot map (3 distinct unit cells after
+//! dedup) and a 32×32 gradient map (every cell distinct) evaluated
+//! through Model B(100), plus the dedup-off ablation showing what the
+//! scenario-hash cache saves on the hotspot map (1024 solves vs 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ttsv::prelude::*;
+use ttsv_bench::{gradient_floorplan, hotspot_floorplan};
+
+fn bench_floorplan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("floorplan_chip");
+    group.sample_size(10);
+
+    let hotspot = hotspot_floorplan(32);
+    let gradient = gradient_floorplan(32);
+    let model = ModelB::paper_b100();
+
+    group.bench_function("hotspot_32x32/model_b100", |b| {
+        let engine = ChipEngine::new();
+        b.iter(|| engine.evaluate(&hotspot, &model).expect("solvable"));
+    });
+    group.bench_function("hotspot_32x32/model_b100/no_dedup", |b| {
+        let engine = ChipEngine::new().with_dedup(false);
+        b.iter(|| engine.evaluate(&hotspot, &model).expect("solvable"));
+    });
+    group.bench_function("gradient_32x32/model_b100", |b| {
+        let engine = ChipEngine::new();
+        b.iter(|| engine.evaluate(&gradient, &model).expect("solvable"));
+    });
+    group.bench_function("hotspot_32x32/model_a", |b| {
+        let engine = ChipEngine::new();
+        let model = ModelA::with_coefficients(FittingCoefficients::paper_case_study());
+        b.iter(|| engine.evaluate(&hotspot, &model).expect("solvable"));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_floorplan);
+criterion_main!(benches);

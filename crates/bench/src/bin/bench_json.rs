@@ -3,7 +3,7 @@
 //! against the recorded trajectory.
 //!
 //! Usage: `cargo run --release -p ttsv-bench --bin bench_json [-- PATH]`
-//! (default output: `BENCH_3.json` in the current directory). See the
+//! (default output: `BENCH_4.json` in the current directory). See the
 //! `ttsv-bench` crate docs for the bench → paper mapping.
 
 use std::time::{Duration, Instant};
@@ -13,28 +13,35 @@ use ttsv::fem::{FemPreconditioner, FemSolver};
 use ttsv::linalg::{MultigridConfig, MultigridHierarchy, MultigridPreconditioner, Preconditioner};
 use ttsv::prelude::*;
 use ttsv::validate::sweep::run_sweep;
-use ttsv_bench::{block, mg_box_matrix};
+use ttsv_bench::{block, gradient_floorplan, hotspot_floorplan, mg_box_matrix};
 
 /// Wall-clock budget per benchmark (after the warm-up call).
 const TIME_BUDGET: Duration = Duration::from_secs(2);
 /// Target sample count per benchmark.
 const TARGET_SAMPLES: usize = 15;
 
-/// PR-2 numbers for the same workloads (recorded in `BENCH_2.json`,
-/// measured on the PR-2 solvers: direct banded FEM under `FemSolver::Auto`
-/// with warm-started sweeps, block-tridiagonal Model B, per-solve
-/// multigrid setup) — the baseline the PR-3 acceptance criteria compare
-/// against.
-const BASELINE_PR2_NS: &[(&str, u128)] = &[
-    ("fig4_radius_sweep/fem_coarse", 1_181_901),
-    ("fig4_radius_sweep/model_b_100", 73_392),
-    ("table1_segments/B(500)", 58_235),
-    ("table1_segments/B(1000)", 177_835),
-    ("table1_segments/banded_lu/1000", 281_829),
-    ("ablation_fem_precond/ssor/coarse", 1_687_206),
-    ("ablation_fem_precond/multigrid/coarse", 810_132),
-    ("ablation_fem_precond/direct_banded/coarse", 171_057),
-    ("sweep_runner/fig4_quick", 1_288_199),
+/// PR-3 numbers for the carried-over workloads (the medians recorded in
+/// the committed `BENCH_3.json`, measured on the PR-3 solvers: amortized
+/// multigrid hierarchies, vectorized banded LU, threaded V-cycles) — the
+/// baseline the PR-4 acceptance criteria compare against. The floorplan
+/// workloads are new in PR 4 and have no earlier baseline.
+const BASELINE_PR3_NS: &[(&str, u128)] = &[
+    ("fig4_radius_sweep/fem_coarse", 607_337),
+    ("fig4_radius_sweep/model_b_100", 63_042),
+    ("table1_segments/B(500)", 51_908),
+    ("table1_segments/B(1000)", 153_460),
+    ("table1_segments/banded_lu/1000", 272_190),
+    ("ablation_fem_precond/ssor/coarse", 1_648_604),
+    ("ablation_fem_precond/multigrid/coarse", 781_904),
+    ("ablation_fem_precond/multigrid_cheby/coarse", 883_223),
+    ("ablation_fem_precond/direct_banded/coarse", 92_552),
+    ("mg_hierarchy/build/box32k", 21_925_466),
+    ("mg_hierarchy/refresh/box32k", 8_887_013),
+    ("mg_vcycle/jacobi/box32k", 1_484_520),
+    ("mg_vcycle/chebyshev3/box32k", 3_247_104),
+    ("fem_mg_sweep/rebuild", 79_049_629),
+    ("fem_mg_sweep/reuse", 73_961_793),
+    ("sweep_runner/fig4_quick", 808_884),
 ];
 
 struct Sampler {
@@ -61,7 +68,7 @@ impl Sampler {
     }
 
     fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": \"ttsv-bench-json/1\",\n  \"pr\": 3,\n");
+        let mut out = String::from("{\n  \"schema\": \"ttsv-bench-json/1\",\n  \"pr\": 4,\n");
         out.push_str(
             "  \"generated_by\": \"cargo run --release -p ttsv-bench --bin bench_json\",\n",
         );
@@ -72,9 +79,9 @@ impl Sampler {
                 "    \"{name}\": {{\"median_ns\": {median}, \"samples\": {samples}}}{comma}\n"
             ));
         }
-        out.push_str("  },\n  \"baseline_pr2_ns\": {\n");
-        for (i, (name, ns)) in BASELINE_PR2_NS.iter().enumerate() {
-            let comma = if i + 1 < BASELINE_PR2_NS.len() {
+        out.push_str("  },\n  \"baseline_pr3_ns\": {\n");
+        for (i, (name, ns)) in BASELINE_PR3_NS.iter().enumerate() {
+            let comma = if i + 1 < BASELINE_PR3_NS.len() {
                 ","
             } else {
                 ""
@@ -103,7 +110,7 @@ fn sweep_sum(model: &dyn ThermalModel, scenarios: &[Scenario]) -> f64 {
 fn main() {
     let path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_3.json".into());
+        .unwrap_or_else(|| "BENCH_4.json".into());
     let mut sampler = Sampler {
         results: Vec::new(),
     };
@@ -198,6 +205,23 @@ fn main() {
     });
     let warm = cart();
     sampler.bench("fem_mg_sweep/reuse", || sweep_sum(&warm, &mg_points));
+
+    // The floorplan engine on the 32×32 §IV-E maps: the hotspot map
+    // dedups 1024 tiles to 3 Model B solves; the dedup-off ablation and
+    // the all-distinct gradient map price the batch path itself.
+    let hotspot = hotspot_floorplan(32);
+    let gradient = gradient_floorplan(32);
+    let engine = ChipEngine::new();
+    sampler.bench("floorplan_chip/hotspot32/model_b100", || {
+        engine.evaluate(&hotspot, &b100).expect("solvable")
+    });
+    let no_dedup = ChipEngine::new().with_dedup(false);
+    sampler.bench("floorplan_chip/hotspot32/model_b100/no_dedup", || {
+        no_dedup.evaluate(&hotspot, &b100).expect("solvable")
+    });
+    sampler.bench("floorplan_chip/gradient32/model_b100", || {
+        engine.evaluate(&gradient, &b100).expect("solvable")
+    });
 
     // The bounded sweep runner end to end (fig4-quick shape: 4 models
     // including the FEM reference, warm starts shared across workers).

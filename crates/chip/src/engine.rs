@@ -1,0 +1,207 @@
+//! Batched evaluation of a floorplan's distinct unit cells.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use ttsv_core::scenario::{Scenario, ThermalModel};
+use ttsv_core::CoreError;
+use ttsv_validate::sweep::{default_workers, run_batch_with_workers};
+
+use crate::floorplan::{CellKey, Floorplan};
+use crate::report::ChipReport;
+
+/// Evaluates a [`Floorplan`] through any [`ThermalModel`]: deduplicates
+/// identical tiles with a scenario-hash cache, batch-solves the distinct
+/// unit cells on the bounded self-scheduling worker pool, and scatters the
+/// results back into a full-chip [`ChipReport`].
+///
+/// Dedup and the worker count are observability/performance knobs only:
+/// for deterministic models the report is bit-identical for every setting
+/// (the property suite enforces it).
+#[derive(Debug, Clone)]
+pub struct ChipEngine {
+    workers: Option<usize>,
+    dedup: bool,
+}
+
+impl Default for ChipEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChipEngine {
+    /// An engine with dedup enabled and the default worker pool
+    /// (`available_parallelism()`).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            workers: None,
+            dedup: true,
+        }
+    }
+
+    /// Pins the worker-pool size (the determinism tests run 1 vs N).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one chip-engine worker");
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Enables or disables the scenario-hash dedup cache (enabled by
+    /// default; disabling evaluates every tile — the transparency tests
+    /// compare both paths bitwise).
+    #[must_use]
+    pub fn with_dedup(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
+        self
+    }
+
+    /// Evaluates every tile's unit cell and assembles the chip `ΔT` map.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tile-scenario validation failures and the first (by
+    /// distinct-cell order) model error.
+    pub fn evaluate(
+        &self,
+        plan: &Floorplan,
+        model: &(dyn ThermalModel + Sync),
+    ) -> Result<ChipReport, CoreError> {
+        let (nx, ny) = (plan.nx(), plan.ny());
+        let tiles = nx * ny;
+
+        // Gather the distinct unit cells and each tile's index into them.
+        // With dedup on, the scenario is only *built* for the first tile of
+        // each key — equal keys would construct (or fail with) the same
+        // scenario, so skipping duplicates changes neither results nor
+        // error behavior.
+        let mut distinct: Vec<Scenario> = Vec::new();
+        let mut cell_of: Vec<usize> = Vec::with_capacity(tiles);
+        let mut seen: HashMap<CellKey, usize> = HashMap::new();
+        let mut total_vias = 0.0;
+        for iy in 0..ny {
+            for ix in 0..nx {
+                total_vias += plan.cells_in_tile(ix, iy);
+                let index = if self.dedup {
+                    match seen.entry(plan.cell_key(ix, iy)) {
+                        Entry::Occupied(entry) => *entry.get(),
+                        Entry::Vacant(entry) => {
+                            let index = distinct.len();
+                            distinct.push(plan.tile_cell(ix, iy)?.scenario);
+                            entry.insert(index);
+                            index
+                        }
+                    }
+                } else {
+                    distinct.push(plan.tile_cell(ix, iy)?.scenario);
+                    distinct.len() - 1
+                };
+                cell_of.push(index);
+            }
+        }
+
+        // Batch-solve the distinct cells, then scatter per tile.
+        let workers = self.workers.unwrap_or_else(default_workers);
+        let cell_delta_t = run_batch_with_workers(distinct.len(), workers, |i| {
+            model.max_delta_t(&distinct[i]).map(|t| t.as_kelvin())
+        })?;
+        let delta_t: Vec<f64> = cell_of.iter().map(|&i| cell_delta_t[i]).collect();
+
+        Ok(ChipReport::from_tiles(
+            model.name(),
+            nx,
+            ny,
+            delta_t,
+            distinct.len(),
+            total_vias,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttsv_core::full_chip::CaseStudy;
+    use ttsv_core::model_a::ModelA;
+    use ttsv_core::prelude::*;
+
+    use crate::map::{PowerMap, ViaDensityMap};
+
+    fn model_a() -> ModelA {
+        ModelA::with_coefficients(CaseStudy::paper_fitting())
+    }
+
+    #[test]
+    fn uniform_plan_evaluates_one_distinct_cell() {
+        let plan = Floorplan::uniform(&CaseStudy::paper(), 4, 4).unwrap();
+        let report = ChipEngine::new().evaluate(&plan, &model_a()).unwrap();
+        assert_eq!(report.tiles, 16);
+        assert_eq!(report.distinct_cells, 1);
+        assert_eq!(report.delta_t.len(), 16);
+        // Uniform chip: every tile identical, flat statistics.
+        assert_eq!(report.max_delta_t, report.mean_delta_t);
+        assert_eq!(report.max_delta_t, report.p99_delta_t);
+        assert!(report.max_delta_t > 0.0);
+    }
+
+    #[test]
+    fn hotspot_raises_delta_t_where_the_power_is() {
+        let cs = CaseStudy::paper();
+        // 2×1 grid: left tile hot, right tile cool, same total as paper.
+        let hot = |left: f64, total: f64| {
+            PowerMap::new(
+                2,
+                1,
+                vec![
+                    Power::from_watts(total * left),
+                    Power::from_watts(total * (1.0 - left)),
+                ],
+            )
+            .unwrap()
+        };
+        let maps = vec![hot(0.8, 70.0), hot(0.8, 7.0), hot(0.8, 7.0)];
+        let via = ViaDensityMap::uniform(2, 1, cs.density).unwrap();
+        let plan = Floorplan::new(&cs, maps, via).unwrap();
+        let report = ChipEngine::new().evaluate(&plan, &model_a()).unwrap();
+        assert_eq!(report.distinct_cells, 2);
+        assert!(report.get(0, 0) > report.get(1, 0));
+        assert_eq!((report.argmax_ix, report.argmax_iy), (0, 0));
+        assert_eq!(report.max_delta_t, report.get(0, 0));
+    }
+
+    #[test]
+    fn denser_vias_cool_their_tile() {
+        let cs = CaseStudy::paper();
+        let maps = (0..3)
+            .map(|j| PowerMap::uniform(2, 1, cs.plane_powers[j] * 0.2).unwrap())
+            .collect();
+        // Right tile has 4× the via density of the left.
+        let via = ViaDensityMap::new(2, 1, vec![0.005, 0.02]).unwrap();
+        let plan = Floorplan::new(&cs, maps, via).unwrap();
+        let report = ChipEngine::new().evaluate(&plan, &model_a()).unwrap();
+        assert!(report.get(1, 0) < report.get(0, 0));
+    }
+
+    #[test]
+    fn model_errors_propagate() {
+        struct Failing;
+        impl ThermalModel for Failing {
+            fn name(&self) -> String {
+                "failing".into()
+            }
+            fn max_delta_t(&self, _: &Scenario) -> Result<TemperatureDelta, CoreError> {
+                Err(CoreError::InvalidScenario {
+                    reason: "synthetic failure".into(),
+                })
+            }
+        }
+        let plan = Floorplan::uniform(&CaseStudy::paper(), 2, 2).unwrap();
+        assert!(ChipEngine::new().evaluate(&plan, &Failing).is_err());
+    }
+}

@@ -1,0 +1,346 @@
+//! The [`Floorplan`]: stack geometry + tile maps → per-tile unit cells.
+//!
+//! Each tile of the `nx × ny` grid is treated exactly like the §IV-E
+//! chip, shrunk to the tile (DESIGN.md §3): its via density `d` defines a
+//! per-via cell area `A_cell = n π r² / (n d) = π r² / d`, the tile holds
+//! `A_tile / A_cell` (fractional) such cells with adiabatic side walls,
+//! and the tile's per-plane power splits evenly across them. Tiles with
+//! identical `(density, plane powers)` produce bit-identical scenarios —
+//! the dedup invariant [`ChipEngine`](crate::engine::ChipEngine) exploits.
+
+use serde::{Deserialize, Serialize};
+use ttsv_core::full_chip::CaseStudy;
+use ttsv_core::geometry::{HeatLoad, Plane, Stack, TtsvConfig};
+use ttsv_core::scenario::Scenario;
+use ttsv_core::CoreError;
+use ttsv_units::{Area, Length, Power};
+
+use crate::map::{PowerMap, ViaDensityMap};
+
+/// A chip floorplan: the stack geometry of a [`CaseStudy`] with the
+/// uniform power/density idealization replaced by per-tile maps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    footprint: Area,
+    t_si: Length,
+    t_ild: Length,
+    t_bond: Length,
+    l_ext: Length,
+    tsv: TtsvConfig,
+    plane_maps: Vec<PowerMap>,
+    via_map: ViaDensityMap,
+}
+
+/// One tile's per-via unit cell: the scenario to evaluate plus the
+/// (fractional) number of such cells the tile holds.
+#[derive(Debug, Clone)]
+pub struct TileCell {
+    /// The per-via unit-cell scenario (adiabatic walls).
+    pub scenario: Scenario,
+    /// Cells (= vias) in the tile, `A_tile / A_cell`; fractional under the
+    /// paper's uniform-density idealization.
+    pub cells: f64,
+}
+
+/// Everything that distinguishes one tile's unit cell from another's,
+/// as exact bit patterns — the scenario-hash dedup key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CellKey(Vec<u64>);
+
+impl Floorplan {
+    /// Builds a floorplan from a case study's stack geometry (footprint,
+    /// layer thicknesses, TTSV configuration) and explicit maps. The
+    /// plane count is `plane_maps.len()`; the case study's own
+    /// `plane_powers` and `density` are superseded by the maps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidFloorplan`] when fewer than two plane
+    /// maps are given or any map's grid differs from the via map's.
+    pub fn new(
+        case: &CaseStudy,
+        plane_maps: Vec<PowerMap>,
+        via_map: ViaDensityMap,
+    ) -> Result<Self, CoreError> {
+        if plane_maps.len() < 2 {
+            return Err(CoreError::InvalidFloorplan {
+                reason: format!(
+                    "a 3-D floorplan needs at least 2 plane power maps, got {}",
+                    plane_maps.len()
+                ),
+            });
+        }
+        for (j, m) in plane_maps.iter().enumerate() {
+            if m.nx() != via_map.nx() || m.ny() != via_map.ny() {
+                return Err(CoreError::InvalidFloorplan {
+                    reason: format!(
+                        "plane {} power map is {}×{} but the via map is {}×{}",
+                        j,
+                        m.nx(),
+                        m.ny(),
+                        via_map.nx(),
+                        via_map.ny()
+                    ),
+                });
+            }
+        }
+        Ok(Self {
+            footprint: case.footprint,
+            t_si: case.t_si,
+            t_ild: case.t_ild,
+            t_bond: case.t_bond,
+            l_ext: case.l_ext,
+            tsv: case.tsv.clone(),
+            plane_maps,
+            via_map,
+        })
+    }
+
+    /// The uniform-map limit: the case study's plane powers split evenly
+    /// over an `nx × ny` grid at its uniform via density. Evaluating this
+    /// floorplan reproduces [`CaseStudy::unit_cell_scenario`] on every
+    /// tile (the golden suite pins the agreement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidFloorplan`] for parameters
+    /// [`CaseStudy::validate`] rejects or an empty grid.
+    pub fn uniform(case: &CaseStudy, nx: usize, ny: usize) -> Result<Self, CoreError> {
+        case.validate()?;
+        let plane_maps = case
+            .plane_powers
+            .iter()
+            .map(|&total| PowerMap::uniform(nx, ny, total))
+            .collect::<Result<Vec<_>, _>>()?;
+        let via_map = ViaDensityMap::uniform(nx, ny, case.density)?;
+        Self::new(case, plane_maps, via_map)
+    }
+
+    /// Grid width (tiles along x).
+    #[must_use]
+    pub fn nx(&self) -> usize {
+        self.via_map.nx()
+    }
+
+    /// Grid height (tiles along y).
+    #[must_use]
+    pub fn ny(&self) -> usize {
+        self.via_map.ny()
+    }
+
+    /// Total tile count, `nx · ny`.
+    #[must_use]
+    pub fn tiles(&self) -> usize {
+        self.nx() * self.ny()
+    }
+
+    /// Number of planes in the stack.
+    #[must_use]
+    pub fn plane_count(&self) -> usize {
+        self.plane_maps.len()
+    }
+
+    /// The per-plane power maps, bottom → top.
+    #[must_use]
+    pub fn plane_maps(&self) -> &[PowerMap] {
+        &self.plane_maps
+    }
+
+    /// The via-density map.
+    #[must_use]
+    pub fn via_map(&self) -> &ViaDensityMap {
+        &self.via_map
+    }
+
+    /// Chip footprint area.
+    #[must_use]
+    pub fn footprint(&self) -> Area {
+        self.footprint
+    }
+
+    /// Footprint of one tile, `A₀ / (nx · ny)`.
+    #[must_use]
+    pub fn tile_area(&self) -> Area {
+        self.footprint * (1.0 / self.tiles() as f64)
+    }
+
+    /// Total heat entering each plane, bottom → top (map totals).
+    #[must_use]
+    pub fn plane_totals(&self) -> Vec<Power> {
+        self.plane_maps.iter().map(PowerMap::total).collect()
+    }
+
+    /// Total via count over the chip (fractional, summed per tile).
+    #[must_use]
+    pub fn via_count(&self) -> f64 {
+        let mut vias = 0.0;
+        for iy in 0..self.ny() {
+            for ix in 0..self.nx() {
+                vias += self.cells_in_tile(ix, iy);
+            }
+        }
+        vias
+    }
+
+    /// Per-via cell area at density `d`: `A_cell = fill_area / (count · d)`
+    /// — the same expression as [`CaseStudy::cell_area`].
+    fn cell_area_at(&self, density: f64) -> Area {
+        Area::from_square_meters(
+            self.tsv.fill_area().as_square_meters() / self.tsv.count() as f64 / density,
+        )
+    }
+
+    /// Cells (= vias) in tile `(ix, iy)`.
+    #[must_use]
+    pub fn cells_in_tile(&self, ix: usize, iy: usize) -> f64 {
+        self.tile_area() / self.cell_area_at(self.via_map.get(ix, iy))
+    }
+
+    /// Builds tile `(ix, iy)`'s per-via unit-cell scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidScenario`] when the via (plus liner)
+    /// does not fit the cell its tile density implies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is outside the grid.
+    pub fn tile_cell(&self, ix: usize, iy: usize) -> Result<TileCell, CoreError> {
+        let density = self.via_map.get(ix, iy);
+        let cell = self.cell_area_at(density);
+        let cells = self.tile_area() / cell;
+        let side = Length::from_meters(cell.as_square_meters().sqrt());
+
+        let mut builder = Stack::builder(Area::square(side))
+            .l_ext(self.l_ext)
+            .plane(Plane::new(self.t_si, self.t_ild));
+        for _ in 1..self.plane_count() {
+            builder = builder.plane(Plane::new(self.t_si, self.t_ild).with_bond_below(self.t_bond));
+        }
+        let stack = builder.build()?;
+
+        let cell_powers: Vec<Power> = self
+            .plane_maps
+            .iter()
+            .map(|m| m.get(ix, iy) * (1.0 / cells))
+            .collect();
+        let scenario = Scenario::new(stack, self.tsv.clone(), &HeatLoad::PerPlane(cell_powers))?;
+        Ok(TileCell { scenario, cells })
+    }
+
+    /// The dedup key of tile `(ix, iy)`: the exact bit patterns of its
+    /// density and per-plane powers. Equal keys imply the tile-cell
+    /// construction runs the same float operations on the same inputs,
+    /// so the scenarios — and any deterministic model's output — are
+    /// bit-identical.
+    pub(crate) fn cell_key(&self, ix: usize, iy: usize) -> CellKey {
+        let mut bits = Vec::with_capacity(self.plane_maps.len() + 1);
+        bits.push(self.via_map.get(ix, iy).to_bits());
+        for m in &self.plane_maps {
+            bits.push(m.get(ix, iy).as_watts().to_bits());
+        }
+        CellKey(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_floorplan_conserves_chip_totals() {
+        let cs = CaseStudy::paper();
+        let plan = Floorplan::uniform(&cs, 8, 8).unwrap();
+        assert_eq!(plan.tiles(), 64);
+        assert_eq!(plan.plane_count(), 3);
+        let totals = plan.plane_totals();
+        for (got, want) in totals.iter().zip(&cs.plane_powers) {
+            assert!((got.as_watts() - want.as_watts()).abs() < 1e-9 * want.as_watts());
+        }
+        // Same via count as the case study's uniform idealization.
+        assert!((plan.via_count() - cs.via_count()).abs() < 1e-6 * cs.via_count());
+    }
+
+    #[test]
+    fn uniform_tile_cell_matches_the_case_study_unit_cell() {
+        let cs = CaseStudy::paper();
+        let reference = cs.unit_cell_scenario().unwrap();
+        let plan = Floorplan::uniform(&cs, 4, 4).unwrap();
+        let tile = plan.tile_cell(2, 1).unwrap();
+        let got = tile.scenario.stack().footprint().as_square_meters();
+        let want = reference.stack().footprint().as_square_meters();
+        assert!((got - want).abs() < 1e-12 * want, "{got} vs {want}");
+        for (g, w) in tile
+            .scenario
+            .plane_powers()
+            .iter()
+            .zip(reference.plane_powers())
+        {
+            assert!(
+                (g.as_watts() - w.as_watts()).abs() < 1e-12 * w.as_watts(),
+                "{g} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_tiles_share_a_key_and_distinct_tiles_do_not() {
+        let cs = CaseStudy::paper();
+        let mut maps = Vec::new();
+        for total in [70.0, 7.0] {
+            maps.push(
+                PowerMap::from_fn(2, 2, |ix, _| {
+                    Power::from_watts(if ix == 0 { total } else { total / 2.0 })
+                })
+                .unwrap(),
+            );
+        }
+        let via = ViaDensityMap::uniform(2, 2, 0.005).unwrap();
+        let plan = Floorplan::new(&cs, maps, via).unwrap();
+        assert_eq!(plan.cell_key(0, 0), plan.cell_key(0, 1));
+        assert_eq!(plan.cell_key(1, 0), plan.cell_key(1, 1));
+        assert_ne!(plan.cell_key(0, 0), plan.cell_key(1, 0));
+    }
+
+    #[test]
+    fn too_few_plane_maps_rejected() {
+        let cs = CaseStudy::paper();
+        let maps = vec![PowerMap::uniform(2, 2, Power::from_watts(70.0)).unwrap()];
+        let via = ViaDensityMap::uniform(2, 2, 0.005).unwrap();
+        let err = Floorplan::new(&cs, maps, via).unwrap_err();
+        assert!(err.to_string().contains("at least 2 plane"));
+    }
+
+    #[test]
+    fn mismatched_grids_rejected() {
+        let cs = CaseStudy::paper();
+        let maps = vec![
+            PowerMap::uniform(2, 2, Power::from_watts(70.0)).unwrap(),
+            PowerMap::uniform(3, 2, Power::from_watts(7.0)).unwrap(),
+        ];
+        let via = ViaDensityMap::uniform(2, 2, 0.005).unwrap();
+        let err = Floorplan::new(&cs, maps, via).unwrap_err();
+        assert!(err.to_string().contains("3×2"));
+    }
+
+    #[test]
+    fn invalid_case_study_rejected_by_uniform() {
+        let mut cs = CaseStudy::paper();
+        cs.density = 0.0;
+        assert!(matches!(
+            Floorplan::uniform(&cs, 2, 2).unwrap_err(),
+            CoreError::InvalidFloorplan { .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_via_fails_at_tile_cell_with_scenario_error() {
+        // Density so high the cell shrinks below the via + liner.
+        let mut cs = CaseStudy::paper();
+        cs.density = 0.95;
+        let plan = Floorplan::uniform(&cs, 2, 2).unwrap();
+        let err = plan.tile_cell(0, 0).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidScenario { .. }), "{err}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Full-chip floorplan engine for non-uniform power and via-density maps.
+//!
+//! The paper's §IV-E case study assumes uniform power and uniform via
+//! density, so the whole chip collapses to one unit cell
+//! (`ttsv_core::full_chip`). Real 3-D stacks have hotspots. This crate
+//! generalizes the case study to a **floorplan**: a per-plane power map on
+//! an `nx × ny` tile grid plus a via-density map, tiled into per-via unit
+//! cells under the same adiabatic-wall approximation, deduplicated by a
+//! scenario-hash cache, and batch-evaluated through any
+//! [`ThermalModel`](ttsv_core::scenario::ThermalModel) on the bounded
+//! self-scheduling worker pool of `ttsv_validate::sweep`.
+//!
+//! * [`PowerMap`] — per-plane tile powers (finite, non-negative),
+//! * [`ViaDensityMap`] — per-tile TTSV area density in `(0, 1)`,
+//! * [`Floorplan`] — geometry (borrowed from a
+//!   [`CaseStudy`](ttsv_core::full_chip::CaseStudy)) + maps → per-tile
+//!   unit-cell scenarios,
+//! * [`ChipEngine`] — dedup + batched evaluation,
+//! * [`ChipReport`] — the full-chip `ΔT` map with hotspot statistics
+//!   (max / p99 / mean, argmax tile), JSON-serializable for downstream
+//!   serving.
+//!
+//! In the uniform-map limit the engine reproduces the single-unit-cell
+//! case study (the golden suite pins this), and identical tiles are
+//! evaluated once: a 32×32 hotspot map with a handful of power levels
+//! costs a handful of model solves, not 1024.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ttsv_chip::{ChipEngine, Floorplan};
+//! use ttsv_core::full_chip::CaseStudy;
+//! use ttsv_core::model_a::ModelA;
+//!
+//! let plan = Floorplan::uniform(&CaseStudy::paper(), 4, 4)?;
+//! let model = ModelA::with_coefficients(CaseStudy::paper_fitting());
+//! let report = ChipEngine::new().evaluate(&plan, &model)?;
+//! assert_eq!(report.tiles, 16);
+//! assert_eq!(report.distinct_cells, 1); // uniform maps dedup to one cell
+//! assert!(report.max_delta_t > 0.0);
+//! # Ok::<(), ttsv_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod floorplan;
+pub mod map;
+pub mod report;
+
+pub use engine::ChipEngine;
+pub use floorplan::{Floorplan, TileCell};
+pub use map::{PowerMap, ViaDensityMap};
+pub use report::ChipReport;

@@ -1,0 +1,152 @@
+//! The full-chip result: `ΔT` map plus hotspot statistics, serializable
+//! for downstream serving.
+
+use serde::{Deserialize, Serialize};
+
+/// A full-chip evaluation result: per-tile `ΔT` (kelvin above the heat
+/// sink) with hotspot statistics. Serde-serializable; [`ChipReport::to_json`]
+/// renders it for downstream consumers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipReport {
+    /// Display name of the model that produced the map.
+    pub model: String,
+    /// Grid width (tiles along x).
+    pub nx: usize,
+    /// Grid height (tiles along y).
+    pub ny: usize,
+    /// Row-major per-tile `ΔT_max` in kelvin (index `iy * nx + ix`).
+    pub delta_t: Vec<f64>,
+    /// Hottest tile's `ΔT` (K).
+    pub max_delta_t: f64,
+    /// Area-weighted mean `ΔT` over the tiles (K); tiles have equal area.
+    pub mean_delta_t: f64,
+    /// 99th-percentile tile `ΔT` (K).
+    pub p99_delta_t: f64,
+    /// x-index of the hottest tile (first hit on ties, row-major order).
+    pub argmax_ix: usize,
+    /// y-index of the hottest tile.
+    pub argmax_iy: usize,
+    /// Total vias on the chip (fractional, per the density idealization).
+    pub total_vias: f64,
+    /// Distinct unit cells actually solved (≤ `tiles`; equality means the
+    /// dedup cache found nothing to share).
+    pub distinct_cells: usize,
+    /// Total tile count, `nx · ny`.
+    pub tiles: usize,
+}
+
+impl ChipReport {
+    /// Assembles a report from the scattered per-tile `ΔT` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_t.len() != nx * ny` or the grid is empty (the
+    /// engine always satisfies both).
+    #[must_use]
+    pub(crate) fn from_tiles(
+        model: String,
+        nx: usize,
+        ny: usize,
+        delta_t: Vec<f64>,
+        distinct_cells: usize,
+        total_vias: f64,
+    ) -> Self {
+        let tiles = nx * ny;
+        assert!(tiles > 0, "a chip report needs at least one tile");
+        assert_eq!(delta_t.len(), tiles, "ΔT map must cover every tile");
+
+        let mut max_delta_t = f64::NEG_INFINITY;
+        let mut argmax = 0;
+        let mut sum = 0.0;
+        for (i, &dt) in delta_t.iter().enumerate() {
+            sum += dt;
+            if dt > max_delta_t {
+                max_delta_t = dt;
+                argmax = i;
+            }
+        }
+        let mut sorted = delta_t.clone();
+        sorted.sort_unstable_by(f64::total_cmp);
+        Self {
+            model,
+            nx,
+            ny,
+            max_delta_t,
+            mean_delta_t: sum / tiles as f64,
+            p99_delta_t: percentile(&sorted, 0.99),
+            argmax_ix: argmax % nx,
+            argmax_iy: argmax / nx,
+            total_vias,
+            distinct_cells,
+            tiles,
+            delta_t,
+        }
+    }
+
+    /// The `ΔT` of tile `(ix, iy)` in kelvin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is outside the grid.
+    #[must_use]
+    pub fn get(&self, ix: usize, iy: usize) -> f64 {
+        assert!(
+            ix < self.nx && iy < self.ny,
+            "tile ({ix}, {iy}) outside the {}×{} report",
+            self.nx,
+            self.ny
+        );
+        self.delta_t[iy * self.nx + ix]
+    }
+
+    /// Renders the report as a JSON object (compact, one line).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(self)
+    }
+}
+
+/// The `q`-quantile of an ascending-sorted slice (nearest-rank method).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_are_computed_from_the_map() {
+        let report =
+            ChipReport::from_tiles("test".into(), 2, 2, vec![1.0, 4.0, 2.0, 3.0], 3, 100.0);
+        assert_eq!(report.max_delta_t, 4.0);
+        assert_eq!((report.argmax_ix, report.argmax_iy), (1, 0));
+        assert_eq!(report.mean_delta_t, 2.5);
+        assert_eq!(report.p99_delta_t, 4.0);
+        assert_eq!(report.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&sorted, 0.5), 50.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_report() {
+        let report = ChipReport::from_tiles("Model A".into(), 2, 1, vec![1.5, 2.5], 2, 42.0);
+        let json = report.to_json();
+        assert!(json.contains("\"model\":\"Model A\""), "{json}");
+        assert!(json.contains("\"delta_t\":[1.5,2.5]"), "{json}");
+        assert!(json.contains("\"tiles\":2"), "{json}");
+        // The serde stand-in's Content tree also round-trips the struct.
+        let content = serde::Serialize::to_content(&report);
+        let back: ChipReport = serde::Deserialize::from_content(&content).unwrap();
+        assert_eq!(back, report);
+    }
+}

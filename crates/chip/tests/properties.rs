@@ -1,0 +1,149 @@
+//! Property tests for the floorplan engine: power conservation under the
+//! tiling, dedup-cache transparency, and worker-count determinism of the
+//! batch runner — randomized over grid shapes, plane counts, quantized
+//! power levels, and via densities.
+
+use proptest::prelude::*;
+use ttsv_chip::{ChipEngine, Floorplan, PowerMap, ViaDensityMap};
+use ttsv_core::full_chip::CaseStudy;
+use ttsv_core::model_a::ModelA;
+use ttsv_core::prelude::*;
+
+/// A randomized floorplan description. Powers and densities are drawn
+/// from small quantized level sets so the dedup cache has duplicates to
+/// find (continuous draws would make every tile distinct).
+#[derive(Debug, Clone)]
+struct PlanParams {
+    nx: usize,
+    ny: usize,
+    planes: usize,
+    /// Per plane, per tile: index into `POWER_LEVELS` (`planes * nx * ny`).
+    power_levels: Vec<usize>,
+    /// Per tile: index into `DENSITY_LEVELS` (`nx * ny`).
+    density_levels: Vec<usize>,
+}
+
+const POWER_LEVELS: [f64; 4] = [0.0, 0.05, 0.4, 1.6];
+const DENSITY_LEVELS: [f64; 3] = [0.003, 0.005, 0.01];
+
+fn plan_params() -> impl Strategy<Value = PlanParams> {
+    (1usize..5, 1usize..5, 2usize..5).prop_flat_map(|(nx, ny, planes)| {
+        (
+            proptest::collection::vec(0usize..POWER_LEVELS.len(), planes * nx * ny),
+            proptest::collection::vec(0usize..DENSITY_LEVELS.len(), nx * ny),
+        )
+            .prop_map(move |(power_levels, density_levels)| PlanParams {
+                nx,
+                ny,
+                planes,
+                power_levels,
+                density_levels,
+            })
+    })
+}
+
+fn build(p: &PlanParams) -> Floorplan {
+    let case = CaseStudy::paper();
+    let tiles = p.nx * p.ny;
+    let maps = (0..p.planes)
+        .map(|j| {
+            PowerMap::new(
+                p.nx,
+                p.ny,
+                (0..tiles)
+                    .map(|t| Power::from_watts(POWER_LEVELS[p.power_levels[j * tiles + t]]))
+                    .collect(),
+            )
+            .expect("levels are finite and non-negative")
+        })
+        .collect();
+    let via = ViaDensityMap::new(
+        p.nx,
+        p.ny,
+        p.density_levels
+            .iter()
+            .map(|&i| DENSITY_LEVELS[i])
+            .collect(),
+    )
+    .expect("levels are in (0, 1)");
+    Floorplan::new(&case, maps, via).expect("strategy produces valid floorplans")
+}
+
+fn model() -> ModelA {
+    ModelA::with_coefficients(CaseStudy::paper_fitting())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tiling conserves power: per plane, the per-cell powers summed
+    /// over every cell of every tile reproduce the plane total to 1e-9
+    /// relative.
+    #[test]
+    fn tiling_conserves_plane_power(p in plan_params()) {
+        let plan = build(&p);
+        let totals = plan.plane_totals();
+        let mut recovered = vec![0.0f64; plan.plane_count()];
+        for iy in 0..plan.ny() {
+            for ix in 0..plan.nx() {
+                let tile = plan.tile_cell(ix, iy).expect("valid tile");
+                for (j, cell_power) in tile.scenario.plane_powers().iter().enumerate() {
+                    recovered[j] += cell_power.as_watts() * tile.cells;
+                }
+            }
+        }
+        for (j, (got, want)) in recovered.iter().zip(&totals).enumerate() {
+            let want = want.as_watts();
+            let tolerance = 1e-9 * want.max(1e-12);
+            prop_assert!(
+                (got - want).abs() <= tolerance,
+                "plane {j}: recovered {got} vs map total {want}"
+            );
+        }
+    }
+
+    /// The dedup cache is transparent: cached and uncached evaluations of
+    /// the same plan are bit-identical, and dedup never solves more cells
+    /// than tiles.
+    #[test]
+    fn dedup_is_bitwise_transparent(p in plan_params()) {
+        let plan = build(&p);
+        let model = model();
+        let cached = ChipEngine::new().evaluate(&plan, &model).expect("solvable");
+        let uncached = ChipEngine::new()
+            .with_dedup(false)
+            .evaluate(&plan, &model)
+            .expect("solvable");
+        prop_assert_eq!(&cached.delta_t, &uncached.delta_t);
+        prop_assert_eq!(cached.max_delta_t.to_bits(), uncached.max_delta_t.to_bits());
+        prop_assert_eq!(cached.mean_delta_t.to_bits(), uncached.mean_delta_t.to_bits());
+        prop_assert_eq!(cached.p99_delta_t.to_bits(), uncached.p99_delta_t.to_bits());
+        prop_assert_eq!(
+            (cached.argmax_ix, cached.argmax_iy),
+            (uncached.argmax_ix, uncached.argmax_iy)
+        );
+        prop_assert!(cached.distinct_cells <= uncached.distinct_cells);
+        prop_assert_eq!(uncached.distinct_cells, plan.tiles());
+    }
+
+    /// The batch runner is deterministic in the worker count: 1, 2, and
+    /// `available_parallelism()` workers produce bitwise-equal maps
+    /// (mirrors the sweep-runner determinism test).
+    #[test]
+    fn worker_count_does_not_change_the_map(p in plan_params()) {
+        let plan = build(&p);
+        let model = model();
+        let serial = ChipEngine::new()
+            .with_workers(1)
+            .evaluate(&plan, &model)
+            .expect("solvable");
+        let two = ChipEngine::new()
+            .with_workers(2)
+            .evaluate(&plan, &model)
+            .expect("solvable");
+        let pooled = ChipEngine::new().evaluate(&plan, &model).expect("solvable");
+        prop_assert_eq!(&serial.delta_t, &two.delta_t);
+        prop_assert_eq!(&serial.delta_t, &pooled.delta_t);
+        prop_assert_eq!(serial.distinct_cells, pooled.distinct_cells);
+    }
+}

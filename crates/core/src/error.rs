@@ -11,6 +11,12 @@ pub enum CoreError {
         /// Human-readable description of the inconsistency.
         reason: String,
     },
+    /// A full-chip floorplan description (power map, via-density map, or
+    /// case-study parameters) is invalid.
+    InvalidFloorplan {
+        /// Human-readable description of the invalid map or parameter.
+        reason: String,
+    },
     /// The underlying resistive-network solve failed.
     Network(NetworkError),
     /// A direct linear solve failed.
@@ -21,6 +27,7 @@ impl core::fmt::Display for CoreError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             CoreError::InvalidScenario { reason } => write!(f, "invalid scenario: {reason}"),
+            CoreError::InvalidFloorplan { reason } => write!(f, "invalid floorplan: {reason}"),
             CoreError::Network(e) => write!(f, "network solve failed: {e}"),
             CoreError::Linalg(e) => write!(f, "linear solve failed: {e}"),
         }
@@ -32,7 +39,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Network(e) => Some(e),
             CoreError::Linalg(e) => Some(e),
-            CoreError::InvalidScenario { .. } => None,
+            CoreError::InvalidScenario { .. } | CoreError::InvalidFloorplan { .. } => None,
         }
     }
 }
@@ -60,6 +67,11 @@ mod tests {
         }
         .to_string()
         .contains("no planes"));
+        assert!(CoreError::InvalidFloorplan {
+            reason: "negative tile power".into()
+        }
+        .to_string()
+        .contains("negative tile power"));
         assert!(CoreError::Network(NetworkError::NoReference)
             .to_string()
             .contains("reference"));

@@ -66,11 +66,46 @@ impl CaseStudy {
         FittingCoefficients::paper_case_study()
     }
 
+    /// Checks the case-study parameters for physical consistency: the via
+    /// density must lie in `(0, 1)`, and the plane powers must be a
+    /// non-empty list of finite, non-negative values.
+    ///
+    /// [`CaseStudy::unit_cell_scenario`] (and the `ttsv-chip` floorplan
+    /// constructors, which borrow this geometry) call this first, so a bad
+    /// density surfaces as a typed [`CoreError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidFloorplan`] naming the offending value.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(self.density > 0.0 && self.density < 1.0) {
+            return Err(CoreError::InvalidFloorplan {
+                reason: format!("via density must be in (0, 1), got {}", self.density),
+            });
+        }
+        if self.plane_powers.is_empty() {
+            return Err(CoreError::InvalidFloorplan {
+                reason: "a case study needs at least one plane power".into(),
+            });
+        }
+        if let Some(p) = self
+            .plane_powers
+            .iter()
+            .find(|p| !p.is_finite() || p.as_watts() < 0.0)
+        {
+            return Err(CoreError::InvalidFloorplan {
+                reason: format!("plane powers must be finite and non-negative, got {p}"),
+            });
+        }
+        Ok(())
+    }
+
     /// Footprint area served by one via: `A_cell = π r² / density`.
     ///
     /// # Panics
     ///
-    /// Panics if the density is not in `(0, 1)`.
+    /// Panics if the density is not in `(0, 1)`; use [`CaseStudy::validate`]
+    /// first for a typed error.
     #[must_use]
     pub fn cell_area(&self) -> Area {
         assert!(
@@ -95,9 +130,12 @@ impl CaseStudy {
     ///
     /// # Errors
     ///
-    /// Propagates scenario validation failures (e.g. a density so high the
-    /// via no longer fits its own cell).
+    /// Returns [`CoreError::InvalidFloorplan`] for parameters
+    /// [`CaseStudy::validate`] rejects, and propagates scenario validation
+    /// failures (e.g. a density so high the via no longer fits its own
+    /// cell).
     pub fn unit_cell_scenario(&self) -> Result<Scenario, CoreError> {
+        self.validate()?;
         let cell = self.cell_area();
         let ratio = cell.as_square_meters() / self.footprint.as_square_meters();
         let side = Length::from_meters(cell.as_square_meters().sqrt());
@@ -181,9 +219,54 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "density must be in (0, 1)")]
-    fn bad_density_rejected() {
+    fn bad_density_still_panics_in_cell_area() {
         let mut cs = CaseStudy::paper();
         cs.density = 0.0;
         let _ = cs.cell_area();
+    }
+
+    #[test]
+    fn zero_density_rejected_with_typed_error() {
+        let mut cs = CaseStudy::paper();
+        cs.density = 0.0;
+        let err = cs.unit_cell_scenario().unwrap_err();
+        assert!(matches!(err, CoreError::InvalidFloorplan { .. }), "{err}");
+        assert!(err.to_string().contains("density"));
+    }
+
+    #[test]
+    fn overfull_density_rejected_with_typed_error() {
+        let mut cs = CaseStudy::paper();
+        cs.density = 1.2;
+        let err = cs.unit_cell_scenario().unwrap_err();
+        assert!(matches!(err, CoreError::InvalidFloorplan { .. }), "{err}");
+        assert!(err.to_string().contains("(0, 1)"));
+    }
+
+    #[test]
+    fn nan_density_rejected_with_typed_error() {
+        let mut cs = CaseStudy::paper();
+        cs.density = f64::NAN;
+        assert!(matches!(
+            cs.validate().unwrap_err(),
+            CoreError::InvalidFloorplan { .. }
+        ));
+    }
+
+    #[test]
+    fn negative_plane_power_rejected_with_typed_error() {
+        let mut cs = CaseStudy::paper();
+        cs.plane_powers[1] = Power::from_watts(-7.0);
+        let err = cs.unit_cell_scenario().unwrap_err();
+        assert!(matches!(err, CoreError::InvalidFloorplan { .. }), "{err}");
+        assert!(err.to_string().contains("non-negative"));
+    }
+
+    #[test]
+    fn empty_plane_powers_rejected_with_typed_error() {
+        let mut cs = CaseStudy::paper();
+        cs.plane_powers.clear();
+        let err = cs.validate().unwrap_err();
+        assert!(err.to_string().contains("at least one plane"));
     }
 }

@@ -13,6 +13,7 @@
 //! | [`fem`] | `ttsv-fem` | finite-volume reference solvers (the COMSOL stand-in) |
 //! | [`core`] | `ttsv-core` | Model A, Model B, the 1-D baseline, clustering, the DRAM-µP case study |
 //! | [`validate`] | `ttsv-validate` | FEM adapter, calibration, the paper's experiments |
+//! | [`chip`] | `ttsv-chip` | full-chip floorplan engine: power/via maps, batched cell evaluation |
 //!
 //! # Quick start
 //!
@@ -45,10 +46,44 @@
 //!     Ok(())
 //! }
 //! ```
+//!
+//! # Full-chip floorplans
+//!
+//! This snippet is kept byte-identical to the README's floorplan section,
+//! so that section is verified by `cargo test --doc` too:
+//!
+//! ```
+//! use ttsv::core::full_chip::CaseStudy;
+//! use ttsv::prelude::*;
+//!
+//! fn main() -> Result<(), CoreError> {
+//!     let cs = CaseStudy::paper();
+//!     // 16×16 tiles: hotspot on the µP plane, uniform DRAM planes.
+//!     let up = PowerMap::from_fn(16, 16, |ix, iy| {
+//!         let hot = if (6..10).contains(&ix) && (6..10).contains(&iy) { 8.0 } else { 1.0 };
+//!         cs.plane_powers[0] * (hot / 368.0) // weights normalized to 70 W
+//!     })?;
+//!     let dram = PowerMap::uniform(16, 16, cs.plane_powers[1])?;
+//!     let plan = Floorplan::new(
+//!         &cs,
+//!         vec![up, dram.clone(), dram],
+//!         ViaDensityMap::uniform(16, 16, cs.density)?,
+//!     )?;
+//!
+//!     let report = ChipEngine::new().evaluate(&plan, &ModelB::paper_b100())?;
+//!     assert_eq!(report.tiles, 256);
+//!     assert!(report.distinct_cells <= 2); // dedup: 2 power levels → ≤ 2 solves
+//!     println!("hotspot ΔT {:.1} K at ({}, {}); JSON: {} bytes",
+//!         report.max_delta_t, report.argmax_ix, report.argmax_iy,
+//!         report.to_json().len());
+//!     Ok(())
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use ttsv_chip as chip;
 pub use ttsv_core as core;
 pub use ttsv_fem as fem;
 pub use ttsv_linalg as linalg;
@@ -60,6 +95,7 @@ pub use ttsv_validate as validate;
 /// Convenience re-exports: the core prelude plus the reference solver and
 /// common material/units types.
 pub mod prelude {
+    pub use ttsv_chip::{ChipEngine, ChipReport, Floorplan, PowerMap, ViaDensityMap};
     pub use ttsv_core::prelude::*;
     pub use ttsv_materials::Material;
     pub use ttsv_units::{Temperature, ThermalResistance};

@@ -6,7 +6,10 @@
 //!   [`Scenario`](ttsv_core::scenario::Scenario) onto the axisymmetric
 //!   finite-volume solver, playing the role COMSOL plays in the paper,
 //! * [`metrics`] — the max/average relative-error statistics of Table I,
-//! * [`sweep`] — a parallel parameter-sweep runner,
+//! * [`sweep`] — the bounded self-scheduling worker pool: a generic batch
+//!   runner ([`sweep::run_batch_with_workers`], which the `ttsv-chip`
+//!   floorplan engine evaluates its unit cells on) plus the
+//!   parameter-sweep wrapper over it,
 //! * [`calibrate`] — fits Model A's `k₁`/`k₂` against the FEM reference,
 //!   the way the paper fits against COMSOL,
 //! * [`experiments`] — one constructor per paper artifact (Figs. 4–7,

@@ -1,15 +1,18 @@
-//! Parallel parameter-sweep runner.
+//! Parallel batch and parameter-sweep runners.
 //!
 //! Every figure in the paper is a sweep of one scenario parameter evaluated
-//! by several models. The FEM reference dominates the cost, so points run
-//! on a bounded pool of scoped worker threads — at most
-//! `available_parallelism()` of them — that claim points one at a time
-//! from a shared atomic queue (self-scheduling work distribution). Dense
-//! sweeps of 100+ points therefore never oversubscribe the machine, and
-//! expensive points naturally load-balance across workers. Evaluation
-//! order within the sweep is unspecified; the results come back in point
-//! order regardless, and models with internal warm-start caches (the FEM
-//! reference) share them across workers.
+//! by several models, and the full-chip floorplan engine (`ttsv-chip`)
+//! evaluates a bag of distinct unit cells — both are instances of the same
+//! problem: run `count` independent jobs on a bounded pool of scoped worker
+//! threads, at most `available_parallelism()` of them, that claim jobs one
+//! at a time from a shared atomic queue (self-scheduling work
+//! distribution). [`run_batch_with_workers`] is that primitive;
+//! [`run_sweep`] is the figure-shaped wrapper on top of it. Dense batches
+//! of 100+ jobs therefore never oversubscribe the machine, and expensive
+//! jobs naturally load-balance across workers. Evaluation order within a
+//! batch is unspecified; the results come back in job order regardless,
+//! and models with internal warm-start caches (the FEM reference) share
+//! them across workers.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -47,6 +50,90 @@ fn evaluate_point(
     })
 }
 
+/// The default worker-pool size: `available_parallelism()`, falling back
+/// to one worker when the parallelism query fails.
+#[must_use]
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `count` independent jobs on a bounded self-scheduling worker pool
+/// and returns the results in job order. This is the generic primitive
+/// behind [`run_sweep`]: workers claim job indices one at a time from a
+/// shared atomic counter, so expensive jobs load-balance and the pool
+/// never oversubscribes. `eval(i)` must be safe to call from any worker
+/// (jobs are independent); for deterministic `eval`, the returned vector
+/// is identical for every `workers` value.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero, or propagates a panic from `eval`.
+///
+/// # Errors
+///
+/// Returns the first (by job order) error any job produced.
+pub fn run_batch_with_workers<T, E, F>(count: usize, workers: usize, eval: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    assert!(workers > 0, "need at least one batch worker");
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = workers.min(count);
+
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<Result<T, E>>> = Vec::new();
+    results.resize_with(count, || None);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        out.push((i, eval(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("batch worker panicked") {
+                results[i] = Some(result);
+            }
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every job evaluated"))
+        .collect()
+}
+
+/// [`run_batch_with_workers`] at the default pool size
+/// (`available_parallelism()`).
+///
+/// # Errors
+///
+/// Returns the first (by job order) error any job produced.
+pub fn run_batch<T, E, F>(count: usize, eval: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    run_batch_with_workers(count, default_workers(), eval)
+}
+
 /// Evaluates every `(x, scenario)` pair with every model, in parallel over
 /// points on a bounded worker pool (at most `available_parallelism()`
 /// workers).
@@ -58,10 +145,7 @@ pub fn run_sweep(
     points: &[(f64, Scenario)],
     models: &[&(dyn ThermalModel + Sync)],
 ) -> Result<Vec<SweepPoint>, CoreError> {
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    run_sweep_with_workers(points, models, workers)
+    run_sweep_with_workers(points, models, default_workers())
 }
 
 /// Like [`run_sweep`] but with an explicit worker-pool size (clamped to
@@ -87,43 +171,10 @@ pub fn run_sweep_with_workers(
     models: &[&(dyn ThermalModel + Sync)],
     workers: usize,
 ) -> Result<Vec<SweepPoint>, CoreError> {
-    assert!(workers > 0, "need at least one sweep worker");
-    if points.is_empty() {
-        return Ok(Vec::new());
-    }
-    let workers = workers.min(points.len());
-
-    let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<Result<SweepPoint, CoreError>>> = Vec::new();
-    results.resize_with(points.len(), || None);
-
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some((x, scenario)) = points.get(i) else {
-                            break;
-                        };
-                        out.push((i, evaluate_point(*x, scenario, models)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, result) in handle.join().expect("sweep worker panicked") {
-                results[i] = Some(result);
-            }
-        }
-    });
-
-    results
-        .into_iter()
-        .map(|r| r.expect("every point evaluated"))
-        .collect()
+    run_batch_with_workers(points.len(), workers, |i| {
+        let (x, scenario) = &points[i];
+        evaluate_point(*x, scenario, models)
+    })
 }
 
 /// Extracts one model's series (by index) from sweep results.
@@ -228,6 +279,40 @@ mod tests {
                 s.x
             );
         }
+    }
+
+    #[test]
+    fn batch_returns_results_in_job_order() {
+        let squares = run_batch_with_workers::<_, CoreError, _>(100, 4, |i| Ok(i * i)).unwrap();
+        assert_eq!(squares.len(), 100);
+        for (i, sq) in squares.iter().enumerate() {
+            assert_eq!(*sq, i * i);
+        }
+    }
+
+    #[test]
+    fn batch_propagates_the_first_error_by_job_order() {
+        let err = run_batch_with_workers(10, 3, |i| {
+            if i >= 4 {
+                Err(format!("job {i} failed"))
+            } else {
+                Ok(i)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, "job 4 failed");
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let out = run_batch::<usize, CoreError, _>(0, |_| unreachable!()).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one batch worker")]
+    fn zero_workers_rejected() {
+        let _ = run_batch_with_workers::<usize, CoreError, _>(3, 0, Ok);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Integration tests for the full-chip floorplan engine: a 32×32
+//! non-uniform hotspot map through the batch engine with cell dedup, FEM
+//! hierarchy reuse across cells, and the JSON report surface.
+
+use ttsv::chip::{ChipEngine, Floorplan, PowerMap, ViaDensityMap};
+use ttsv::core::full_chip::CaseStudy;
+use ttsv::prelude::*;
+// The 32×32 hotspot workload (4×4 hotspot at 8× inside a 10×10 warm ring
+// at 2×, 3 quantized power levels → 3 distinct unit cells over 1024
+// tiles) is shared with the `floorplan_chip` bench and `bench_json`.
+use ttsv_bench::hotspot_floorplan;
+
+#[test]
+fn hotspot_32x32_dedups_to_far_fewer_cells_than_tiles() {
+    let plan = hotspot_floorplan(32);
+    let report = ChipEngine::new()
+        .evaluate(&plan, &ModelB::paper_b100())
+        .unwrap();
+    assert_eq!(report.tiles, 1024);
+    assert_eq!(report.delta_t.len(), 1024);
+    // The dedup counter: solves ≪ cells (3 power levels → 3 solves).
+    assert_eq!(report.distinct_cells, 3);
+    assert!(
+        report.distinct_cells * 100 <= report.tiles,
+        "dedup must collapse the batch: {} solves for {} tiles",
+        report.distinct_cells,
+        report.tiles
+    );
+    // The hotspot is the argmax and visibly hotter than the background.
+    assert!(
+        (14..=17).contains(&report.argmax_ix),
+        "{}",
+        report.argmax_ix
+    );
+    assert!(
+        (14..=17).contains(&report.argmax_iy),
+        "{}",
+        report.argmax_iy
+    );
+    assert!(report.max_delta_t > 2.0 * report.get(0, 0));
+    assert!(report.mean_delta_t < report.max_delta_t);
+    assert!(report.p99_delta_t <= report.max_delta_t);
+    // Chip power is conserved by the tiling.
+    let chip_total: f64 = plan.plane_totals().iter().map(|p| p.as_watts()).sum();
+    assert!((chip_total - 84.0).abs() < 1e-9 * 84.0, "{chip_total}");
+}
+
+#[test]
+fn fem_reference_reuses_one_hierarchy_across_distinct_cells() {
+    use ttsv::fem::{FemPreconditioner, FemSolver};
+
+    // Two distinct power levels on a 3×3 grid; force the iterative
+    // multigrid path (Auto picks direct banded on these meshes) and run
+    // the batch on one worker: every distinct cell shares one mesh shape,
+    // so aggregation must run exactly once — the same pooled-hierarchy
+    // guarantee the 1-D sweeps have.
+    let cs = CaseStudy::paper();
+    let maps = cs
+        .plane_powers
+        .iter()
+        .map(|&total| {
+            PowerMap::from_fn(3, 3, |ix, iy| {
+                let hot = if ix == 1 && iy == 1 { 4.0 } else { 1.0 };
+                total * (hot / 12.0)
+            })
+            .unwrap()
+        })
+        .collect();
+    let via = ViaDensityMap::uniform(3, 3, cs.density).unwrap();
+    let plan = Floorplan::new(&cs, maps, via).unwrap();
+
+    let fem = FemReference::new()
+        .with_resolution(FemResolution::coarse())
+        .with_solver(FemSolver::Pcg(FemPreconditioner::multigrid()));
+    let report = ChipEngine::new()
+        .with_workers(1)
+        .evaluate(&plan, &fem)
+        .unwrap();
+    assert_eq!(report.distinct_cells, 2);
+    assert_eq!(
+        fem.multigrid_builds(),
+        1,
+        "one mesh shape must aggregate exactly once across the chip"
+    );
+    assert!(report.get(1, 1) > report.get(0, 0));
+}
+
+#[test]
+fn report_serializes_to_json_for_serving() {
+    let plan = Floorplan::uniform(&CaseStudy::paper(), 2, 2).unwrap();
+    let model = ModelA::with_coefficients(CaseStudy::paper_fitting());
+    let report = ChipEngine::new().evaluate(&plan, &model).unwrap();
+    let json = report.to_json();
+    for field in [
+        "\"model\":\"Model A\"",
+        "\"nx\":2",
+        "\"ny\":2",
+        "\"delta_t\":[",
+        "\"max_delta_t\":",
+        "\"p99_delta_t\":",
+        "\"argmax_ix\":",
+        "\"total_vias\":",
+        "\"distinct_cells\":1",
+        "\"tiles\":4",
+    ] {
+        assert!(json.contains(field), "missing {field} in {json}");
+    }
+    // Balanced braces/brackets: the emitter produces well-formed JSON.
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}
+
+#[test]
+fn non_uniform_via_density_shifts_the_hotspot() {
+    // Uniform power, but the left half of the chip has 3× fewer vias:
+    // the argmax must land in the sparse half.
+    let cs = CaseStudy::paper();
+    let n = 8;
+    let maps = cs
+        .plane_powers
+        .iter()
+        .map(|&total| PowerMap::uniform(n, n, total).unwrap())
+        .collect();
+    let via = ViaDensityMap::new(
+        n,
+        n,
+        (0..n * n)
+            .map(|i| if i % n < n / 2 { 0.002 } else { 0.006 })
+            .collect(),
+    )
+    .unwrap();
+    let plan = Floorplan::new(&cs, maps, via).unwrap();
+    let report = ChipEngine::new()
+        .evaluate(&plan, &ModelB::paper_b100())
+        .unwrap();
+    assert_eq!(report.distinct_cells, 2);
+    assert!(report.argmax_ix < n / 2, "{}", report.argmax_ix);
+    assert!(report.get(0, 0) > report.get(n - 1, 0));
+}

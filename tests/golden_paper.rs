@@ -280,6 +280,72 @@ fn case_study_delta_t_is_pinned() {
 }
 
 #[test]
+fn floorplan_uniform_map_matches_the_case_study_pin() {
+    // The floorplan engine in its uniform-map limit must land on the same
+    // §IV-E pins as the single-unit-cell path: same golden values, same
+    // tolerances. The two paths construct the per-cell power through
+    // different (mathematically identical) float expressions, so they
+    // agree to rounding, far inside MODEL_RTOL / FEM_RTOL.
+    use ttsv::chip::{ChipEngine, Floorplan};
+    use ttsv::core::full_chip::CaseStudy;
+
+    let cs = CaseStudy::paper();
+    let plan = Floorplan::uniform(&cs, 8, 8).expect("valid uniform floorplan");
+    let engine = ChipEngine::new();
+
+    let b1000 = ModelB::paper_b1000();
+    let report = engine.evaluate(&plan, &b1000).unwrap();
+    // Uniform chip: one distinct cell, flat map, pinned to the case study.
+    assert_eq!(report.tiles, 64);
+    assert_eq!(report.distinct_cells, 1);
+    assert_golden(
+        "floorplan uniform Model B(1000) max",
+        report.max_delta_t,
+        1.101104421301e1,
+        MODEL_RTOL,
+    );
+    assert_golden(
+        "floorplan uniform Model B(1000) mean",
+        report.mean_delta_t,
+        1.101104421301e1,
+        MODEL_RTOL,
+    );
+
+    let a = ModelA::with_coefficients(CaseStudy::paper_fitting());
+    assert_golden(
+        "floorplan uniform Model A max",
+        engine.evaluate(&plan, &a).unwrap().max_delta_t,
+        1.259763445965e1,
+        MODEL_RTOL,
+    );
+    assert_golden(
+        "floorplan uniform 1-D max",
+        engine
+            .evaluate(&plan, &OneDModel::new())
+            .unwrap()
+            .max_delta_t,
+        2.615354576747e1,
+        MODEL_RTOL,
+    );
+    assert_golden(
+        "floorplan uniform FEM max",
+        engine.evaluate(&plan, &fem_coarse()).unwrap().max_delta_t,
+        1.118354740435e1,
+        FEM_RTOL,
+    );
+
+    // Direct old-path/new-path agreement on the overlap, tighter than the
+    // golden tolerance.
+    let unit_cell = cs.unit_cell_scenario().unwrap();
+    let old = b1000.max_delta_t(&unit_cell).unwrap().as_kelvin();
+    assert!(
+        (report.max_delta_t - old).abs() <= 1e-12 * old,
+        "floorplan {} vs unit cell {old}",
+        report.max_delta_t
+    );
+}
+
+#[test]
 fn solver_knobs_do_not_move_the_goldens() {
     // The pinned physics must be solver-invariant: the same Fig. 5 point
     // solved by the direct banded path, SSOR-PCG, and the reused

@@ -434,3 +434,137 @@ impl fmt::Display for Content {
         write!(f, "{self:?}")
     }
 }
+
+/// Minimal JSON rendering of the [`Content`] data model (the stand-in's
+/// substitute for `serde_json::to_string`). Derived structs become
+/// objects, sequences become arrays, unit enum variants become strings,
+/// and data-carrying variants become single-key objects — the shapes the
+/// workspace's report types need for downstream serving. Non-finite
+/// floats serialize as `null` (JSON has no NaN/∞ literal).
+pub mod json {
+    use crate::{Content, Serialize};
+
+    /// Serializes any [`Serialize`] value to a compact JSON string.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_content(&value.to_content(), &mut out);
+        out
+    }
+
+    fn write_escaped(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn write_f64(v: f64, out: &mut String) {
+        if v.is_finite() {
+            // `{:?}` prints the shortest round-trip form, which is valid
+            // JSON for every finite double (e.g. `1.5`, `3e-7`).
+            out.push_str(&format!("{v:?}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+
+    fn write_fields(fields: &[(&'static str, Content)], out: &mut String) {
+        out.push('{');
+        for (i, (name, value)) in fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(name, out);
+            out.push(':');
+            write_content(value, out);
+        }
+        out.push('}');
+    }
+
+    fn write_seq(items: &[Content], out: &mut String) {
+        out.push('[');
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_content(item, out);
+        }
+        out.push(']');
+    }
+
+    fn write_content(content: &Content, out: &mut String) {
+        match content {
+            Content::Unit | Content::Option(None) => out.push_str("null"),
+            Content::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Content::I64(v) => out.push_str(&v.to_string()),
+            Content::U64(v) => out.push_str(&v.to_string()),
+            Content::F64(v) => write_f64(*v, out),
+            Content::Char(c) => write_escaped(&c.to_string(), out),
+            Content::String(s) => write_escaped(s, out),
+            Content::Option(Some(inner)) => write_content(inner, out),
+            Content::Seq(items) => write_seq(items, out),
+            Content::Struct(_, fields) => write_fields(fields, out),
+            Content::UnitVariant(_, variant) => write_escaped(variant, out),
+            Content::TupleVariant(_, variant, values) => {
+                out.push('{');
+                write_escaped(variant, out);
+                out.push(':');
+                write_seq(values, out);
+                out.push('}');
+            }
+            Content::StructVariant(_, variant, fields) => {
+                out.push('{');
+                write_escaped(variant, out);
+                out.push(':');
+                write_fields(fields, out);
+                out.push('}');
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn primitives_and_containers_render() {
+            assert_eq!(to_string(&true), "true");
+            assert_eq!(to_string(&42u32), "42");
+            assert_eq!(to_string(&-3i64), "-3");
+            assert_eq!(to_string(&1.5f64), "1.5");
+            assert_eq!(to_string(&f64::NAN), "null");
+            assert_eq!(to_string("a \"b\"\n"), "\"a \\\"b\\\"\\n\"");
+            assert_eq!(to_string(&vec![1u8, 2, 3]), "[1,2,3]");
+            assert_eq!(to_string(&Option::<u8>::None), "null");
+            assert_eq!(to_string(&Some(7u8)), "7");
+        }
+
+        #[test]
+        fn structs_render_as_objects() {
+            let content = Content::Struct(
+                "Report",
+                vec![
+                    ("max", Content::F64(2.5)),
+                    (
+                        "cells",
+                        Content::Seq(vec![Content::U64(1), Content::U64(2)]),
+                    ),
+                ],
+            );
+            let mut out = String::new();
+            write_content(&content, &mut out);
+            assert_eq!(out, "{\"max\":2.5,\"cells\":[1,2]}");
+        }
+    }
+}
