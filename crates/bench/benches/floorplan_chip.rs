@@ -2,7 +2,14 @@
 //! non-uniform maps): a 32×32 hotspot map (3 distinct unit cells after
 //! dedup) and a 32×32 gradient map (every cell distinct) evaluated
 //! through Model B(100), plus the dedup-off ablation showing what the
-//! scenario-hash cache saves on the hotspot map (1024 solves vs 3).
+//! scenario-hash cache saves on the hotspot map (1024 solves vs 3), the
+//! factor-once batched path (one ladder factorization shared by all 1024
+//! distinct-power tiles), and the warm cross-call cache (the serving
+//! steady state).
+//!
+//! The engine's caches persist across calls, so every cold-path row
+//! constructs a fresh engine per iteration — otherwise the second
+//! iteration would measure cache hits, not solves.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ttsv::prelude::*;
@@ -17,21 +24,52 @@ fn bench_floorplan(c: &mut Criterion) {
     let model = ModelB::paper_b100();
 
     group.bench_function("hotspot_32x32/model_b100", |b| {
-        let engine = ChipEngine::new();
-        b.iter(|| engine.evaluate(&hotspot, &model).expect("solvable"));
+        b.iter(|| {
+            ChipEngine::new()
+                .evaluate(&hotspot, &model)
+                .expect("solvable")
+        });
     });
     group.bench_function("hotspot_32x32/model_b100/no_dedup", |b| {
-        let engine = ChipEngine::new().with_dedup(false);
-        b.iter(|| engine.evaluate(&hotspot, &model).expect("solvable"));
+        b.iter(|| {
+            ChipEngine::new()
+                .with_dedup(false)
+                .evaluate(&hotspot, &model)
+                .expect("solvable")
+        });
     });
     group.bench_function("gradient_32x32/model_b100", |b| {
+        b.iter(|| {
+            ChipEngine::new()
+                .evaluate(&gradient, &model)
+                .expect("solvable")
+        });
+    });
+    group.bench_function("gradient_32x32/model_b100/factor_shared", |b| {
+        b.iter(|| {
+            ChipEngine::new()
+                .evaluate_factored(&gradient, &model)
+                .expect("solvable")
+        });
+    });
+    group.bench_function("gradient_32x32/model_b100/warm_cache", |b| {
         let engine = ChipEngine::new();
-        b.iter(|| engine.evaluate(&gradient, &model).expect("solvable"));
+        engine
+            .evaluate_factored(&gradient, &model)
+            .expect("solvable");
+        b.iter(|| {
+            engine
+                .evaluate_factored(&gradient, &model)
+                .expect("solvable")
+        });
     });
     group.bench_function("hotspot_32x32/model_a", |b| {
-        let engine = ChipEngine::new();
         let model = ModelA::with_coefficients(FittingCoefficients::paper_case_study());
-        b.iter(|| engine.evaluate(&hotspot, &model).expect("solvable"));
+        b.iter(|| {
+            ChipEngine::new()
+                .evaluate(&hotspot, &model)
+                .expect("solvable")
+        });
     });
 
     group.finish();

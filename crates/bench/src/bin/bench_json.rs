@@ -2,8 +2,12 @@
 //! writes their median wall-clock to a JSON file so future PRs can compare
 //! against the recorded trajectory.
 //!
-//! Usage: `cargo run --release -p ttsv-bench --bin bench_json [-- PATH]`
-//! (default output: `BENCH_4.json` in the current directory). See the
+//! Usage:
+//! `cargo run --release -p ttsv-bench --bin bench_json [-- PATH [--check COMMITTED]]`
+//! (default output: `BENCH_5.json` in the current directory). With
+//! `--check COMMITTED`, the freshly measured medians are compared against
+//! the committed recording and the process exits nonzero if any shared
+//! row regressed more than 1.5× — the CI regression guard. See the
 //! `ttsv-bench` crate docs for the bench → paper mapping.
 
 use std::time::{Duration, Instant};
@@ -19,29 +23,36 @@ use ttsv_bench::{block, gradient_floorplan, hotspot_floorplan, mg_box_matrix};
 const TIME_BUDGET: Duration = Duration::from_secs(2);
 /// Target sample count per benchmark.
 const TARGET_SAMPLES: usize = 15;
+/// The `--check` regression gate: a shared row failing `fresh ≤ 1.5×
+/// committed` fails CI.
+const CHECK_HEADROOM_NUM: u128 = 3;
+const CHECK_HEADROOM_DEN: u128 = 2;
 
-/// PR-3 numbers for the carried-over workloads (the medians recorded in
-/// the committed `BENCH_3.json`, measured on the PR-3 solvers: amortized
-/// multigrid hierarchies, vectorized banded LU, threaded V-cycles) — the
-/// baseline the PR-4 acceptance criteria compare against. The floorplan
-/// workloads are new in PR 4 and have no earlier baseline.
-const BASELINE_PR3_NS: &[(&str, u128)] = &[
-    ("fig4_radius_sweep/fem_coarse", 607_337),
-    ("fig4_radius_sweep/model_b_100", 63_042),
-    ("table1_segments/B(500)", 51_908),
-    ("table1_segments/B(1000)", 153_460),
-    ("table1_segments/banded_lu/1000", 272_190),
-    ("ablation_fem_precond/ssor/coarse", 1_648_604),
-    ("ablation_fem_precond/multigrid/coarse", 781_904),
-    ("ablation_fem_precond/multigrid_cheby/coarse", 883_223),
-    ("ablation_fem_precond/direct_banded/coarse", 92_552),
-    ("mg_hierarchy/build/box32k", 21_925_466),
-    ("mg_hierarchy/refresh/box32k", 8_887_013),
-    ("mg_vcycle/jacobi/box32k", 1_484_520),
-    ("mg_vcycle/chebyshev3/box32k", 3_247_104),
-    ("fem_mg_sweep/rebuild", 79_049_629),
-    ("fem_mg_sweep/reuse", 73_961_793),
-    ("sweep_runner/fig4_quick", 808_884),
+/// PR-4 numbers for the carried-over workloads (the medians recorded in
+/// the committed `BENCH_4.json`) — the baseline the PR-5 acceptance
+/// criteria compare against. `mg_hierarchy/refresh_flat` and the
+/// `floorplan_chip/gradient32/factor_shared` row are new in PR 5 and have
+/// no earlier baseline.
+const BASELINE_PR4_NS: &[(&str, u128)] = &[
+    ("fig4_radius_sweep/fem_coarse", 621_322),
+    ("fig4_radius_sweep/model_b_100", 61_903),
+    ("table1_segments/B(500)", 55_988),
+    ("table1_segments/B(1000)", 159_366),
+    ("table1_segments/banded_lu/1000", 292_896),
+    ("ablation_fem_precond/ssor/coarse", 1_727_226),
+    ("ablation_fem_precond/multigrid/coarse", 771_450),
+    ("ablation_fem_precond/multigrid_cheby/coarse", 916_890),
+    ("ablation_fem_precond/direct_banded/coarse", 93_589),
+    ("mg_hierarchy/build/box32k", 20_490_034),
+    ("mg_hierarchy/refresh/box32k", 8_438_087),
+    ("mg_vcycle/jacobi/box32k", 1_368_153),
+    ("mg_vcycle/chebyshev3/box32k", 3_336_662),
+    ("fem_mg_sweep/rebuild", 80_999_035),
+    ("fem_mg_sweep/reuse", 75_945_814),
+    ("floorplan_chip/hotspot32/model_b100", 121_490),
+    ("floorplan_chip/hotspot32/model_b100/no_dedup", 12_795_121),
+    ("floorplan_chip/gradient32/model_b100", 13_391_268),
+    ("sweep_runner/fig4_quick", 846_935),
 ];
 
 struct Sampler {
@@ -61,14 +72,14 @@ impl Sampler {
         samples.sort_unstable();
         let median = samples[samples.len() / 2];
         eprintln!(
-            "{name:<45} median {median:>12} ns ({} samples)",
+            "{name:<50} median {median:>12} ns ({} samples)",
             samples.len()
         );
         self.results.push((name.to_string(), median, samples.len()));
     }
 
     fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": \"ttsv-bench-json/1\",\n  \"pr\": 4,\n");
+        let mut out = String::from("{\n  \"schema\": \"ttsv-bench-json/1\",\n  \"pr\": 5,\n");
         out.push_str(
             "  \"generated_by\": \"cargo run --release -p ttsv-bench --bin bench_json\",\n",
         );
@@ -79,9 +90,9 @@ impl Sampler {
                 "    \"{name}\": {{\"median_ns\": {median}, \"samples\": {samples}}}{comma}\n"
             ));
         }
-        out.push_str("  },\n  \"baseline_pr3_ns\": {\n");
-        for (i, (name, ns)) in BASELINE_PR3_NS.iter().enumerate() {
-            let comma = if i + 1 < BASELINE_PR3_NS.len() {
+        out.push_str("  },\n  \"baseline_pr4_ns\": {\n");
+        for (i, (name, ns)) in BASELINE_PR4_NS.iter().enumerate() {
+            let comma = if i + 1 < BASELINE_PR4_NS.len() {
                 ","
             } else {
                 ""
@@ -91,6 +102,37 @@ impl Sampler {
         out.push_str("  }\n}\n");
         out
     }
+}
+
+/// Extracts `(key, median_ns)` pairs from a committed `bench_json` file's
+/// `"benches"` section (same line-oriented shape the crate's schema test
+/// parses — no JSON dependency offline).
+fn committed_medians(json: &str) -> Vec<(String, u128)> {
+    let Some(start) = json.find("\"benches\"") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in json[start..].lines().skip(1) {
+        let line = line.trim().trim_end_matches(',');
+        if line.starts_with('}') {
+            break;
+        }
+        let Some((key, rest)) = line.split_once(':') else {
+            continue;
+        };
+        let Some(pos) = rest.find("\"median_ns\"") else {
+            continue;
+        };
+        let digits: String = rest[pos..]
+            .chars()
+            .skip_while(|c| !c.is_ascii_digit())
+            .take_while(char::is_ascii_digit)
+            .collect();
+        if let Ok(ns) = digits.parse() {
+            out.push((key.trim().trim_matches('"').to_string(), ns));
+        }
+    }
+    out
 }
 
 fn fig4_scenarios() -> Vec<Scenario> {
@@ -108,9 +150,21 @@ fn sweep_sum(model: &dyn ThermalModel, scenarios: &[Scenario]) -> f64 {
 }
 
 fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_4.json".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_pos = args.iter().position(|a| a == "--check");
+    let check_against = check_pos.and_then(|i| args.get(i + 1)).cloned();
+    // The --check operand is not the output path — `--check BENCH_5.json`
+    // alone must not clobber the committed recording it checks against.
+    let path = args
+        .iter()
+        .enumerate()
+        .find(|&(i, a)| !a.starts_with("--") && Some(i) != check_pos.map(|c| c + 1))
+        .map(|(_, a)| a.clone())
+        .unwrap_or_else(|| "BENCH_5.json".into());
+    if check_against.as_deref() == Some(path.as_str()) {
+        eprintln!("--check target and output path are the same file ({path}) — refusing");
+        std::process::exit(2);
+    }
     let mut sampler = Sampler {
         results: Vec::new(),
     };
@@ -165,9 +219,13 @@ fn main() {
         sampler.bench(name, || problem.solve().expect("solvable"));
     }
 
-    // Multigrid setup amortization: full hierarchy build vs numeric-only
-    // refresh on the 32 k-cell Cartesian box, plus one V-cycle per
-    // smoother (the per-PCG-iteration cost).
+    // Multigrid setup amortization on the 32 k-cell Cartesian box. The
+    // `build`/`refresh` rows measure the default configuration (since
+    // PR 5: plain aggregation — single-stream flat refresh sweeps);
+    // `refresh_flat` measures the flat contraction-list refresh of the
+    // *smoothed-aggregation* hierarchy, the like-for-like successor of
+    // the PR-3/4 scatter refresh recorded in the baseline. One V-cycle
+    // per smoother gives the per-PCG-iteration cost.
     let a1 = mg_box_matrix(1.0);
     let a2 = mg_box_matrix(3.0);
     let config = MultigridConfig::default();
@@ -177,6 +235,11 @@ fn main() {
     let mut hierarchy = MultigridHierarchy::build(&a1, &config).expect("coarsens");
     sampler.bench("mg_hierarchy/refresh/box32k", || {
         hierarchy.refresh(&a2).expect("same pattern");
+    });
+    let sa_config = MultigridConfig::smoothed_aggregation();
+    let mut sa_hierarchy = MultigridHierarchy::build(&a1, &sa_config).expect("coarsens");
+    sampler.bench("mg_hierarchy/refresh_flat/box32k", || {
+        sa_hierarchy.refresh(&a2).expect("same pattern");
     });
     let n = 32 * 32 * 32;
     let r: Vec<f64> = (0..n).map(|i| ((i % 17) as f64) - 8.0).collect();
@@ -208,19 +271,33 @@ fn main() {
 
     // The floorplan engine on the 32×32 §IV-E maps: the hotspot map
     // dedups 1024 tiles to 3 Model B solves; the dedup-off ablation and
-    // the all-distinct gradient map price the batch path itself.
+    // the all-distinct gradient map price the batch path itself, and
+    // `factor_shared` prices the matrix-tier path (one ladder
+    // factorization + 1024 four-lane back-substitutions). The engine
+    // caches results across calls, so every row constructs a fresh engine
+    // per sample to measure the cold path.
     let hotspot = hotspot_floorplan(32);
     let gradient = gradient_floorplan(32);
-    let engine = ChipEngine::new();
     sampler.bench("floorplan_chip/hotspot32/model_b100", || {
-        engine.evaluate(&hotspot, &b100).expect("solvable")
+        ChipEngine::new()
+            .evaluate(&hotspot, &b100)
+            .expect("solvable")
     });
-    let no_dedup = ChipEngine::new().with_dedup(false);
     sampler.bench("floorplan_chip/hotspot32/model_b100/no_dedup", || {
-        no_dedup.evaluate(&hotspot, &b100).expect("solvable")
+        ChipEngine::new()
+            .with_dedup(false)
+            .evaluate(&hotspot, &b100)
+            .expect("solvable")
     });
     sampler.bench("floorplan_chip/gradient32/model_b100", || {
-        engine.evaluate(&gradient, &b100).expect("solvable")
+        ChipEngine::new()
+            .evaluate(&gradient, &b100)
+            .expect("solvable")
+    });
+    sampler.bench("floorplan_chip/gradient32/factor_shared", || {
+        ChipEngine::new()
+            .evaluate_factored(&gradient, &b100)
+            .expect("solvable")
     });
 
     // The bounded sweep runner end to end (fig4-quick shape: 4 models
@@ -239,4 +316,31 @@ fn main() {
     let json = sampler.to_json();
     std::fs::write(&path, &json).expect("write BENCH json");
     println!("wrote {path}");
+
+    if let Some(committed_path) = check_against {
+        let committed = std::fs::read_to_string(&committed_path)
+            .unwrap_or_else(|e| panic!("read committed {committed_path}: {e}"));
+        let committed = committed_medians(&committed);
+        let mut regressions = Vec::new();
+        for (name, fresh, _) in &sampler.results {
+            if let Some((_, recorded)) = committed.iter().find(|(k, _)| k == name) {
+                if *fresh * CHECK_HEADROOM_DEN > recorded * CHECK_HEADROOM_NUM {
+                    regressions.push(format!(
+                        "{name}: {fresh} ns vs committed {recorded} ns (> 1.5×)"
+                    ));
+                }
+            }
+        }
+        if regressions.is_empty() {
+            println!(
+                "--check: no committed-baseline bench regressed past 1.5× of {committed_path}"
+            );
+        } else {
+            eprintln!("--check FAILED against {committed_path}:");
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -26,24 +26,27 @@
 //! | `ablation_modelb_solver` | — | Model B ladder solver: block tridiagonal vs banded LU vs conjugate gradient |
 //! | `ablation_fem_precond` | — | FEM linear solver: plain/Jacobi/SSOR/multigrid (Jacobi and Chebyshev smoothed) PCG vs direct banded, two mesh resolutions |
 //! | `ablation_mg_reuse` | — | multigrid setup amortization: hierarchy build vs numeric refresh, V-cycle per smoother, sweep with rebuilt vs pooled hierarchies |
-//! | `floorplan_chip` | §IV-E generalized | full-chip 32×32 power-map evaluation through the batch engine: dedup vs no-dedup, hotspot vs all-distinct gradient maps (via [`hotspot_floorplan`]/[`gradient_floorplan`]) |
+//! | `floorplan_chip` | §IV-E generalized | full-chip 32×32 power-map evaluation through the batch engine: dedup vs no-dedup, hotspot vs all-distinct gradient maps, factor-once batched vs per-tile solves, warm cross-call cache (via [`hotspot_floorplan`]/[`gradient_floorplan`]) |
 //!
 //! # Machine-readable perf tracking
 //!
-//! `cargo run --release -p ttsv-bench --bin bench_json [-- PATH]` times the
-//! headline workloads (the fig4 FEM sweep, Model B at deep segment counts,
-//! the preconditioner ablation, the hierarchy build/refresh split, the
-//! bounded sweep runner, and the 32×32 floorplan-engine evaluations) with
-//! its own median-of-N harness and writes them to `BENCH_4.json` (default
-//! path). The file also embeds the PR-3 baseline numbers (the committed
-//! `BENCH_3.json` medians) for the carried-over workloads, so each future
-//! PR can re-run the binary and compare the trajectory; a schema sanity
-//! test in this crate parses the committed file, checks the required rows,
-//! and bounds the acceptance-criteria medians against that baseline (the
-//! committed recording is compared outright; regenerated files only need
-//! to stay within 2× — absolute nanoseconds are machine-dependent). CI
-//! runs the emitter every push to catch perf-path code that compiles but
-//! panics.
+//! `cargo run --release -p ttsv-bench --bin bench_json [-- PATH [--check COMMITTED]]`
+//! times the headline workloads (the fig4 FEM sweep, Model B at deep
+//! segment counts, the preconditioner ablation, the hierarchy
+//! build/refresh split for both the plain-aggregation default and the
+//! smoothed-aggregation preset, the bounded sweep runner, and the 32×32
+//! floorplan-engine evaluations including the factor-once batched path)
+//! with its own median-of-N harness and writes them to `BENCH_5.json`
+//! (default path). The file also embeds the PR-4 baseline numbers (the
+//! committed `BENCH_4.json` medians) for the carried-over workloads, so
+//! each future PR can re-run the binary and compare the trajectory; a
+//! schema sanity test in this crate parses the committed file, checks the
+//! required rows, and bounds the acceptance-criteria medians against that
+//! baseline (the committed recording is compared outright; regenerated
+//! files only need to stay within 2× — absolute nanoseconds are
+//! machine-dependent). CI runs the emitter every push with
+//! `--check BENCH_5.json`, which fails the build if any row shared with
+//! the committed recording regresses past 1.5×.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -275,20 +278,20 @@ mod tests {
 
     #[test]
     fn bench_json_schema_is_sane() {
-        // Parse the committed BENCH_4.json: schema tag, every headline
-        // bench present with a positive median, the PR-3 baseline
+        // Parse the committed BENCH_5.json: schema tag, every headline
+        // bench present with a positive median, the PR-4 baseline
         // embedded — and the acceptance-criteria medians within bounds of
         // that baseline.
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_4.json");
-        let json = std::fs::read_to_string(path).expect("BENCH_4.json committed at repo root");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_5.json");
+        let json = std::fs::read_to_string(path).expect("BENCH_5.json committed at repo root");
         assert!(
             json.contains("\"schema\": \"ttsv-bench-json/1\""),
             "schema tag missing"
         );
-        assert!(json.contains("\"pr\": 4"), "pr tag missing");
+        assert!(json.contains("\"pr\": 5"), "pr tag missing");
 
         let benches = section_integers(&json, "benches", Some("median_ns"));
-        let baseline = section_integers(&json, "baseline_pr3_ns", None);
+        let baseline = section_integers(&json, "baseline_pr4_ns", None);
         let median = |set: &[(String, u128)], key: &str| -> u128 {
             set.iter()
                 .find(|(k, _)| k == key)
@@ -302,17 +305,19 @@ mod tests {
             "ablation_fem_precond/multigrid_cheby/coarse",
             "mg_hierarchy/build/box32k",
             "mg_hierarchy/refresh/box32k",
+            "mg_hierarchy/refresh_flat/box32k",
             "mg_vcycle/jacobi/box32k",
             "fem_mg_sweep/reuse",
             "sweep_runner/fig4_quick",
             "floorplan_chip/hotspot32/model_b100",
             "floorplan_chip/hotspot32/model_b100/no_dedup",
             "floorplan_chip/gradient32/model_b100",
+            "floorplan_chip/gradient32/factor_shared",
         ] {
             assert!(median(&benches, key) > 0, "{key} must have a real median");
         }
-        // Carried-over workloads must stay near the PR-3 baseline. The
-        // committed file (recorded on the PR-4 machine) is compared
+        // Carried-over workloads must stay near the PR-4 baseline. The
+        // committed file (recorded on the PR-5 machine) is compared
         // outright; regenerated files from arbitrary hardware only need
         // to avoid a catastrophic regression, since absolute nanoseconds
         // are machine-dependent — 2× headroom absorbs a slower CI runner
@@ -320,17 +325,38 @@ mod tests {
         assert!(
             median(&benches, "fig4_radius_sweep/fem_coarse")
                 < 2 * median(&baseline, "fig4_radius_sweep/fem_coarse"),
-            "fem_coarse regressed far past the PR-3 baseline"
+            "fem_coarse regressed far past the PR-4 baseline"
         );
         assert!(
             median(&benches, "sweep_runner/fig4_quick")
                 < 2 * median(&baseline, "sweep_runner/fig4_quick"),
-            "sweep runner regressed far past the PR-3 baseline"
+            "sweep runner regressed far past the PR-4 baseline"
+        );
+        // PR-5 acceptance criteria, pinned on the committed recording:
+        // the default hierarchy refresh is ≥3× the PR-4 refresh, the
+        // flat refresh of the smoothed hierarchy undercuts the old
+        // scatter refresh outright, and the factor-once batched gradient
+        // map is ≥5× the per-tile PR-4 recording.
+        assert!(
+            3 * median(&benches, "mg_hierarchy/refresh/box32k")
+                <= median(&baseline, "mg_hierarchy/refresh/box32k"),
+            "default hierarchy refresh must be ≥3× the PR-4 recording"
+        );
+        assert!(
+            median(&benches, "mg_hierarchy/refresh_flat/box32k")
+                < median(&baseline, "mg_hierarchy/refresh/box32k"),
+            "flat smoothed-aggregation refresh must beat the scatter refresh"
+        );
+        assert!(
+            5 * median(&benches, "floorplan_chip/gradient32/factor_shared")
+                <= median(&baseline, "floorplan_chip/gradient32/model_b100"),
+            "factor-once batched gradient map must be ≥5× the per-tile PR-4 recording"
         );
         // Same-run comparisons (machine-independent): the numeric refresh
-        // must undercut a full hierarchy build, and the dedup cache must
+        // must undercut a full hierarchy build, the dedup cache must
         // beat evaluating all 1024 hotspot tiles (3 distinct cells —
-        // anything less than a 10× win means dedup is broken).
+        // anything less than a 10× win means dedup is broken), and the
+        // shared factorization must beat per-tile solves on the same run.
         assert!(
             median(&benches, "mg_hierarchy/refresh/box32k")
                 < median(&benches, "mg_hierarchy/build/box32k"),
@@ -340,6 +366,11 @@ mod tests {
             10 * median(&benches, "floorplan_chip/hotspot32/model_b100")
                 < median(&benches, "floorplan_chip/hotspot32/model_b100/no_dedup"),
             "cell dedup must dominate the no-dedup ablation on the hotspot map"
+        );
+        assert!(
+            3 * median(&benches, "floorplan_chip/gradient32/factor_shared")
+                < median(&benches, "floorplan_chip/gradient32/model_b100"),
+            "the shared factorization must dominate per-tile solves same-run"
         );
     }
 

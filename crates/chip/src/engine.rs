@@ -1,27 +1,168 @@
-//! Batched evaluation of a floorplan's distinct unit cells.
+//! Batched evaluation of a floorplan's distinct unit cells, with
+//! cross-call result caching on two tiers.
+//!
+//! # The two cache tiers
+//!
+//! * **Scenario tier** — keyed on the full bit pattern of a tile's unit
+//!   cell (floorplan geometry + via density + per-plane powers) plus the
+//!   model's cache tag. A hit skips the model entirely: the tile's `ΔT`
+//!   is read back from an earlier solve, in this call or any previous
+//!   call on the same engine. This is what makes the serving loop cheap —
+//!   after [`Floorplan::update_power_map`] only the tiles whose power
+//!   bits actually changed miss the cache.
+//! * **Matrix tier** (the factored path,
+//!   [`ChipEngine::evaluate_factored`]) — keyed on the *geometry* bits
+//!   only (powers excluded). For a [`PowerSeparableModel`] such as
+//!   [`ModelB`](ttsv_core::model_b::ModelB), tiles that differ only in
+//!   power share one matrix factorization, and each distinct power vector
+//!   costs a single `O(n)` back-substitution instead of an assembly +
+//!   factorization. An all-distinct power map (the worst case for the
+//!   scenario tier) collapses onto one factorization per distinct via
+//!   density.
+//!
+//! Both tiers are transparent: for deterministic models every cached
+//! value is bit-identical to a fresh solve (the property suites compare
+//! the paths bitwise), so caching changes cost, never results. The
+//! [`ChipEngine::solves`] / [`ChipEngine::factorizations`] counters make
+//! the cost observable — the serving tests assert that a power delta
+//! re-solves exactly the changed tiles.
 
+use std::any::Any;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
-use ttsv_core::scenario::{Scenario, ThermalModel};
+use ttsv_core::scenario::{PowerSeparableModel, Scenario, ThermalModel};
 use ttsv_core::CoreError;
+use ttsv_units::Power;
 use ttsv_validate::sweep::{default_workers, run_batch_with_workers};
 
 use crate::floorplan::{CellKey, Floorplan};
 use crate::report::ChipReport;
 
+/// A cross-call cache key: the model's cache tag (interned per call)
+/// plus the exact bit pattern of everything that determines the cached
+/// value. Hashing covers only the bit payload — the tag still takes part
+/// in equality (hash collisions across models just share a bucket), so
+/// the per-tile hot path never re-hashes the tag string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct EngineKey {
+    tag: Arc<str>,
+    bits: Vec<u64>,
+}
+
+impl std::hash::Hash for EngineKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for &b in &self.bits {
+            state.write_u64(b);
+        }
+    }
+}
+
+/// A Fowler–Noll–Vo-style word hasher for the engine's key maps: the
+/// keys are short arrays of already-well-mixed `f64` bit patterns, so a
+/// multiply-xor word hash beats the DoS-resistant SipHash default by a
+/// wide margin on the per-tile hot path (keys are exact — the hash only
+/// picks buckets, equality still compares every bit).
+#[derive(Default)]
+struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.0 = (self.0 ^ word).wrapping_mul(0x100_0000_01b3);
+        }
+        for &b in chunks.remainder() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, word: u64) {
+        self.0 = (self.0 ^ word).wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn write_usize(&mut self, word: usize) {
+        self.write_u64(word as u64);
+    }
+
+    fn write_u8(&mut self, b: u8) {
+        self.write_u64(u64::from(b));
+    }
+
+    fn finish(&self) -> u64 {
+        // Final avalanche so sequential bit patterns spread across
+        // buckets.
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h
+    }
+}
+
+type KeyMap<K, V> = HashMap<K, V, BuildHasherDefault<KeyHasher>>;
+
+/// The engine's persistent caches (behind one mutex — all bookkeeping
+/// happens on the coordinating thread, workers only solve).
+#[derive(Default)]
+struct EngineCaches {
+    /// Scenario tier: full unit-cell bits → `ΔT` in kelvin.
+    scenario: KeyMap<EngineKey, f64>,
+    /// Matrix tier: geometry bits → type-erased model factorization.
+    matrix: KeyMap<EngineKey, Arc<dyn Any + Send + Sync>>,
+}
+
 /// Evaluates a [`Floorplan`] through any [`ThermalModel`]: deduplicates
-/// identical tiles with a scenario-hash cache, batch-solves the distinct
-/// unit cells on the bounded self-scheduling worker pool, and scatters the
-/// results back into a full-chip [`ChipReport`].
+/// identical tiles with a scenario-hash cache (persistent across calls),
+/// batch-solves the distinct unit cells on the bounded self-scheduling
+/// worker pool, and scatters the results back into a full-chip
+/// [`ChipReport`]. [`ChipEngine::evaluate_factored`] adds the matrix
+/// tier for power-separable models — see the module docs for when each
+/// tier fires.
 ///
 /// Dedup and the worker count are observability/performance knobs only:
 /// for deterministic models the report is bit-identical for every setting
 /// (the property suite enforces it).
-#[derive(Debug, Clone)]
+///
+/// Cloning an engine starts with cold caches and zeroed counters.
+#[derive(Debug)]
 pub struct ChipEngine {
     workers: Option<usize>,
     dedup: bool,
+    scenario_cache_limit: usize,
+    caches: Mutex<EngineCaches>,
+    solves: AtomicUsize,
+    factorizations: AtomicUsize,
+}
+
+/// Default bound on scenario-tier entries (~100 MB of keys at typical
+/// floorplan key widths) — see [`ChipEngine::with_scenario_cache_limit`].
+const DEFAULT_SCENARIO_CACHE_LIMIT: usize = 1 << 20;
+
+impl std::fmt::Debug for EngineCaches {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineCaches")
+            .field("scenario_entries", &self.scenario.len())
+            .field("matrix_entries", &self.matrix.len())
+            .finish()
+    }
+}
+
+impl Clone for ChipEngine {
+    fn clone(&self) -> Self {
+        Self {
+            workers: self.workers,
+            dedup: self.dedup,
+            scenario_cache_limit: self.scenario_cache_limit,
+            caches: Mutex::new(EngineCaches::default()),
+            solves: AtomicUsize::new(0),
+            factorizations: AtomicUsize::new(0),
+        }
+    }
 }
 
 impl Default for ChipEngine {
@@ -31,13 +172,17 @@ impl Default for ChipEngine {
 }
 
 impl ChipEngine {
-    /// An engine with dedup enabled and the default worker pool
-    /// (`available_parallelism()`).
+    /// An engine with dedup enabled, cold caches, and the default worker
+    /// pool (`available_parallelism()`).
     #[must_use]
     pub fn new() -> Self {
         Self {
             workers: None,
             dedup: true,
+            scenario_cache_limit: DEFAULT_SCENARIO_CACHE_LIMIT,
+            caches: Mutex::new(EngineCaches::default()),
+            solves: AtomicUsize::new(0),
+            factorizations: AtomicUsize::new(0),
         }
     }
 
@@ -53,16 +198,136 @@ impl ChipEngine {
         self
     }
 
-    /// Enables or disables the scenario-hash dedup cache (enabled by
-    /// default; disabling evaluates every tile — the transparency tests
-    /// compare both paths bitwise).
+    /// Bounds the scenario-tier cache (default: 2²⁰ entries). A serving
+    /// loop that streams continuously varying power maps would otherwise
+    /// accumulate one permanent entry per distinct tile bit-pattern; when
+    /// an evaluation would push the tier past the limit, the tier is
+    /// cleared first (generational eviction — the current working set
+    /// repopulates it, and eviction only costs re-solves, never
+    /// correctness). The matrix tier is naturally bounded by distinct
+    /// geometries and is not limited.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    #[must_use]
+    pub fn with_scenario_cache_limit(mut self, limit: usize) -> Self {
+        assert!(limit > 0, "the scenario cache limit must be positive");
+        self.scenario_cache_limit = limit;
+        self
+    }
+
+    /// Inserts this evaluation's keys, keeping the tier within
+    /// [`ChipEngine::with_scenario_cache_limit`]: a working set larger
+    /// than the limit is not cached at all, and one that no longer fits
+    /// beside the existing entries clears the tier first (`new_entries`
+    /// counts this call's cache misses, so steady-state hits don't get
+    /// double-counted into spurious clears).
+    fn cache_scenarios(
+        &self,
+        distinct: Vec<((usize, usize), EngineKey)>,
+        cell_delta_t: &[f64],
+        new_entries: usize,
+    ) {
+        if distinct.len() > self.scenario_cache_limit {
+            return;
+        }
+        let mut caches = self.caches.lock().expect("engine cache lock");
+        if caches.scenario.len() + new_entries > self.scenario_cache_limit {
+            caches.scenario.clear();
+        }
+        caches.scenario.reserve(distinct.len());
+        for (i, (_, key)) in distinct.into_iter().enumerate() {
+            caches.scenario.insert(key, cell_delta_t[i]);
+        }
+    }
+
+    /// Enables or disables dedup *and* the cross-call caches (enabled by
+    /// default; disabling evaluates every tile fresh — the transparency
+    /// tests compare both paths bitwise).
     #[must_use]
     pub fn with_dedup(mut self, dedup: bool) -> Self {
         self.dedup = dedup;
         self
     }
 
-    /// Evaluates every tile's unit cell and assembles the chip `ΔT` map.
+    /// Model solves this engine has actually performed (cache misses),
+    /// cumulative across calls. A repeat evaluation of an unchanged plan
+    /// adds zero; a power-delta update adds exactly the changed tiles.
+    #[must_use]
+    pub fn solves(&self) -> usize {
+        self.solves.load(Ordering::Relaxed)
+    }
+
+    /// Matrix factorizations performed by the factored path, cumulative
+    /// across calls.
+    #[must_use]
+    pub fn factorizations(&self) -> usize {
+        self.factorizations.load(Ordering::Relaxed)
+    }
+
+    /// Gathers the distinct unit cells of a plan: per tile the index into
+    /// the distinct list, plus each distinct cell's representative tile
+    /// and full cache key.
+    #[allow(clippy::type_complexity)]
+    fn distinct_cells(
+        &self,
+        plan: &Floorplan,
+        tag: &Arc<str>,
+    ) -> (Vec<usize>, Vec<((usize, usize), EngineKey)>, f64) {
+        let (nx, ny) = (plan.nx(), plan.ny());
+        let geometry = plan.geometry_bits();
+        let mut cell_of = Vec::with_capacity(nx * ny);
+        let mut distinct: Vec<((usize, usize), EngineKey)> = Vec::new();
+        let mut seen: KeyMap<CellKey, usize> = KeyMap::default();
+        seen.reserve(nx * ny);
+        let mut total_vias = 0.0;
+        for iy in 0..ny {
+            for ix in 0..nx {
+                total_vias += plan.cells_in_tile(ix, iy);
+                let key = plan.cell_key(ix, iy);
+                let index = if self.dedup {
+                    match seen.entry(key) {
+                        Entry::Occupied(entry) => *entry.get(),
+                        Entry::Vacant(entry) => {
+                            let index = distinct.len();
+                            let mut bits =
+                                Vec::with_capacity(geometry.len() + entry.key().bits().len());
+                            bits.extend_from_slice(&geometry);
+                            bits.extend_from_slice(entry.key().bits());
+                            distinct.push((
+                                (ix, iy),
+                                EngineKey {
+                                    tag: tag.clone(),
+                                    bits,
+                                },
+                            ));
+                            entry.insert(index);
+                            index
+                        }
+                    }
+                } else {
+                    let mut bits = Vec::with_capacity(geometry.len() + key.bits().len());
+                    bits.extend_from_slice(&geometry);
+                    bits.extend_from_slice(key.bits());
+                    distinct.push((
+                        (ix, iy),
+                        EngineKey {
+                            tag: tag.clone(),
+                            bits,
+                        },
+                    ));
+                    distinct.len() - 1
+                };
+                cell_of.push(index);
+            }
+        }
+        (cell_of, distinct, total_vias)
+    }
+
+    /// Evaluates every tile's unit cell and assembles the chip `ΔT` map,
+    /// using the scenario-tier cache (when dedup is enabled) across
+    /// calls.
     ///
     /// # Errors
     ///
@@ -73,52 +338,213 @@ impl ChipEngine {
         plan: &Floorplan,
         model: &(dyn ThermalModel + Sync),
     ) -> Result<ChipReport, CoreError> {
-        let (nx, ny) = (plan.nx(), plan.ny());
-        let tiles = nx * ny;
+        let tag: Arc<str> = Arc::from(model.cache_tag());
+        let (cell_of, distinct, total_vias) = self.distinct_cells(plan, &tag);
+        let distinct_count = distinct.len();
 
-        // Gather the distinct unit cells and each tile's index into them.
-        // With dedup on, the scenario is only *built* for the first tile of
-        // each key — equal keys would construct (or fail with) the same
-        // scenario, so skipping duplicates changes neither results nor
-        // error behavior.
-        let mut distinct: Vec<Scenario> = Vec::new();
-        let mut cell_of: Vec<usize> = Vec::with_capacity(tiles);
-        let mut seen: HashMap<CellKey, usize> = HashMap::new();
-        let mut total_vias = 0.0;
-        for iy in 0..ny {
-            for ix in 0..nx {
-                total_vias += plan.cells_in_tile(ix, iy);
-                let index = if self.dedup {
-                    match seen.entry(plan.cell_key(ix, iy)) {
-                        Entry::Occupied(entry) => *entry.get(),
-                        Entry::Vacant(entry) => {
-                            let index = distinct.len();
-                            distinct.push(plan.tile_cell(ix, iy)?.scenario);
-                            entry.insert(index);
-                            index
-                        }
+        // Partition the distinct cells into cache hits and cells to
+        // solve. With dedup off the cache is bypassed entirely.
+        let mut cell_delta_t = vec![f64::NAN; distinct_count];
+        let mut misses: Vec<usize> = Vec::new();
+        {
+            // Only cache lookups run under the lock; scenario
+            // construction (allocation-heavy) happens after it drops, so
+            // concurrent evaluations on a shared engine don't serialize.
+            let caches = self.caches.lock().expect("engine cache lock");
+            for (i, (_, key)) in distinct.iter().enumerate() {
+                if self.dedup {
+                    if let Some(&dt) = caches.scenario.get(key) {
+                        cell_delta_t[i] = dt;
+                        continue;
                     }
-                } else {
-                    distinct.push(plan.tile_cell(ix, iy)?.scenario);
-                    distinct.len() - 1
-                };
-                cell_of.push(index);
+                }
+                misses.push(i);
+            }
+        }
+        let mut to_solve: Vec<(usize, Scenario)> = Vec::with_capacity(misses.len());
+        for i in misses {
+            let (ix, iy) = distinct[i].0;
+            to_solve.push((i, plan.tile_cell(ix, iy)?.scenario));
+        }
+
+        let workers = self.workers.unwrap_or_else(default_workers);
+        let solved = run_batch_with_workers(to_solve.len(), workers, |k| {
+            model.max_delta_t(&to_solve[k].1).map(|t| t.as_kelvin())
+        })?;
+        self.solves.fetch_add(to_solve.len(), Ordering::Relaxed);
+        for ((i, _), dt) in to_solve.iter().zip(&solved) {
+            cell_delta_t[*i] = *dt;
+        }
+
+        if self.dedup {
+            // One pass moves every key into the cache (re-inserting a
+            // hit rewrites the same value — harmless and branch-free).
+            self.cache_scenarios(distinct, &cell_delta_t, solved.len());
+        }
+
+        let delta_t: Vec<f64> = cell_of.iter().map(|&i| cell_delta_t[i]).collect();
+        Ok(ChipReport::from_tiles(
+            model.name(),
+            plan.nx(),
+            plan.ny(),
+            delta_t,
+            distinct_count,
+            total_vias,
+        ))
+    }
+
+    /// Like [`ChipEngine::evaluate`], but for [`PowerSeparableModel`]s:
+    /// distinct cells that miss the scenario tier are solved through the
+    /// matrix tier — one factorization per distinct geometry (via
+    /// density), one back-substitution per distinct power vector — and no
+    /// full [`Scenario`] is even built for tiles whose matrix is already
+    /// cached. Results are bit-identical to [`ChipEngine::evaluate`] on
+    /// the model's default solver path (property-tested).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tile validation/factorization failures and the first
+    /// (by distinct-cell order) model error.
+    pub fn evaluate_factored<M: PowerSeparableModel + Sync>(
+        &self,
+        plan: &Floorplan,
+        model: &M,
+    ) -> Result<ChipReport, CoreError> {
+        let tag: Arc<str> = Arc::from(model.cache_tag());
+        let (cell_of, distinct, total_vias) = self.distinct_cells(plan, &tag);
+        let distinct_count = distinct.len();
+        let geometry = plan.geometry_bits();
+        let workers = self.workers.unwrap_or_else(default_workers);
+
+        // Scenario-tier pass: collect the distinct cells that still need
+        // a solve. Only cache lookups run under the lock (same convention
+        // as `evaluate`); matrix-key construction and grouping happen
+        // after it drops, so concurrent evaluations don't serialize.
+        let mut cell_delta_t = vec![f64::NAN; distinct_count];
+        let mut misses: Vec<usize> = Vec::new();
+        {
+            let caches = self.caches.lock().expect("engine cache lock");
+            for (i, (_, key)) in distinct.iter().enumerate() {
+                if self.dedup {
+                    if let Some(&dt) = caches.scenario.get(key) {
+                        cell_delta_t[i] = dt;
+                        continue;
+                    }
+                }
+                misses.push(i);
+            }
+        }
+        let mut to_solve: Vec<(usize, (usize, usize))> = Vec::with_capacity(misses.len());
+        let mut matrix_keys: Vec<EngineKey> = Vec::new();
+        let mut matrix_index: KeyMap<EngineKey, usize> = KeyMap::default();
+        let mut matrix_of: Vec<usize> = Vec::new();
+        let mut matrix_rep: Vec<(usize, usize)> = Vec::new();
+        for i in misses {
+            let (ix, iy) = distinct[i].0;
+            let mut bits = geometry.clone();
+            bits.push(plan.matrix_bits(ix, iy));
+            let mkey = EngineKey {
+                tag: tag.clone(),
+                bits,
+            };
+            let mi = match matrix_index.entry(mkey) {
+                Entry::Occupied(entry) => *entry.get(),
+                Entry::Vacant(entry) => {
+                    let mi = matrix_keys.len();
+                    matrix_keys.push(entry.key().clone());
+                    matrix_rep.push((ix, iy));
+                    entry.insert(mi);
+                    mi
+                }
+            };
+            matrix_of.push(mi);
+            to_solve.push((i, (ix, iy)));
+        }
+
+        // Matrix tier: factorize every distinct geometry not already
+        // cached (in parallel), then publish the new factorizations.
+        let mut factorizations: Vec<Option<Arc<M::Factorization>>> = vec![None; matrix_keys.len()];
+        let mut missing: Vec<usize> = Vec::new();
+        {
+            let caches = self.caches.lock().expect("engine cache lock");
+            for (mi, mkey) in matrix_keys.iter().enumerate() {
+                let cached = self.dedup.then(|| caches.matrix.get(mkey)).flatten();
+                match cached.and_then(|any| any.clone().downcast::<M::Factorization>().ok()) {
+                    Some(fact) => factorizations[mi] = Some(fact),
+                    None => missing.push(mi),
+                }
+            }
+        }
+        let built = run_batch_with_workers(missing.len(), workers, |k| {
+            let (ix, iy) = matrix_rep[missing[k]];
+            let cell = plan.tile_cell(ix, iy)?;
+            model.factorize_geometry(&cell.scenario).map(Arc::new)
+        })?;
+        self.factorizations
+            .fetch_add(missing.len(), Ordering::Relaxed);
+        {
+            let mut caches = self.caches.lock().expect("engine cache lock");
+            for (mi, fact) in missing.iter().zip(built) {
+                if self.dedup {
+                    caches.matrix.insert(matrix_keys[*mi].clone(), fact.clone());
+                }
+                factorizations[*mi] = Some(fact);
             }
         }
 
-        // Batch-solve the distinct cells, then scatter per tile.
-        let workers = self.workers.unwrap_or_else(default_workers);
-        let cell_delta_t = run_batch_with_workers(distinct.len(), workers, |i| {
-            model.max_delta_t(&distinct[i]).map(|t| t.as_kelvin())
+        // Back-substitution per distinct power vector: cells are grouped
+        // by shared matrix and handed to the model in batches, so a
+        // multi-RHS kernel (Model B's four-lane back-substitution) can
+        // amortize each pass over the factors. Job order is
+        // deterministic, and batching is bitwise-transparent by the
+        // `solve_with_powers_batch` contract.
+        const JOB_TILES: usize = 32;
+        let mut grouped: Vec<Vec<usize>> = vec![Vec::new(); matrix_keys.len()];
+        for (k, &mi) in matrix_of.iter().enumerate() {
+            grouped[mi].push(k);
+        }
+        let jobs: Vec<(usize, &[usize])> = grouped
+            .iter()
+            .enumerate()
+            .flat_map(|(mi, ks)| ks.chunks(JOB_TILES).map(move |c| (mi, c)))
+            .collect();
+        let solved_jobs = run_batch_with_workers(jobs.len(), workers, |j| {
+            let (mi, ks) = jobs[j];
+            let fact = factorizations[mi]
+                .as_ref()
+                .expect("every needed matrix was factorized");
+            let powers: Vec<Vec<Power>> = ks
+                .iter()
+                .map(|&k| {
+                    let (_, (ix, iy)) = &to_solve[k];
+                    plan.tile_cell_powers(*ix, *iy)
+                })
+                .collect();
+            model
+                .solve_with_powers_batch(fact, &powers)
+                .map(|ts| ts.into_iter().map(|t| t.as_kelvin()).collect::<Vec<_>>())
         })?;
-        let delta_t: Vec<f64> = cell_of.iter().map(|&i| cell_delta_t[i]).collect();
+        self.solves.fetch_add(to_solve.len(), Ordering::Relaxed);
 
+        for ((_, ks), dts) in jobs.iter().zip(&solved_jobs) {
+            for (&k, dt) in ks.iter().zip(dts) {
+                cell_delta_t[to_solve[k].0] = *dt;
+            }
+        }
+        drop(jobs);
+
+        if self.dedup {
+            // One pass moves every key into the scenario cache.
+            self.cache_scenarios(distinct, &cell_delta_t, to_solve.len());
+        }
+
+        let delta_t: Vec<f64> = cell_of.iter().map(|&i| cell_delta_t[i]).collect();
         Ok(ChipReport::from_tiles(
             model.name(),
-            nx,
-            ny,
+            plan.nx(),
+            plan.ny(),
             delta_t,
-            distinct.len(),
+            distinct_count,
             total_vias,
         ))
     }
@@ -129,6 +555,7 @@ mod tests {
     use super::*;
     use ttsv_core::full_chip::CaseStudy;
     use ttsv_core::model_a::ModelA;
+    use ttsv_core::model_b::ModelB;
     use ttsv_core::prelude::*;
 
     use crate::map::{PowerMap, ViaDensityMap};
@@ -140,14 +567,20 @@ mod tests {
     #[test]
     fn uniform_plan_evaluates_one_distinct_cell() {
         let plan = Floorplan::uniform(&CaseStudy::paper(), 4, 4).unwrap();
-        let report = ChipEngine::new().evaluate(&plan, &model_a()).unwrap();
+        let engine = ChipEngine::new();
+        let report = engine.evaluate(&plan, &model_a()).unwrap();
         assert_eq!(report.tiles, 16);
         assert_eq!(report.distinct_cells, 1);
+        assert_eq!(engine.solves(), 1);
         assert_eq!(report.delta_t.len(), 16);
         // Uniform chip: every tile identical, flat statistics.
         assert_eq!(report.max_delta_t, report.mean_delta_t);
         assert_eq!(report.max_delta_t, report.p99_delta_t);
         assert!(report.max_delta_t > 0.0);
+        // Re-evaluating the same plan is a pure cache hit.
+        let again = engine.evaluate(&plan, &model_a()).unwrap();
+        assert_eq!(engine.solves(), 1);
+        assert_eq!(again.delta_t, report.delta_t);
     }
 
     #[test]
@@ -186,6 +619,116 @@ mod tests {
         let plan = Floorplan::new(&cs, maps, via).unwrap();
         let report = ChipEngine::new().evaluate(&plan, &model_a()).unwrap();
         assert!(report.get(1, 0) < report.get(0, 0));
+    }
+
+    #[test]
+    fn factored_path_shares_one_factorization_across_distinct_powers() {
+        let cs = CaseStudy::paper();
+        // 3×1 grid, all-distinct powers, uniform density → one matrix.
+        let maps = (0..3)
+            .map(|j| {
+                PowerMap::from_fn(3, 1, |ix, _| cs.plane_powers[j] * ((1.0 + ix as f64) / 6.0))
+                    .unwrap()
+            })
+            .collect();
+        let via = ViaDensityMap::uniform(3, 1, cs.density).unwrap();
+        let plan = Floorplan::new(&cs, maps, via).unwrap();
+        let model = ModelB::paper_b20();
+        let engine = ChipEngine::new();
+        let factored = engine.evaluate_factored(&plan, &model).unwrap();
+        assert_eq!(factored.distinct_cells, 3);
+        assert_eq!(engine.factorizations(), 1);
+        assert_eq!(engine.solves(), 3);
+        // Bit-identical to the per-tile path.
+        let plain = ChipEngine::new().evaluate(&plan, &model).unwrap();
+        assert_eq!(factored.delta_t, plain.delta_t);
+    }
+
+    #[test]
+    fn power_delta_re_solves_only_changed_tiles() {
+        let cs = CaseStudy::paper();
+        let mut plan = Floorplan::uniform(&cs, 4, 4).unwrap();
+        let model = ModelB::paper_b20();
+        let engine = ChipEngine::new();
+        engine.evaluate_factored(&plan, &model).unwrap();
+        assert_eq!(engine.solves(), 1); // uniform → one distinct cell
+        assert_eq!(engine.factorizations(), 1);
+
+        // Double one tile's power on the top plane: 2 distinct cells now,
+        // one of them already cached.
+        let mut tiles: Vec<Power> = plan.plane_maps()[2].tiles().to_vec();
+        tiles[5] = tiles[5] * 2.0;
+        plan.update_power_map(2, PowerMap::new(4, 4, tiles).unwrap())
+            .unwrap();
+        let report = engine.evaluate_factored(&plan, &model).unwrap();
+        assert_eq!(report.distinct_cells, 2);
+        assert_eq!(engine.solves(), 2, "only the changed tile re-solves");
+        assert_eq!(engine.factorizations(), 1, "geometry unchanged");
+    }
+
+    #[test]
+    fn update_power_map_validates_inputs() {
+        let cs = CaseStudy::paper();
+        let mut plan = Floorplan::uniform(&cs, 2, 2).unwrap();
+        assert!(matches!(
+            plan.update_power_map(7, PowerMap::uniform(2, 2, Power::from_watts(1.0)).unwrap()),
+            Err(CoreError::InvalidFloorplan { .. })
+        ));
+        assert!(matches!(
+            plan.update_power_map(0, PowerMap::uniform(3, 2, Power::from_watts(1.0)).unwrap()),
+            Err(CoreError::InvalidFloorplan { .. })
+        ));
+    }
+
+    #[test]
+    fn factored_path_refuses_ablation_solvers() {
+        // Cached ΔT values key on the model's cache_tag; the ablation
+        // solvers agree with the block-tridiagonal kernel only to
+        // tolerance, so letting them through the factored path would
+        // poison the per-solver caches with foreign bits.
+        use ttsv_core::model_b::LadderSolver;
+        let plan = Floorplan::uniform(&CaseStudy::paper(), 2, 2).unwrap();
+        let model = ModelB::paper_b20().with_solver(LadderSolver::ConjugateGradient);
+        let engine = ChipEngine::new();
+        assert!(matches!(
+            engine.evaluate_factored(&plan, &model),
+            Err(CoreError::InvalidScenario { .. })
+        ));
+        assert_eq!(engine.solves(), 0);
+    }
+
+    #[test]
+    fn scenario_cache_is_bounded_by_generational_eviction() {
+        // Two successive single-cell evaluations under a limit of 1: the
+        // second insert clears the first generation, so the tier never
+        // exceeds the bound — and correctness is untouched (the evicted
+        // tile just re-solves).
+        let cs = CaseStudy::paper();
+        let plan_a = Floorplan::uniform(&cs, 2, 2).unwrap();
+        let mut cs_b = cs.clone();
+        cs_b.plane_powers[0] = cs.plane_powers[0] * 2.0;
+        let plan_b = Floorplan::uniform(&cs_b, 2, 2).unwrap();
+        let engine = ChipEngine::new().with_scenario_cache_limit(1);
+        let first = engine.evaluate(&plan_a, &model_a()).unwrap();
+        engine.evaluate(&plan_b, &model_a()).unwrap();
+        assert_eq!(engine.solves(), 2);
+        // plan_a was evicted: evaluating it again re-solves (cache still
+        // bounded), bit-identically.
+        let again = engine.evaluate(&plan_a, &model_a()).unwrap();
+        assert_eq!(engine.solves(), 3);
+        assert_eq!(first.delta_t, again.delta_t);
+    }
+
+    #[test]
+    fn cloned_engines_start_cold() {
+        let plan = Floorplan::uniform(&CaseStudy::paper(), 2, 2).unwrap();
+        let engine = ChipEngine::new();
+        engine.evaluate(&plan, &model_a()).unwrap();
+        assert_eq!(engine.solves(), 1);
+        let fresh = engine.clone();
+        assert_eq!(fresh.solves(), 0);
+        fresh.evaluate(&plan, &model_a()).unwrap();
+        assert_eq!(fresh.solves(), 1);
     }
 
     #[test]

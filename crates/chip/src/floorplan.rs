@@ -47,6 +47,13 @@ pub struct TileCell {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct CellKey(Vec<u64>);
 
+impl CellKey {
+    /// The raw bit patterns (density first, then per-plane powers).
+    pub(crate) fn bits(&self) -> &[u64] {
+        &self.0
+    }
+}
+
 impl Floorplan {
     /// Builds a floorplan from a case study's stack geometry (footprint,
     /// layer thicknesses, TTSV configuration) and explicit maps. The
@@ -220,13 +227,93 @@ impl Floorplan {
         }
         let stack = builder.build()?;
 
-        let cell_powers: Vec<Power> = self
-            .plane_maps
-            .iter()
-            .map(|m| m.get(ix, iy) * (1.0 / cells))
-            .collect();
+        let cell_powers = self.tile_cell_powers(ix, iy);
         let scenario = Scenario::new(stack, self.tsv.clone(), &HeatLoad::PerPlane(cell_powers))?;
         Ok(TileCell { scenario, cells })
+    }
+
+    /// Tile `(ix, iy)`'s per-cell plane powers — exactly the float
+    /// operations [`Floorplan::tile_cell`] performs, so the vector is
+    /// bit-identical to the scenario's `plane_powers()`. The factored
+    /// engine path uses this to skip building full scenarios for tiles
+    /// that share a cached matrix factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is outside the grid.
+    #[must_use]
+    pub fn tile_cell_powers(&self, ix: usize, iy: usize) -> Vec<Power> {
+        let cells = self.tile_area() / self.cell_area_at(self.via_map.get(ix, iy));
+        self.plane_maps
+            .iter()
+            .map(|m| m.get(ix, iy) * (1.0 / cells))
+            .collect()
+    }
+
+    /// Replaces one plane's power map — the serving move: a power-delta
+    /// update leaves the geometry (and therefore every cached matrix
+    /// factorization) intact, so a re-evaluation through a caching
+    /// [`ChipEngine`](crate::engine::ChipEngine) re-solves only the tiles
+    /// whose power actually changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidFloorplan`] when `plane` is out of
+    /// range or the new map's grid does not match the floorplan's.
+    pub fn update_power_map(&mut self, plane: usize, map: PowerMap) -> Result<(), CoreError> {
+        if plane >= self.plane_maps.len() {
+            return Err(CoreError::InvalidFloorplan {
+                reason: format!(
+                    "plane {} out of range for a {}-plane floorplan",
+                    plane,
+                    self.plane_maps.len()
+                ),
+            });
+        }
+        if map.nx() != self.nx() || map.ny() != self.ny() {
+            return Err(CoreError::InvalidFloorplan {
+                reason: format!(
+                    "replacement map is {}×{} but the floorplan grid is {}×{}",
+                    map.nx(),
+                    map.ny(),
+                    self.nx(),
+                    self.ny()
+                ),
+            });
+        }
+        self.plane_maps[plane] = map;
+        Ok(())
+    }
+
+    /// The exact bit patterns of everything geometric the tile-cell
+    /// construction reads besides per-tile maps: footprint, layer
+    /// thicknesses, TSV configuration (radius, liner, count, material
+    /// conductivities), and the plane count. Combined with per-tile
+    /// density/power bits these form the engine's cross-call cache keys.
+    pub(crate) fn geometry_bits(&self) -> Vec<u64> {
+        vec![
+            self.footprint.as_square_meters().to_bits(),
+            self.t_si.as_meters().to_bits(),
+            self.t_ild.as_meters().to_bits(),
+            self.t_bond.as_meters().to_bits(),
+            self.l_ext.as_meters().to_bits(),
+            self.tsv.radius().as_meters().to_bits(),
+            self.tsv.liner_thickness().as_meters().to_bits(),
+            self.tsv.count() as u64,
+            self.tsv.k_fill().as_watts_per_meter_kelvin().to_bits(),
+            self.tsv.k_liner().as_watts_per_meter_kelvin().to_bits(),
+            self.plane_count() as u64,
+            // Tile area feeds the per-cell power split.
+            (self.tiles() as u64),
+        ]
+    }
+
+    /// The *matrix* bits of tile `(ix, iy)`: geometry-relevant per-tile
+    /// state (via density) without the powers. Tiles sharing these bits
+    /// share a ladder matrix — the key of the engine's factorization
+    /// tier.
+    pub(crate) fn matrix_bits(&self, ix: usize, iy: usize) -> u64 {
+        self.via_map.get(ix, iy).to_bits()
     }
 
     /// The dedup key of tile `(ix, iy)`: the exact bit patterns of its

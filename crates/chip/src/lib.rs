@@ -14,16 +14,43 @@
 //! * [`ViaDensityMap`] — per-tile TTSV area density in `(0, 1)`,
 //! * [`Floorplan`] — geometry (borrowed from a
 //!   [`CaseStudy`](ttsv_core::full_chip::CaseStudy)) + maps → per-tile
-//!   unit-cell scenarios,
-//! * [`ChipEngine`] — dedup + batched evaluation,
+//!   unit-cell scenarios, with
+//!   [`Floorplan::update_power_map`] as the serving-loop delta move,
+//! * [`ChipEngine`] — dedup + batched evaluation behind **two
+//!   cross-call cache tiers**,
 //! * [`ChipReport`] — the full-chip `ΔT` map with hotspot statistics
 //!   (max / p99 / mean, argmax tile), JSON-serializable for downstream
 //!   serving.
 //!
+//! # The two cache tiers
+//!
+//! The engine's caches persist across calls and key on exact bit
+//! patterns, so they change cost, never results:
+//!
+//! * **Scenario tier** — keyed on geometry + via density + per-plane
+//!   powers (+ the model's
+//!   [`cache_tag`](ttsv_core::scenario::ThermalModel::cache_tag)). Fires
+//!   whenever two tiles are bit-identical — within one evaluation (the
+//!   classic dedup: a 32×32 hotspot map with 3 power levels costs 3
+//!   solves, not 1024) or across evaluations (after
+//!   [`Floorplan::update_power_map`], only the tiles whose power bits
+//!   changed are re-solved).
+//! * **Matrix tier** — keyed on geometry + via density only, used by
+//!   [`ChipEngine::evaluate_factored`] for
+//!   [`PowerSeparableModel`](ttsv_core::scenario::PowerSeparableModel)s
+//!   (Model B): fires when tiles differ *only in power*, where the
+//!   scenario tier is useless. Each distinct geometry is factorized
+//!   once; every distinct power vector then costs one `O(n)`
+//!   back-substitution (batched four right-hand sides per pass over the
+//!   factors), collapsing an all-distinct gradient map to a single
+//!   factorization.
+//!
+//! The [`ChipEngine::solves`] and [`ChipEngine::factorizations`]
+//! counters expose what actually ran; the property suites assert both
+//! tiers (and the factored path) are bitwise-transparent.
+//!
 //! In the uniform-map limit the engine reproduces the single-unit-cell
-//! case study (the golden suite pins this), and identical tiles are
-//! evaluated once: a 32×32 hotspot map with a handful of power levels
-//! costs a handful of model solves, not 1024.
+//! case study (the golden suite pins this).
 //!
 //! # Quick start
 //!

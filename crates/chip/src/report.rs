@@ -65,15 +65,14 @@ impl ChipReport {
                 argmax = i;
             }
         }
-        let mut sorted = delta_t.clone();
-        sorted.sort_unstable_by(f64::total_cmp);
+        let mut scratch = delta_t.clone();
         Self {
             model,
             nx,
             ny,
             max_delta_t,
             mean_delta_t: sum / tiles as f64,
-            p99_delta_t: percentile(&sorted, 0.99),
+            p99_delta_t: percentile(&mut scratch, 0.99),
             argmax_ix: argmax % nx,
             argmax_iy: argmax / nx,
             total_vias,
@@ -106,11 +105,13 @@ impl ChipReport {
     }
 }
 
-/// The `q`-quantile of an ascending-sorted slice (nearest-rank method).
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    debug_assert!(!sorted.is_empty());
-    let rank = (q * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+/// The `q`-quantile by the nearest-rank method, via `O(n)` selection
+/// (`select_nth_unstable_by`) instead of a full sort — `values` is used
+/// as selection scratch and left partially reordered.
+fn percentile(values: &mut [f64], q: f64) -> f64 {
+    debug_assert!(!values.is_empty());
+    let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+    *values.select_nth_unstable_by(rank - 1, f64::total_cmp).1
 }
 
 #[cfg(test)]
@@ -130,11 +131,16 @@ mod tests {
 
     #[test]
     fn percentile_uses_nearest_rank() {
-        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(percentile(&sorted, 0.99), 99.0);
-        assert_eq!(percentile(&sorted, 0.5), 50.0);
-        assert_eq!(percentile(&sorted, 1.0), 100.0);
-        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        // Selection must preserve the nearest-rank semantics the sorted
+        // implementation had — including on unsorted input.
+        let mut values: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&mut values.clone(), 0.99), 99.0);
+        assert_eq!(percentile(&mut values.clone(), 0.5), 50.0);
+        assert_eq!(percentile(&mut values.clone(), 1.0), 100.0);
+        assert_eq!(percentile(&mut [7.0], 0.99), 7.0);
+        values.reverse();
+        assert_eq!(percentile(&mut values.clone(), 0.99), 99.0);
+        assert_eq!(percentile(&mut values, 0.5), 50.0);
     }
 
     #[test]

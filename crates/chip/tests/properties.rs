@@ -126,6 +126,45 @@ proptest! {
         prop_assert_eq!(uncached.distinct_cells, plan.tiles());
     }
 
+    /// The factor-once batched path is equivalent to per-tile solves:
+    /// one factorization per distinct via density, one back-substitution
+    /// per distinct power vector — and the resulting map matches the
+    /// assemble-factorize-solve-per-tile path bitwise (so trivially
+    /// within the 1e-15 relative bound the serving contract promises).
+    #[test]
+    fn factored_batch_matches_per_tile_solves(p in plan_params()) {
+        let plan = build(&p);
+        let model = ModelB::paper_b20();
+        let per_tile = ChipEngine::new()
+            .with_dedup(false)
+            .evaluate(&plan, &model)
+            .expect("solvable");
+        let engine = ChipEngine::new();
+        let factored = engine.evaluate_factored(&plan, &model).expect("solvable");
+        for (ft, pt) in factored.delta_t.iter().zip(&per_tile.delta_t) {
+            prop_assert!(
+                ft.to_bits() == pt.to_bits(),
+                "factored {ft} vs per-tile {pt}"
+            );
+            let rel = (ft - pt).abs() / pt.abs().max(f64::MIN_POSITIVE);
+            prop_assert!(rel <= 1e-15);
+        }
+        // Factorizations are bounded by distinct densities, solves by
+        // distinct cells.
+        let distinct_densities = {
+            let mut d: Vec<u64> = plan.via_map().tiles().iter().map(|v| v.to_bits()).collect();
+            d.sort_unstable();
+            d.dedup();
+            d.len()
+        };
+        prop_assert_eq!(engine.factorizations(), distinct_densities);
+        prop_assert_eq!(engine.solves(), factored.distinct_cells);
+        // And a repeat evaluation is served entirely from the cache.
+        let again = engine.evaluate_factored(&plan, &model).expect("solvable");
+        prop_assert_eq!(engine.solves(), factored.distinct_cells);
+        prop_assert_eq!(&again.delta_t, &factored.delta_t);
+    }
+
     /// The batch runner is deterministic in the worker count: 1, 2, and
     /// `available_parallelism()` workers produce bitwise-equal maps
     /// (mirrors the sweep-runner determinism test).

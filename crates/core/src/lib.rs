@@ -58,10 +58,10 @@ pub mod prelude {
     pub use crate::full_chip::CaseStudy;
     pub use crate::geometry::{HeatLoad, Plane, Stack, TtsvConfig};
     pub use crate::model_a::ModelA;
-    pub use crate::model_b::{ModelB, Segmentation};
+    pub use crate::model_b::{ModelB, ModelBFactorization, Segmentation};
     pub use crate::one_d::OneDModel;
     pub use crate::package::{Package, WithPackage};
-    pub use crate::scenario::{Scenario, ThermalModel};
+    pub use crate::scenario::{PowerSeparableModel, Scenario, ThermalModel};
     pub use crate::CoreError;
     pub use ttsv_units::{
         Area, Length, Power, PowerDensity, TemperatureDelta, ThermalConductivity,

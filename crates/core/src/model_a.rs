@@ -225,6 +225,16 @@ impl ThermalModel for ModelA {
     fn max_delta_t(&self, scenario: &Scenario) -> Result<TemperatureDelta, CoreError> {
         Ok(self.solve(scenario)?.max_delta_t())
     }
+
+    fn cache_tag(&self) -> String {
+        // The display name omits the fitting coefficients, which change
+        // the results — fold their exact bits into the cache identity.
+        format!(
+            "Model A[k1={:016x},k2={:016x}]",
+            self.fit.k1().to_bits(),
+            self.fit.k2().to_bits()
+        )
+    }
 }
 
 /// Model A node temperatures and the resistances that produced them.

@@ -11,7 +11,7 @@
 //! [`BlockTridiagonal`] kernel (the generic banded LU and a CG path remain
 //! as ablation cross-checks).
 
-use ttsv_linalg::{BandedMatrix, BlockTridiagonal};
+use ttsv_linalg::{BandedMatrix, BlockTridiagonal, BlockTridiagonalLu};
 use ttsv_network::{SolverChoice, Terminal, ThermalNetwork};
 use ttsv_units::{Power, TemperatureDelta, ThermalResistance};
 
@@ -216,6 +216,29 @@ impl ModelB {
         self.solve_segmented(scenario, &segmentation)
     }
 
+    /// Factorizes the ladder matrix for this scenario's *geometry*: the
+    /// KCL matrix (eq. 19) depends on the stack, the TSV, and the segment
+    /// scheme but not on the plane powers, so the returned
+    /// [`ModelBFactorization`] solves any power vector on the same
+    /// geometry with one `O(n)` back-substitution. Always uses the
+    /// dedicated block-tridiagonal kernel (the default
+    /// [`LadderSolver::BlockTridiagonal`] path, which the result is
+    /// bit-for-bit identical to).
+    ///
+    /// # Errors
+    ///
+    /// Propagates segmentation/solver failures as [`CoreError`].
+    pub fn factorize(&self, scenario: &Scenario) -> Result<ModelBFactorization, CoreError> {
+        let segmentation = Segmentation::paper_scheme(
+            scenario,
+            self.first_plane_segments,
+            self.upper_plane_segments,
+        );
+        let segments = build_segments(scenario, &segmentation)?;
+        let rs = substrate_resistance(scenario);
+        factorize_block_tridiag(&segmentation, &segments, rs)
+    }
+
     /// Solves with an explicit segmentation.
     ///
     /// # Errors
@@ -245,6 +268,53 @@ impl ThermalModel for ModelB {
 
     fn max_delta_t(&self, scenario: &Scenario) -> Result<TemperatureDelta, CoreError> {
         Ok(self.solve(scenario)?.max_delta_t())
+    }
+
+    fn cache_tag(&self) -> String {
+        // The display name omits the first-plane segment count and the
+        // solver ablation knob; both change the output bits.
+        format!(
+            "Model B[{},{},{:?}]",
+            self.first_plane_segments, self.upper_plane_segments, self.solver
+        )
+    }
+}
+
+impl crate::scenario::PowerSeparableModel for ModelB {
+    type Factorization = ModelBFactorization;
+
+    fn factorize_geometry(&self, scenario: &Scenario) -> Result<ModelBFactorization, CoreError> {
+        // The factorization is always the block-tridiagonal kernel, but a
+        // result cache keyed on this model's `cache_tag` (the chip
+        // engine's) must never mix factored results into a non-default
+        // solver's tag — the ablation solvers agree only to tolerance,
+        // not bitwise — so the power-separable path refuses them.
+        if self.solver != LadderSolver::BlockTridiagonal {
+            return Err(CoreError::InvalidScenario {
+                reason: format!(
+                    "the factor-once path requires the default BlockTridiagonal ladder solver, \
+                     got {:?} (an ablation knob whose results differ by solver tolerance)",
+                    self.solver
+                ),
+            });
+        }
+        self.factorize(scenario)
+    }
+
+    fn solve_with_powers(
+        &self,
+        factorization: &ModelBFactorization,
+        plane_powers: &[Power],
+    ) -> Result<TemperatureDelta, CoreError> {
+        factorization.max_delta_t(plane_powers)
+    }
+
+    fn solve_with_powers_batch(
+        &self,
+        factorization: &ModelBFactorization,
+        batch: &[Vec<Power>],
+    ) -> Result<Vec<TemperatureDelta>, CoreError> {
+        factorization.max_delta_t_batch(batch)
     }
 }
 
@@ -353,6 +423,17 @@ fn solve_block_tridiag(
     segments: &[Segment],
     rs: f64,
 ) -> Result<ModelBSolution, CoreError> {
+    let fact = factorize_block_tridiag(segmentation, segments, rs)?;
+    fact.solve_rhs(scenario.plane_powers())
+}
+
+/// Assembles and factorizes the ladder matrix (geometry only — the heat
+/// inputs live entirely in the right-hand side).
+fn factorize_block_tridiag(
+    segmentation: &Segmentation,
+    segments: &[Segment],
+    rs: f64,
+) -> Result<ModelBFactorization, CoreError> {
     let n_seg = segments.len();
     let nb = n_seg + 1;
 
@@ -371,7 +452,6 @@ fn solve_block_tridiag(
     let mut diag = Vec::with_capacity(nb);
     let mut lower = Vec::with_capacity(nb - 1);
     let mut upper = Vec::with_capacity(nb - 1);
-    let mut rhs = vec![0.0; 2 * nb];
 
     diag.push([1.0 / rs + gb[0] + gf[0], 0.0, 0.0, 1.0]);
     upper.push([-gb[0], -gf[0], 0.0, 0.0]);
@@ -388,27 +468,236 @@ fn solve_block_tridiag(
             upper.push([-up_b, 0.0, 0.0, -up_f]);
             lower.push([-up_b, 0.0, 0.0, -up_f]);
         }
-        rhs[2 * (s + 1)] = seg.heat;
     }
 
     let m = BlockTridiagonal::from_blocks(diag, lower, upper);
     let lu = m.factorize()?;
-    let mut x = rhs;
-    lu.solve_in_place(&mut x)?;
 
-    // Strip the dummy back out into the `[T0, B₁, V₁, …]` layout.
-    let mut t = Vec::with_capacity(1 + 2 * n_seg);
-    t.push(x[0]);
-    for s in 0..n_seg {
-        t.push(x[2 * s + 2]);
-        t.push(x[2 * s + 3]);
+    // The RHS recipe: which segments receive heat, from which plane, and
+    // by what divisor — the heat itself stays out of the factorization.
+    let mut heat_slots = Vec::new();
+    let mut s = 0;
+    for (j, seg) in segmentation.per_plane().iter().enumerate() {
+        let n = seg.total();
+        if n == 1 {
+            // Lumped plane: the single segment carries the whole plane
+            // heat (`q / 1.0` is exactly `q`).
+            heat_slots.push(HeatSlot {
+                segment: s,
+                plane: j,
+                divisor: 1.0,
+            });
+            s += 1;
+            continue;
+        }
+        s += seg.silicon;
+        for _ in 0..seg.ild {
+            heat_slots.push(HeatSlot {
+                segment: s,
+                plane: j,
+                divisor: seg.ild as f64,
+            });
+            s += 1;
+        }
     }
-    Ok(ModelBSolution::from_node_temps(
-        scenario,
-        segmentation,
-        &t,
+    debug_assert_eq!(s, n_seg);
+
+    Ok(ModelBFactorization {
+        lu,
         n_seg,
-    ))
+        n_planes: segmentation.per_plane().len(),
+        heat_slots,
+        plane_top_segment: plane_top_segments(segmentation),
+    })
+}
+
+/// Index of each plane's topmost segment — shared by the factorization
+/// and [`ModelBSolution::from_node_temps`] so the two solve paths can
+/// never disagree on the plane layout.
+fn plane_top_segments(segmentation: &Segmentation) -> Vec<usize> {
+    let mut tops = Vec::with_capacity(segmentation.per_plane().len());
+    let mut acc = 0;
+    for p in segmentation.per_plane() {
+        acc += p.total();
+        tops.push(acc - 1);
+    }
+    tops
+}
+
+/// One heated segment of the ladder RHS: segment `segment` receives
+/// `plane_powers[plane] / divisor` watts.
+#[derive(Debug, Clone, Copy)]
+struct HeatSlot {
+    segment: usize,
+    plane: usize,
+    divisor: f64,
+}
+
+/// A factorized Model B ladder: the block-LU factors of the KCL matrix
+/// plus the RHS recipe. The matrix depends only on the scenario's
+/// *geometry* (stack, TSV, via density) — plane powers enter the
+/// right-hand side alone — so scenarios that differ only in power share
+/// one factorization and each extra solve is a single `O(n)`
+/// back-substitution via [`ModelBFactorization::solve_rhs`].
+///
+/// Produced by [`ModelB::factorize`]; [`ModelBFactorization::solve_rhs`]
+/// with the originating scenario's powers is bit-for-bit identical to
+/// [`ModelB::solve`] on the default block-tridiagonal path (the property
+/// suites assert it).
+#[derive(Debug, Clone)]
+pub struct ModelBFactorization {
+    lu: BlockTridiagonalLu,
+    n_seg: usize,
+    n_planes: usize,
+    heat_slots: Vec<HeatSlot>,
+    plane_top_segment: Vec<usize>,
+}
+
+impl ModelBFactorization {
+    /// Number of π-segments in the factored ladder.
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.n_seg
+    }
+
+    /// Number of planes the RHS expects powers for.
+    #[must_use]
+    pub fn plane_count(&self) -> usize {
+        self.n_planes
+    }
+
+    /// Solves the factored ladder for one per-plane power vector — a
+    /// single back-substitution, no re-assembly, no re-factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidScenario`] when the power count does
+    /// not match the factored plane count, or a negative/non-finite power
+    /// is supplied; propagates solver failures.
+    pub fn solve_rhs(&self, plane_powers: &[Power]) -> Result<ModelBSolution, CoreError> {
+        let mut x = self.assemble_rhs(plane_powers)?;
+        self.lu.solve_in_place(&mut x)?;
+
+        // Strip the dummy back out into the `[T0, B₁, V₁, …]` layout.
+        let mut t = Vec::with_capacity(1 + 2 * self.n_seg);
+        t.push(x[0]);
+        for s in 0..self.n_seg {
+            t.push(x[2 * s + 2]);
+            t.push(x[2 * s + 3]);
+        }
+        Ok(ModelBSolution::from_parts(
+            &t,
+            self.n_seg,
+            self.plane_top_segment.clone(),
+        ))
+    }
+
+    /// Validates a power vector and assembles the padded ladder RHS.
+    fn assemble_rhs(&self, plane_powers: &[Power]) -> Result<Vec<f64>, CoreError> {
+        self.validate_powers(plane_powers)?;
+        let mut x = vec![0.0; 2 * (self.n_seg + 1)];
+        for slot in &self.heat_slots {
+            x[2 * (slot.segment + 1)] = plane_powers[slot.plane].as_watts() / slot.divisor;
+        }
+        Ok(x)
+    }
+
+    /// Maximum node temperature of a solved (padded) ladder vector —
+    /// `max` is order-independent over real temperatures, so this matches
+    /// [`ModelBSolution::max_delta_t`] exactly without materializing the
+    /// solution.
+    fn max_of_solution(&self, x: &[f64]) -> TemperatureDelta {
+        let mut max = x[0];
+        for s in 0..self.n_seg {
+            max = max.max(x[2 * s + 2]);
+            max = max.max(x[2 * s + 3]);
+        }
+        TemperatureDelta::from_kelvin(max)
+    }
+
+    /// [`ModelBFactorization::solve_rhs`] reduced to the hotspot metric —
+    /// no solution object is built, just the back-substitution and a max
+    /// scan.
+    ///
+    /// # Errors
+    ///
+    /// See [`ModelBFactorization::solve_rhs`].
+    pub fn max_delta_t(&self, plane_powers: &[Power]) -> Result<TemperatureDelta, CoreError> {
+        let mut x = self.assemble_rhs(plane_powers)?;
+        self.lu.solve_in_place(&mut x)?;
+        Ok(self.max_of_solution(&x))
+    }
+
+    /// Batched hotspot metric: four right-hand sides share each pass over
+    /// the factors
+    /// ([`BlockTridiagonalLu::solve_in_place_x4`]), which is what makes a
+    /// thousand same-geometry tiles nearly free. Per-vector results are
+    /// bit-identical to [`ModelBFactorization::max_delta_t`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ModelBFactorization::solve_rhs`].
+    pub fn max_delta_t_batch(
+        &self,
+        batch: &[Vec<Power>],
+    ) -> Result<Vec<TemperatureDelta>, CoreError> {
+        let mut out = Vec::with_capacity(batch.len());
+        let n = 2 * (self.n_seg + 1);
+        // Lane-interleaved buffer (unknown i of lane l at 4·i + l),
+        // reused across quads: assembly, solve, and max scan all run in
+        // this layout, so nothing is ever transposed.
+        let mut z = vec![0.0; 4 * n];
+        let mut quads = batch.chunks_exact(4);
+        for quad in &mut quads {
+            z.fill(0.0);
+            for (l, powers) in quad.iter().enumerate() {
+                self.validate_powers(powers)?;
+                for slot in &self.heat_slots {
+                    z[4 * (2 * (slot.segment + 1)) + l] =
+                        powers[slot.plane].as_watts() / slot.divisor;
+                }
+            }
+            self.lu.solve_interleaved_x4(&mut z)?;
+            for l in 0..4 {
+                // Max over T0 and every bulk/via node of lane `l`,
+                // skipping the dummy unknown. `max` is exact (no
+                // rounding), so accumulation order cannot change the
+                // result.
+                let mut max = z[l];
+                for s in 0..self.n_seg {
+                    max = max.max(z[4 * (2 * s + 2) + l]);
+                    max = max.max(z[4 * (2 * s + 3) + l]);
+                }
+                out.push(TemperatureDelta::from_kelvin(max));
+            }
+        }
+        for powers in quads.remainder() {
+            out.push(self.max_delta_t(powers)?);
+        }
+        Ok(out)
+    }
+
+    /// The power-vector validation shared by every solve entry point.
+    fn validate_powers(&self, plane_powers: &[Power]) -> Result<(), CoreError> {
+        if plane_powers.len() != self.n_planes {
+            return Err(CoreError::InvalidScenario {
+                reason: format!(
+                    "factorization covers {} planes, got {} powers",
+                    self.n_planes,
+                    plane_powers.len()
+                ),
+            });
+        }
+        if let Some(p) = plane_powers
+            .iter()
+            .find(|p| !p.as_watts().is_finite() || p.as_watts() < 0.0)
+        {
+            return Err(CoreError::InvalidScenario {
+                reason: format!("plane power must be finite and non-negative, got {p}"),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Generic banded assembly: unknowns `[T0, B₁, V₁, B₂, V₂, ...]`, bandwidth 2.
@@ -534,18 +823,16 @@ impl ModelBSolution {
         t: &[f64],
         n_seg: usize,
     ) -> Self {
+        Self::from_parts(t, n_seg, plane_top_segments(segmentation))
+    }
+
+    fn from_parts(t: &[f64], n_seg: usize, plane_top_segment: Vec<usize>) -> Self {
         let t0 = TemperatureDelta::from_kelvin(t[0]);
         let mut bulk = Vec::with_capacity(n_seg);
         let mut via = Vec::with_capacity(n_seg);
         for s in 0..n_seg {
             bulk.push(TemperatureDelta::from_kelvin(t[1 + 2 * s]));
             via.push(TemperatureDelta::from_kelvin(t[2 + 2 * s]));
-        }
-        let mut plane_top_segment = Vec::with_capacity(segmentation.per_plane().len());
-        let mut acc = 0;
-        for p in segmentation.per_plane() {
-            acc += p.total();
-            plane_top_segment.push(acc - 1);
         }
         Self {
             t0,
@@ -685,6 +972,76 @@ mod tests {
         for (a, b) in block.via_profile().iter().zip(banded.via_profile()) {
             assert!((a.as_kelvin() - b.as_kelvin()).abs() < 1e-10 * reference);
         }
+    }
+
+    #[test]
+    fn factorize_then_solve_rhs_is_bitwise_identical_to_solve() {
+        let s = scenario();
+        let model = ModelB::paper_b100();
+        let direct = model.solve(&s).unwrap();
+        let fact = model.factorize(&s).unwrap();
+        let via_fact = fact.solve_rhs(s.plane_powers()).unwrap();
+        assert_eq!(
+            direct.t0().as_kelvin().to_bits(),
+            via_fact.t0().as_kelvin().to_bits()
+        );
+        for (a, b) in direct.bulk_profile().iter().zip(via_fact.bulk_profile()) {
+            assert_eq!(a.as_kelvin().to_bits(), b.as_kelvin().to_bits());
+        }
+        for (a, b) in direct.via_profile().iter().zip(via_fact.via_profile()) {
+            assert_eq!(a.as_kelvin().to_bits(), b.as_kelvin().to_bits());
+        }
+        assert_eq!(fact.plane_count(), 3);
+        assert_eq!(fact.segment_count(), 210);
+    }
+
+    #[test]
+    fn one_factorization_serves_many_power_vectors() {
+        // Scale every plane power: the matrix is power-independent, so the
+        // shared factorization must reproduce fresh solves exactly.
+        let s = scenario();
+        let model = ModelB::paper_b20();
+        let fact = model.factorize(&s).unwrap();
+        for scale in [0.5, 1.0, 2.25, 7.0] {
+            let powers: Vec<Power> = s
+                .plane_powers()
+                .iter()
+                .map(|p| Power::from_watts(p.as_watts() * scale))
+                .collect();
+            let stack = s.stack().clone();
+            let scaled = Scenario::new(
+                stack,
+                s.tsv().clone(),
+                &crate::geometry::HeatLoad::PerPlane(powers.clone()),
+            )
+            .unwrap();
+            let direct = model.solve(&scaled).unwrap().max_delta_t();
+            let shared = fact.max_delta_t(&powers).unwrap();
+            assert_eq!(
+                direct.as_kelvin().to_bits(),
+                shared.as_kelvin().to_bits(),
+                "scale {scale}: {direct} vs {shared}"
+            );
+        }
+    }
+
+    #[test]
+    fn factorization_rejects_wrong_power_count_and_bad_powers() {
+        let s = scenario();
+        let fact = ModelB::paper_b20().factorize(&s).unwrap();
+        assert!(matches!(
+            fact.solve_rhs(&[Power::from_watts(1.0)]),
+            Err(CoreError::InvalidScenario { .. })
+        ));
+        let bad = vec![
+            Power::from_watts(1.0),
+            Power::from_watts(-1.0),
+            Power::from_watts(1.0),
+        ];
+        assert!(matches!(
+            fact.solve_rhs(&bad),
+            Err(CoreError::InvalidScenario { .. })
+        ));
     }
 
     #[test]

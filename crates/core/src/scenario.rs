@@ -118,6 +118,73 @@ pub trait ThermalModel {
     /// Returns a [`CoreError`] when the scenario is incompatible with the
     /// model or the underlying solve fails.
     fn max_delta_t(&self, scenario: &Scenario) -> Result<TemperatureDelta, CoreError>;
+
+    /// A string identifying this model *instance's results*: two models
+    /// with equal tags must produce identical outputs on identical
+    /// scenarios, because cross-call result caches (the chip engine's)
+    /// key on it. Defaults to [`ThermalModel::name`]; models whose
+    /// display name omits result-relevant knobs (fitting coefficients,
+    /// solver choices, mesh resolutions) must override it to include
+    /// them.
+    fn cache_tag(&self) -> String {
+        self.name()
+    }
+}
+
+/// A model whose linear system depends only on the scenario's *geometry*
+/// (stack, TSV, segmentation) — plane powers enter the right-hand side
+/// alone. Such models factorize once per geometry and solve each power
+/// vector with a cheap back-substitution, which is what lets the chip
+/// engine's matrix-tier cache collapse an all-distinct power map onto a
+/// handful of factorizations.
+///
+/// Contract: for any scenario `s`,
+/// `solve_with_powers(&factorize(&s)?, s.plane_powers())` must equal
+/// `max_delta_t(&s)` **bitwise** on the model's default solver path (the
+/// property suites assert it for [`ModelB`](crate::model_b::ModelB)).
+pub trait PowerSeparableModel: ThermalModel {
+    /// The reusable geometry factorization.
+    type Factorization: Send + Sync + 'static;
+
+    /// Factorizes the scenario's geometry (powers are ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] when the geometry is invalid for the model.
+    fn factorize_geometry(&self, scenario: &Scenario) -> Result<Self::Factorization, CoreError>;
+
+    /// Solves one per-plane power vector against a factorization obtained
+    /// from [`PowerSeparableModel::factorize_geometry`] on the same
+    /// geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] when the power vector is incompatible with
+    /// the factorization or the solve fails.
+    fn solve_with_powers(
+        &self,
+        factorization: &Self::Factorization,
+        plane_powers: &[Power],
+    ) -> Result<TemperatureDelta, CoreError>;
+
+    /// Solves many power vectors against one factorization. The default
+    /// loops over [`PowerSeparableModel::solve_with_powers`]; models with
+    /// a multi-right-hand-side kernel override it (each result must stay
+    /// bitwise equal to the single-vector call).
+    ///
+    /// # Errors
+    ///
+    /// See [`PowerSeparableModel::solve_with_powers`].
+    fn solve_with_powers_batch(
+        &self,
+        factorization: &Self::Factorization,
+        batch: &[Vec<Power>],
+    ) -> Result<Vec<TemperatureDelta>, CoreError> {
+        batch
+            .iter()
+            .map(|powers| self.solve_with_powers(factorization, powers))
+            .collect()
+    }
 }
 
 /// Builder for the paper's §IV block with per-figure knobs; see

@@ -307,6 +307,104 @@ impl BlockTridiagonalLu {
         Ok(x)
     }
 
+    /// Solves four right-hand sides with a single pass over the factors:
+    /// each factor block is loaded once and applied to four independent
+    /// elimination chains, which both amortizes the memory traffic and
+    /// gives the core four dependency chains to overlap — the
+    /// multi-right-hand-side shape the chip engine's factor-once batches
+    /// produce. Every lane runs exactly the arithmetic of
+    /// [`BlockTridiagonalLu::solve_in_place`], so lane results are
+    /// bit-identical to four separate solves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if any lane's length
+    /// mismatches.
+    pub fn solve_in_place_x4(&self, xs: [&mut [f64]; 4]) -> Result<(), LinalgError> {
+        for x in &xs {
+            if x.len() != self.dim() {
+                return Err(LinalgError::DimensionMismatch {
+                    operation: "block-tridiagonal multi-RHS solve",
+                    expected: self.dim(),
+                    actual: x.len(),
+                });
+            }
+        }
+        let [x0, x1, x2, x3] = xs;
+        let n = self.dim();
+        let mut z = vec![0.0; 4 * n];
+        for i in 0..n {
+            z[4 * i] = x0[i];
+            z[4 * i + 1] = x1[i];
+            z[4 * i + 2] = x2[i];
+            z[4 * i + 3] = x3[i];
+        }
+        self.solve_interleaved_x4(&mut z)?;
+        for i in 0..n {
+            x0[i] = z[4 * i];
+            x1[i] = z[4 * i + 1];
+            x2[i] = z[4 * i + 2];
+            x3[i] = z[4 * i + 3];
+        }
+        Ok(())
+    }
+
+    /// The lane-interleaved core of
+    /// [`BlockTridiagonalLu::solve_in_place_x4`]: `z` holds four
+    /// right-hand sides with global unknown `i` of lane `l` at slot
+    /// `4·i + l`, so every per-lane operation runs over four contiguous
+    /// values — a vectorizable stride-1 micro-kernel with no marshalling.
+    /// Callers that can assemble and read results in this layout (Model
+    /// B's batched ladder solves) skip the transposes entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] unless
+    /// `z.len() == 4 · dim()`.
+    pub fn solve_interleaved_x4(&self, z: &mut [f64]) -> Result<(), LinalgError> {
+        if z.len() != 4 * self.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "block-tridiagonal interleaved multi-RHS solve",
+                expected: 4 * self.dim(),
+                actual: z.len(),
+            });
+        }
+        // Forward: y_b = b_b − Lᵇ·y_{b−1}, four lanes per factor load.
+        for b in 1..self.nb {
+            let lf = &self.lower_fact[b - 1];
+            let (prev, cur) = z.split_at_mut(4 * (2 * b));
+            let p = &prev[4 * (2 * b - 2)..];
+            for l in 0..4 {
+                let (p0, p1) = (p[l], p[4 + l]);
+                cur[l] -= lf[0] * p0 + lf[1] * p1;
+                cur[4 + l] -= lf[2] * p0 + lf[3] * p1;
+            }
+        }
+        // Backward: x_b = (D'_b)⁻¹ · (y_b − U_b·x_{b+1}).
+        for b in (0..self.nb).rev() {
+            let inv = &self.inv_pivot[b];
+            if b + 1 < self.nb {
+                let u = &self.upper[b];
+                let (cur, next) = z[4 * (2 * b)..].split_at_mut(8);
+                for l in 0..4 {
+                    let (c0, c1) = (next[l], next[4 + l]);
+                    let t0 = cur[l] - (u[0] * c0 + u[1] * c1);
+                    let t1 = cur[4 + l] - (u[2] * c0 + u[3] * c1);
+                    cur[l] = inv[0] * t0 + inv[1] * t1;
+                    cur[4 + l] = inv[2] * t0 + inv[3] * t1;
+                }
+            } else {
+                let cur = &mut z[4 * (2 * b)..4 * (2 * b) + 8];
+                for l in 0..4 {
+                    let (t0, t1) = (cur[l], cur[4 + l]);
+                    cur[l] = inv[0] * t0 + inv[1] * t1;
+                    cur[4 + l] = inv[2] * t0 + inv[3] * t1;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Solves `A·x = b` with `x` holding `b` on entry and the solution on
     /// exit (no allocation).
     ///
@@ -413,6 +511,30 @@ mod tests {
             let ax = m.matvec(&x).unwrap();
             for (got, want) in ax.iter().zip(&b) {
                 assert!((got - want).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn four_lane_solve_is_bitwise_identical_to_four_single_solves() {
+        let m = ladder(23);
+        let lu = m.factorize().unwrap();
+        let n = lu.dim();
+        let mut lanes: Vec<Vec<f64>> = (0..4)
+            .map(|l| {
+                (0..n)
+                    .map(|i| ((i * 3 + l * 7) as f64).sin() * 2.0)
+                    .collect()
+            })
+            .collect();
+        let singles: Vec<Vec<f64>> = lanes.iter().map(|b| lu.solve(b).unwrap()).collect();
+        let [a, b, c, d] = &mut lanes[..] else {
+            unreachable!()
+        };
+        lu.solve_in_place_x4([a, b, c, d]).unwrap();
+        for (lane, single) in lanes.iter().zip(&singles) {
+            for (x, y) in lane.iter().zip(single) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
             }
         }
     }

@@ -61,6 +61,7 @@ pub use iterative::{
 pub use lu::LuDecomposition;
 pub use multigrid::{
     ChebyshevSmoother, MgSmoother, MultigridConfig, MultigridHierarchy, MultigridPreconditioner,
+    CHEBYSHEV_BREAK_EVEN_UNKNOWNS,
 };
 pub use optimize::{
     golden_section, nelder_mead, GoldenSectionResult, NelderMeadConfig, NelderMeadResult,

@@ -317,6 +317,63 @@ proptest! {
     }
 
     #[test]
+    fn refresh_is_bitwise_identical_to_a_fresh_build_on_perturbed_boxes(
+        (dims, k, r) in box_system(),
+        scale in 0.2..5.0f64,
+    ) {
+        // The flat contraction-list refresh re-runs every numeric kernel
+        // in the same per-entry accumulation order as the scatter-based
+        // build. Under a uniform conductivity scaling the build-time
+        // pattern decisions (strength classification, aggregation) are
+        // unchanged, so refreshing a hierarchy onto the scaled matrix must
+        // reproduce a freshly built one bit for bit — V-cycle outputs
+        // compared via `to_bits`, on both the serial and the threaded
+        // sweep path.
+        let a1 = random_box_matrix(dims, &k);
+        let k2: Vec<f64> = k.iter().map(|&v| v * scale).collect();
+        let a2 = random_box_matrix(dims, &k2);
+        prop_assert!(a1.same_pattern(&a2));
+        // Cover every numeric-refresh path: the plain-aggregation default
+        // (single-stream sums), classic smoothed aggregation (pair lists
+        // + prolongator refresh), and a truncated/capped smoothed config
+        // (the rescale branch) — each serial and threaded.
+        let presets = [
+            MultigridConfig::default(),
+            MultigridConfig::smoothed_aggregation(),
+            MultigridConfig {
+                prolongator_truncation: 0.15,
+                prolongator_max_entries: 3,
+                ..MultigridConfig::smoothed_aggregation()
+            },
+        ];
+        for (preset, threshold) in presets
+            .iter()
+            .flat_map(|p| [usize::MAX, 1].map(|t| (*p, t)))
+        {
+            let cfg = MultigridConfig {
+                parallel_threshold: threshold,
+                ..preset
+            };
+            let fresh = MultigridPreconditioner::new(&a2, &cfg).unwrap();
+            let mut refreshed = MultigridPreconditioner::new(&a1, &cfg).unwrap();
+            refreshed.refresh(&a2).unwrap();
+            let n = a2.rows();
+            let mut z_fresh = vec![0.0; n];
+            let mut z_refreshed = vec![0.0; n];
+            ttsv_linalg::Preconditioner::apply(&fresh, &r, &mut z_fresh);
+            ttsv_linalg::Preconditioner::apply(&refreshed, &r, &mut z_refreshed);
+            for i in 0..n {
+                prop_assert!(
+                    z_fresh[i].to_bits() == z_refreshed[i].to_bits(),
+                    "refresh diverged from fresh build at {i} ({cfg:?}): {} vs {}",
+                    z_fresh[i],
+                    z_refreshed[i]
+                );
+            }
+        }
+    }
+
+    #[test]
     fn chebyshev_vcycle_reduces_energy_error_monotonically_on_random_boxes(
         (dims, k, x_star) in box_system(),
     ) {

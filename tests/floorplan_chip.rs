@@ -5,10 +5,10 @@
 use ttsv::chip::{ChipEngine, Floorplan, PowerMap, ViaDensityMap};
 use ttsv::core::full_chip::CaseStudy;
 use ttsv::prelude::*;
-// The 32×32 hotspot workload (4×4 hotspot at 8× inside a 10×10 warm ring
-// at 2×, 3 quantized power levels → 3 distinct unit cells over 1024
-// tiles) is shared with the `floorplan_chip` bench and `bench_json`.
-use ttsv_bench::hotspot_floorplan;
+// The 32×32 workloads (hotspot: 3 quantized power levels → 3 distinct
+// unit cells over 1024 tiles; gradient: all-distinct powers) are shared
+// with the `floorplan_chip` bench and `bench_json`.
+use ttsv_bench::{gradient_floorplan, hotspot_floorplan};
 
 #[test]
 fn hotspot_32x32_dedups_to_far_fewer_cells_than_tiles() {
@@ -43,6 +43,63 @@ fn hotspot_32x32_dedups_to_far_fewer_cells_than_tiles() {
     // Chip power is conserved by the tiling.
     let chip_total: f64 = plan.plane_totals().iter().map(|p| p.as_watts()).sum();
     assert!((chip_total - 84.0).abs() < 1e-9 * 84.0, "{chip_total}");
+}
+
+#[test]
+fn gradient_32x32_factored_path_shares_one_factorization_bitwise() {
+    // All 1024 tiles carry distinct powers at uniform via density: the
+    // scenario-hash dedup can share nothing, but the matrix tier
+    // collapses the whole chip onto ONE ladder factorization + 1024
+    // back-substitutions — bit-identical to per-tile solves.
+    let plan = gradient_floorplan(32);
+    let model = ModelB::paper_b100();
+    let engine = ChipEngine::new();
+    let factored = engine.evaluate_factored(&plan, &model).unwrap();
+    assert_eq!(factored.distinct_cells, 1024);
+    assert_eq!(engine.factorizations(), 1, "uniform density → one matrix");
+    assert_eq!(engine.solves(), 1024);
+    let per_tile = ChipEngine::new().evaluate(&plan, &model).unwrap();
+    assert_eq!(factored.delta_t, per_tile.delta_t);
+    assert_eq!(
+        factored.max_delta_t.to_bits(),
+        per_tile.max_delta_t.to_bits()
+    );
+}
+
+#[test]
+fn serving_loop_re_solves_only_the_power_delta() {
+    // The serving workload: evaluate, update one plane's power map in a
+    // few tiles, re-evaluate on the SAME engine — the cross-call
+    // scenario cache must confine the new solves to the changed tiles,
+    // and the factorization must be reused outright.
+    let mut plan = gradient_floorplan(16);
+    let model = ModelB::paper_b100();
+    let engine = ChipEngine::new();
+    let first = engine.evaluate_factored(&plan, &model).unwrap();
+    assert_eq!(engine.solves(), 256);
+    assert_eq!(engine.factorizations(), 1);
+
+    // Bump 5 tiles of the top plane by 10 %.
+    let mut tiles: Vec<Power> = plan.plane_maps()[2].tiles().to_vec();
+    for t in tiles.iter_mut().take(5) {
+        *t = *t * 1.1;
+    }
+    plan.update_power_map(2, PowerMap::new(16, 16, tiles).unwrap())
+        .unwrap();
+    let second = engine.evaluate_factored(&plan, &model).unwrap();
+    assert_eq!(
+        engine.solves(),
+        256 + 5,
+        "exactly the five changed tiles re-solve"
+    );
+    assert_eq!(engine.factorizations(), 1, "geometry unchanged");
+    // Unchanged tiles keep their exact values; changed tiles got hotter.
+    for i in 5..256 {
+        assert_eq!(first.delta_t[i].to_bits(), second.delta_t[i].to_bits());
+    }
+    for i in 0..5 {
+        assert!(second.delta_t[i] > first.delta_t[i]);
+    }
 }
 
 #[test]
