@@ -4,7 +4,7 @@
 //!
 //! Usage:
 //! `cargo run --release -p ttsv-bench --bin bench_json [-- PATH [--check COMMITTED]]`
-//! (default output: `BENCH_5.json` in the current directory). With
+//! (default output: `BENCH_6.json` in the current directory). With
 //! `--check COMMITTED`, the freshly measured medians are compared against
 //! the committed recording and the process exits nonzero if any shared
 //! row regressed more than 1.5× — the CI regression guard. See the
@@ -28,31 +28,32 @@ const TARGET_SAMPLES: usize = 15;
 const CHECK_HEADROOM_NUM: u128 = 3;
 const CHECK_HEADROOM_DEN: u128 = 2;
 
-/// PR-4 numbers for the carried-over workloads (the medians recorded in
-/// the committed `BENCH_4.json`) — the baseline the PR-5 acceptance
-/// criteria compare against. `mg_hierarchy/refresh_flat` and the
-/// `floorplan_chip/gradient32/factor_shared` row are new in PR 5 and have
+/// PR-5 numbers for the carried-over workloads (the medians recorded in
+/// the committed `BENCH_5.json`) — the baseline the PR-6 acceptance
+/// criteria compare against. The `serve/*` rows are new in PR 6 and have
 /// no earlier baseline.
-const BASELINE_PR4_NS: &[(&str, u128)] = &[
-    ("fig4_radius_sweep/fem_coarse", 621_322),
-    ("fig4_radius_sweep/model_b_100", 61_903),
-    ("table1_segments/B(500)", 55_988),
-    ("table1_segments/B(1000)", 159_366),
-    ("table1_segments/banded_lu/1000", 292_896),
-    ("ablation_fem_precond/ssor/coarse", 1_727_226),
-    ("ablation_fem_precond/multigrid/coarse", 771_450),
-    ("ablation_fem_precond/multigrid_cheby/coarse", 916_890),
-    ("ablation_fem_precond/direct_banded/coarse", 93_589),
-    ("mg_hierarchy/build/box32k", 20_490_034),
-    ("mg_hierarchy/refresh/box32k", 8_438_087),
-    ("mg_vcycle/jacobi/box32k", 1_368_153),
-    ("mg_vcycle/chebyshev3/box32k", 3_336_662),
-    ("fem_mg_sweep/rebuild", 80_999_035),
-    ("fem_mg_sweep/reuse", 75_945_814),
-    ("floorplan_chip/hotspot32/model_b100", 121_490),
-    ("floorplan_chip/hotspot32/model_b100/no_dedup", 12_795_121),
-    ("floorplan_chip/gradient32/model_b100", 13_391_268),
-    ("sweep_runner/fig4_quick", 846_935),
+const BASELINE_PR5_NS: &[(&str, u128)] = &[
+    ("fig4_radius_sweep/fem_coarse", 644_034),
+    ("fig4_radius_sweep/model_b_100", 62_202),
+    ("table1_segments/B(500)", 52_421),
+    ("table1_segments/B(1000)", 145_756),
+    ("table1_segments/banded_lu/1000", 280_202),
+    ("ablation_fem_precond/ssor/coarse", 1_660_188),
+    ("ablation_fem_precond/multigrid/coarse", 879_990),
+    ("ablation_fem_precond/multigrid_cheby/coarse", 967_420),
+    ("ablation_fem_precond/direct_banded/coarse", 98_128),
+    ("mg_hierarchy/build/box32k", 6_299_240),
+    ("mg_hierarchy/refresh/box32k", 1_413_997),
+    ("mg_hierarchy/refresh_flat/box32k", 5_972_711),
+    ("mg_vcycle/jacobi/box32k", 856_336),
+    ("mg_vcycle/chebyshev3/box32k", 2_365_282),
+    ("fem_mg_sweep/rebuild", 95_163_276),
+    ("fem_mg_sweep/reuse", 71_978_988),
+    ("floorplan_chip/hotspot32/model_b100", 113_075),
+    ("floorplan_chip/hotspot32/model_b100/no_dedup", 11_947_116),
+    ("floorplan_chip/gradient32/model_b100", 12_102_614),
+    ("floorplan_chip/gradient32/factor_shared", 2_337_975),
+    ("sweep_runner/fig4_quick", 851_019),
 ];
 
 struct Sampler {
@@ -79,7 +80,7 @@ impl Sampler {
     }
 
     fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": \"ttsv-bench-json/1\",\n  \"pr\": 5,\n");
+        let mut out = String::from("{\n  \"schema\": \"ttsv-bench-json/1\",\n  \"pr\": 6,\n");
         out.push_str(
             "  \"generated_by\": \"cargo run --release -p ttsv-bench --bin bench_json\",\n",
         );
@@ -90,9 +91,9 @@ impl Sampler {
                 "    \"{name}\": {{\"median_ns\": {median}, \"samples\": {samples}}}{comma}\n"
             ));
         }
-        out.push_str("  },\n  \"baseline_pr4_ns\": {\n");
-        for (i, (name, ns)) in BASELINE_PR4_NS.iter().enumerate() {
-            let comma = if i + 1 < BASELINE_PR4_NS.len() {
+        out.push_str("  },\n  \"baseline_pr5_ns\": {\n");
+        for (i, (name, ns)) in BASELINE_PR5_NS.iter().enumerate() {
+            let comma = if i + 1 < BASELINE_PR5_NS.len() {
                 ","
             } else {
                 ""
@@ -160,7 +161,7 @@ fn main() {
         .enumerate()
         .find(|&(i, a)| !a.starts_with("--") && Some(i) != check_pos.map(|c| c + 1))
         .map(|(_, a)| a.clone())
-        .unwrap_or_else(|| "BENCH_5.json".into());
+        .unwrap_or_else(|| "BENCH_6.json".into());
     if check_against.as_deref() == Some(path.as_str()) {
         eprintln!("--check target and output path are the same file ({path}) — refusing");
         std::process::exit(2);
@@ -312,6 +313,82 @@ fn main() {
         let models: Vec<&(dyn ThermalModel + Sync)> = vec![&a, &b100, &one_d, &fem];
         run_sweep(&points, &models).expect("sweep succeeds")
     });
+
+    // Thermal-as-a-service end to end: one `ttsv-serve` process-local
+    // server on an ephemeral loopback port, timed through a keep-alive
+    // HTTP client. `cold_session` registers a never-seen chip
+    // configuration per sample — distinct power maps AND a distinct via
+    // density, so both engine cache tiers miss (fresh ladder
+    // factorization plus per-tile solves); `warm_delta` patches two
+    // tiles of a live session whose power levels cycle through the
+    // scenario cache; `sustained_32req` prices a 32-request warm burst
+    // (requests/sec ≈ 32e9 / median_ns).
+    {
+        use ttsv::serve::client::{trace_power_body, Client};
+        use ttsv::serve::protocol::render_register_body;
+        use ttsv::serve::server::{Server, ServerConfig};
+        const GRID: usize = 12;
+        // A never-seen chip configuration per id: per-session power scale
+        // and via density (both cache tiers miss), solved with the
+        // paper's deep B(1000) model — the same model warm deltas then
+        // reuse, so the cold/warm gap prices the caching, not the model.
+        let register_body = |session: usize| -> String {
+            let tiles = (GRID * GRID) as f64;
+            let scale = 1.0 + session as f64 * 0.01;
+            let planes: Vec<Vec<f64>> = [70.0, 7.0, 7.0]
+                .iter()
+                .map(|&total| {
+                    (0..GRID * GRID)
+                        .map(|i| scale * (total / tiles) * (0.5 + i as f64 / tiles))
+                        .collect()
+                })
+                .collect();
+            let density = 0.004 + session as f64 * 1e-5;
+            let body = render_register_body(GRID, GRID, &planes, density);
+            format!("{},\"segments\":[10,1000]}}", &body[..body.len() - 1])
+        };
+        let server = Server::start("127.0.0.1:0", ServerConfig::default().with_workers(2))
+            .expect("bind ephemeral port");
+        let addr = server.addr().to_string();
+        let mut client = Client::connect(&addr).expect("connect");
+        let mut session = 0usize;
+        sampler.bench("serve/cold_session", || {
+            session += 1;
+            let (status, body) = client
+                .request("POST", "/sessions", &register_body(session))
+                .expect("register");
+            assert_eq!(status, 201, "{body}");
+            body
+        });
+        let (status, body) = client
+            .request("POST", "/sessions", &register_body(session + 1))
+            .expect("register");
+        assert_eq!(status, 201, "{body}");
+        let warm_id: u64 = body
+            .strip_prefix("{\"session\":")
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|id| id.parse().ok())
+            .expect("session id in register response");
+        let warm_session = session + 1;
+        let path = format!("/sessions/{warm_id}/power");
+        let mut round = 0usize;
+        let mut warm_post = |client: &mut Client| {
+            round += 1;
+            let (status, body) = client
+                .request("POST", &path, &trace_power_body(GRID, warm_session, round))
+                .expect("power update");
+            assert_eq!(status, 200, "{body}");
+            body
+        };
+        sampler.bench("serve/warm_delta", || warm_post(&mut client));
+        sampler.bench("serve/sustained_32req", || {
+            for _ in 0..31 {
+                warm_post(&mut client);
+            }
+            warm_post(&mut client)
+        });
+        server.shutdown();
+    }
 
     let json = sampler.to_json();
     std::fs::write(&path, &json).expect("write BENCH json");

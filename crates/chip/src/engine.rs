@@ -133,15 +133,25 @@ struct EngineCaches {
 pub struct ChipEngine {
     workers: Option<usize>,
     dedup: bool,
-    scenario_cache_limit: usize,
+    scenario_cache_cap: usize,
+    matrix_cache_cap: usize,
     caches: Mutex<EngineCaches>,
     solves: AtomicUsize,
     factorizations: AtomicUsize,
+    scenario_hits: AtomicUsize,
+    scenario_misses: AtomicUsize,
+    evictions: AtomicUsize,
 }
 
 /// Default bound on scenario-tier entries (~100 MB of keys at typical
-/// floorplan key widths) — see [`ChipEngine::with_scenario_cache_limit`].
-const DEFAULT_SCENARIO_CACHE_LIMIT: usize = 1 << 20;
+/// floorplan key widths) — see [`ChipEngine::with_scenario_cache_cap`].
+const DEFAULT_SCENARIO_CACHE_CAP: usize = 1 << 20;
+
+/// Default bound on matrix-tier entries. Factorizations are orders of
+/// magnitude heavier than scenario entries, and the tier is keyed on
+/// geometry only, so thousands of distinct geometries already indicates a
+/// pathological workload — see [`ChipEngine::with_matrix_cache_cap`].
+const DEFAULT_MATRIX_CACHE_CAP: usize = 1 << 12;
 
 impl std::fmt::Debug for EngineCaches {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -157,10 +167,14 @@ impl Clone for ChipEngine {
         Self {
             workers: self.workers,
             dedup: self.dedup,
-            scenario_cache_limit: self.scenario_cache_limit,
+            scenario_cache_cap: self.scenario_cache_cap,
+            matrix_cache_cap: self.matrix_cache_cap,
             caches: Mutex::new(EngineCaches::default()),
             solves: AtomicUsize::new(0),
             factorizations: AtomicUsize::new(0),
+            scenario_hits: AtomicUsize::new(0),
+            scenario_misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
         }
     }
 }
@@ -179,10 +193,14 @@ impl ChipEngine {
         Self {
             workers: None,
             dedup: true,
-            scenario_cache_limit: DEFAULT_SCENARIO_CACHE_LIMIT,
+            scenario_cache_cap: DEFAULT_SCENARIO_CACHE_CAP,
+            matrix_cache_cap: DEFAULT_MATRIX_CACHE_CAP,
             caches: Mutex::new(EngineCaches::default()),
             solves: AtomicUsize::new(0),
             factorizations: AtomicUsize::new(0),
+            scenario_hits: AtomicUsize::new(0),
+            scenario_misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
         }
     }
 
@@ -201,25 +219,40 @@ impl ChipEngine {
     /// Bounds the scenario-tier cache (default: 2²⁰ entries). A serving
     /// loop that streams continuously varying power maps would otherwise
     /// accumulate one permanent entry per distinct tile bit-pattern; when
-    /// an evaluation would push the tier past the limit, the tier is
+    /// an evaluation would push the tier past the cap, the tier is
     /// cleared first (generational eviction — the current working set
     /// repopulates it, and eviction only costs re-solves, never
-    /// correctness). The matrix tier is naturally bounded by distinct
-    /// geometries and is not limited.
+    /// correctness). Evicted entries count into [`ChipEngine::evictions`].
     ///
     /// # Panics
     ///
-    /// Panics if `limit` is zero.
+    /// Panics if `cap` is zero.
     #[must_use]
-    pub fn with_scenario_cache_limit(mut self, limit: usize) -> Self {
-        assert!(limit > 0, "the scenario cache limit must be positive");
-        self.scenario_cache_limit = limit;
+    pub fn with_scenario_cache_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "the scenario cache cap must be positive");
+        self.scenario_cache_cap = cap;
+        self
+    }
+
+    /// Bounds the matrix (factorization) tier the same generational way
+    /// (default: 2¹² entries). Factorizations dominate the engine's
+    /// resident memory, so a serving layer bounds this tier to its
+    /// session quota budget. Evicted factorizations count into
+    /// [`ChipEngine::evictions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn with_matrix_cache_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "the matrix cache cap must be positive");
+        self.matrix_cache_cap = cap;
         self
     }
 
     /// Inserts this evaluation's keys, keeping the tier within
-    /// [`ChipEngine::with_scenario_cache_limit`]: a working set larger
-    /// than the limit is not cached at all, and one that no longer fits
+    /// [`ChipEngine::with_scenario_cache_cap`]: a working set larger
+    /// than the cap is not cached at all, and one that no longer fits
     /// beside the existing entries clears the tier first (`new_entries`
     /// counts this call's cache misses, so steady-state hits don't get
     /// double-counted into spurious clears).
@@ -229,11 +262,13 @@ impl ChipEngine {
         cell_delta_t: &[f64],
         new_entries: usize,
     ) {
-        if distinct.len() > self.scenario_cache_limit {
+        if distinct.len() > self.scenario_cache_cap {
             return;
         }
         let mut caches = self.caches.lock().expect("engine cache lock");
-        if caches.scenario.len() + new_entries > self.scenario_cache_limit {
+        if caches.scenario.len() + new_entries > self.scenario_cache_cap {
+            self.evictions
+                .fetch_add(caches.scenario.len(), Ordering::Relaxed);
             caches.scenario.clear();
         }
         caches.scenario.reserve(distinct.len());
@@ -264,6 +299,40 @@ impl ChipEngine {
     #[must_use]
     pub fn factorizations(&self) -> usize {
         self.factorizations.load(Ordering::Relaxed)
+    }
+
+    /// Scenario-tier cache hits, cumulative across calls (only counted
+    /// while dedup is enabled — with dedup off the caches are bypassed).
+    #[must_use]
+    pub fn scenario_hits(&self) -> usize {
+        self.scenario_hits.load(Ordering::Relaxed)
+    }
+
+    /// Scenario-tier cache misses, cumulative across calls (only counted
+    /// while dedup is enabled).
+    #[must_use]
+    pub fn scenario_misses(&self) -> usize {
+        self.scenario_misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted from either cache tier by the generational caps,
+    /// cumulative across calls. Eviction never changes results — evicted
+    /// work just re-solves on the next touch (property-tested).
+    #[must_use]
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Current live entry counts, `(scenario tier, matrix tier)` — the
+    /// serving layer's memory observability hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal cache lock is poisoned.
+    #[must_use]
+    pub fn cache_entries(&self) -> (usize, usize) {
+        let caches = self.caches.lock().expect("engine cache lock");
+        (caches.scenario.len(), caches.matrix.len())
     }
 
     /// Gathers the distinct unit cells of a plan: per tile the index into
@@ -361,6 +430,12 @@ impl ChipEngine {
                 misses.push(i);
             }
         }
+        if self.dedup {
+            self.scenario_hits
+                .fetch_add(distinct_count - misses.len(), Ordering::Relaxed);
+            self.scenario_misses
+                .fetch_add(misses.len(), Ordering::Relaxed);
+        }
         let mut to_solve: Vec<(usize, Scenario)> = Vec::with_capacity(misses.len());
         for i in misses {
             let (ix, iy) = distinct[i].0;
@@ -434,6 +509,12 @@ impl ChipEngine {
                 misses.push(i);
             }
         }
+        if self.dedup {
+            self.scenario_hits
+                .fetch_add(distinct_count - misses.len(), Ordering::Relaxed);
+            self.scenario_misses
+                .fetch_add(misses.len(), Ordering::Relaxed);
+        }
         let mut to_solve: Vec<(usize, (usize, usize))> = Vec::with_capacity(misses.len());
         let mut matrix_keys: Vec<EngineKey> = Vec::new();
         let mut matrix_index: KeyMap<EngineKey, usize> = KeyMap::default();
@@ -484,8 +565,17 @@ impl ChipEngine {
             .fetch_add(missing.len(), Ordering::Relaxed);
         {
             let mut caches = self.caches.lock().expect("engine cache lock");
+            // Same generational bound as the scenario tier: a working set
+            // past the cap is not cached; one that no longer fits beside
+            // the existing entries clears the tier (counted as evictions).
+            let cache_matrices = self.dedup && missing.len() <= self.matrix_cache_cap;
+            if cache_matrices && caches.matrix.len() + missing.len() > self.matrix_cache_cap {
+                self.evictions
+                    .fetch_add(caches.matrix.len(), Ordering::Relaxed);
+                caches.matrix.clear();
+            }
             for (mi, fact) in missing.iter().zip(built) {
-                if self.dedup {
+                if cache_matrices {
                     caches.matrix.insert(matrix_keys[*mi].clone(), fact.clone());
                 }
                 factorizations[*mi] = Some(fact);
@@ -699,7 +789,7 @@ mod tests {
 
     #[test]
     fn scenario_cache_is_bounded_by_generational_eviction() {
-        // Two successive single-cell evaluations under a limit of 1: the
+        // Two successive single-cell evaluations under a cap of 1: the
         // second insert clears the first generation, so the tier never
         // exceeds the bound — and correctness is untouched (the evicted
         // tile just re-solves).
@@ -708,15 +798,71 @@ mod tests {
         let mut cs_b = cs.clone();
         cs_b.plane_powers[0] = cs.plane_powers[0] * 2.0;
         let plan_b = Floorplan::uniform(&cs_b, 2, 2).unwrap();
-        let engine = ChipEngine::new().with_scenario_cache_limit(1);
+        let engine = ChipEngine::new().with_scenario_cache_cap(1);
         let first = engine.evaluate(&plan_a, &model_a()).unwrap();
         engine.evaluate(&plan_b, &model_a()).unwrap();
         assert_eq!(engine.solves(), 2);
+        assert_eq!(engine.evictions(), 1, "plan_a's entry was evicted");
         // plan_a was evicted: evaluating it again re-solves (cache still
         // bounded), bit-identically.
         let again = engine.evaluate(&plan_a, &model_a()).unwrap();
         assert_eq!(engine.solves(), 3);
         assert_eq!(first.delta_t, again.delta_t);
+        assert!(engine.cache_entries().0 <= 1, "tier stays within its cap");
+    }
+
+    #[test]
+    fn hit_and_miss_counters_track_the_scenario_tier() {
+        let plan = Floorplan::uniform(&CaseStudy::paper(), 4, 4).unwrap();
+        let engine = ChipEngine::new();
+        engine.evaluate(&plan, &model_a()).unwrap();
+        // 16 tiles dedup to 1 distinct cell: 1 miss, 0 hits.
+        assert_eq!(engine.scenario_misses(), 1);
+        assert_eq!(engine.scenario_hits(), 0);
+        engine.evaluate(&plan, &model_a()).unwrap();
+        assert_eq!(engine.scenario_misses(), 1);
+        assert_eq!(engine.scenario_hits(), 1);
+        assert_eq!(engine.evictions(), 0);
+    }
+
+    #[test]
+    fn matrix_cache_is_bounded_and_eviction_preserves_results() {
+        let cs = CaseStudy::paper();
+        let model = ModelB::paper_b20();
+        // Two distinct via densities → two distinct matrices, cap of 1:
+        // the second factorization evicts the first.
+        let plan_at = |density: f64| {
+            let maps = (0..3)
+                .map(|j| PowerMap::uniform(2, 1, cs.plane_powers[j] * 0.5).unwrap())
+                .collect();
+            let via = ViaDensityMap::uniform(2, 1, density).unwrap();
+            Floorplan::new(&cs, maps, via).unwrap()
+        };
+        let (plan_a, plan_b) = (plan_at(0.005), plan_at(0.01));
+        let engine = ChipEngine::new().with_matrix_cache_cap(1);
+        engine.evaluate_factored(&plan_a, &model).unwrap();
+        engine.evaluate_factored(&plan_b, &model).unwrap();
+        assert_eq!(engine.factorizations(), 2);
+        assert_eq!(engine.evictions(), 1, "plan_a's matrix was evicted");
+        // Force a re-factorization of plan_a by changing its power bits
+        // (a pure scenario-tier hit would never touch the matrix tier).
+        let mut plan_a2 = plan_a;
+        let tiles: Vec<Power> = plan_a2.plane_maps()[0]
+            .tiles()
+            .iter()
+            .map(|p| *p * 1.5)
+            .collect();
+        plan_a2
+            .update_power_map(0, PowerMap::new(2, 1, tiles).unwrap())
+            .unwrap();
+        let refac = engine.evaluate_factored(&plan_a2, &model).unwrap();
+        assert_eq!(engine.factorizations(), 3, "evicted matrix re-factorizes");
+        // Same geometry solved through a fresh engine agrees bitwise.
+        let fresh = ChipEngine::new()
+            .evaluate_factored(&plan_a2, &model)
+            .unwrap();
+        assert_eq!(refac.delta_t, fresh.delta_t);
+        assert!(engine.cache_entries().1 <= 1, "matrix tier stays bounded");
     }
 
     #[test]

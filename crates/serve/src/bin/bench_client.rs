@@ -1,0 +1,168 @@
+//! The `bench-client` binary: replay a deterministic power-trace
+//! workload against a running (or freshly spawned) `serve` process and
+//! report cold-session vs warm-delta latency.
+//!
+//! ```text
+//! cargo run --release -p ttsv-serve --bin bench-client -- \
+//!     --spawn [--trace SESSIONS:ROUNDS:GRID] [--check]
+//! cargo run --release -p ttsv-serve --bin bench-client -- \
+//!     --addr 127.0.0.1:7071 [--sessions N] [--rounds N] [--grid N]
+//! ```
+//!
+//! `--spawn` launches the sibling `serve` binary on an ephemeral port and
+//! kills it when the replay finishes, so CI needs no fixed port and no
+//! external server. `--check` exits nonzero unless warm-delta p99
+//! latency beats cold-session p99 by at least 5× — the serving-layer
+//! acceptance gate: if a two-tile delta costs anywhere near a full
+//! registration, the session cache is broken.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+use ttsv_serve::client::{percentile_ns, run_trace, TraceConfig};
+
+/// The `--check` gate: cold-session p99 must exceed 5× warm-delta p99.
+const WARM_SPEEDUP_GATE: u128 = 5;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-client (--addr HOST:PORT | --spawn) \
+         [--trace SESSIONS:ROUNDS:GRID] [--sessions N] [--rounds N] [--grid N] [--check]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
+    let Some(value) = args.next() else {
+        eprintln!("{flag} needs a value");
+        usage();
+    };
+    let Ok(parsed) = value.parse() else {
+        eprintln!("{flag} {value:?} is not valid");
+        usage();
+    };
+    parsed
+}
+
+/// Spawns the sibling `serve` binary on an ephemeral port and reads the
+/// bound address from its `listening on <addr>` stdout line.
+fn spawn_server() -> (Child, String) {
+    let serve = std::env::current_exe()
+        .expect("current exe path")
+        .with_file_name(if cfg!(windows) { "serve.exe" } else { "serve" });
+    let mut child = Command::new(&serve)
+        .args(["--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawn {}: {e}", serve.display()));
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read serve stdout");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected serve banner {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut spawn = false;
+    let mut check = false;
+    let mut config = TraceConfig::default();
+    let mut args = std::env::args();
+    let _ = args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(parse_flag(&mut args, "--addr")),
+            "--spawn" => spawn = true,
+            "--check" => check = true,
+            "--sessions" => config.sessions = parse_flag(&mut args, "--sessions"),
+            "--rounds" => config.rounds = parse_flag(&mut args, "--rounds"),
+            "--grid" => config.grid = parse_flag(&mut args, "--grid"),
+            "--trace" => {
+                let spec: String = parse_flag(&mut args, "--trace");
+                let parts: Vec<&str> = spec.split(':').collect();
+                match (
+                    parts.first().and_then(|s| s.parse().ok()),
+                    parts.get(1).and_then(|s| s.parse().ok()),
+                    parts.get(2).and_then(|s| s.parse().ok()),
+                ) {
+                    (Some(s), Some(r), Some(g)) if parts.len() == 3 => {
+                        config = TraceConfig {
+                            sessions: s,
+                            rounds: r,
+                            grid: g,
+                        };
+                    }
+                    _ => {
+                        eprintln!("--trace {spec:?} is not SESSIONS:ROUNDS:GRID");
+                        usage();
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    if config.sessions == 0 || config.rounds == 0 || config.grid == 0 {
+        eprintln!("trace needs at least one session, round, and tile");
+        usage();
+    }
+
+    let mut child = None;
+    let addr = match (addr, spawn) {
+        (Some(addr), false) => addr,
+        (None, true) => {
+            let (spawned, addr) = spawn_server();
+            child = Some(spawned);
+            addr
+        }
+        _ => usage(),
+    };
+
+    let outcome = run_trace(&addr, config);
+    if let Some(mut child) = child {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    let outcome = outcome.unwrap_or_else(|e| {
+        eprintln!("trace replay failed: {e}");
+        std::process::exit(1);
+    });
+
+    let cold_p99 = percentile_ns(&outcome.cold_ns, 0.99);
+    let warm_p99 = percentile_ns(&outcome.warm_ns, 0.99);
+    let warm_p50 = percentile_ns(&outcome.warm_ns, 0.50);
+    println!(
+        "{{\"trace\":{{\"sessions\":{},\"rounds\":{},\"grid\":{}}},\"requests\":{},\
+         \"requests_per_sec\":{:.1},\"cold_session_p99_ns\":{cold_p99},\
+         \"warm_delta_p50_ns\":{warm_p50},\"warm_delta_p99_ns\":{warm_p99}}}",
+        config.sessions,
+        config.rounds,
+        config.grid,
+        outcome.requests(),
+        outcome.requests_per_sec(),
+    );
+
+    if check {
+        if cold_p99 >= WARM_SPEEDUP_GATE * warm_p99 {
+            println!(
+                "--check: warm-delta p99 is {:.1}x faster than cold-session p99 (gate: {WARM_SPEEDUP_GATE}x)",
+                cold_p99 as f64 / warm_p99.max(1) as f64
+            );
+        } else {
+            eprintln!(
+                "--check FAILED: cold p99 {cold_p99} ns < {WARM_SPEEDUP_GATE}x warm p99 {warm_p99} ns \
+                 — the session cache is not paying for itself"
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! The `serve` binary: run the thermal session server until killed.
+//!
+//! ```text
+//! cargo run --release -p ttsv-serve --bin serve -- \
+//!     [--addr 127.0.0.1:7071] [--workers N] [--max-sessions N] [--max-tiles N]
+//! ```
+//!
+//! Prints exactly one `listening on <addr>` line to stdout once the
+//! socket is bound (port 0 resolves to the real ephemeral port), which
+//! is how `bench-client --spawn` discovers the address.
+
+use ttsv_serve::server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: serve [--addr HOST:PORT] [--workers N] [--max-sessions N] [--max-tiles N]");
+    std::process::exit(2);
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
+    let Some(value) = args.next() else {
+        eprintln!("{flag} needs a value");
+        usage();
+    };
+    let Ok(parsed) = value.parse() else {
+        eprintln!("{flag} {value:?} is not valid");
+        usage();
+    };
+    parsed
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7071".to_string();
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args();
+    let _ = args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse_flag(&mut args, "--addr"),
+            "--workers" => config = config.with_workers(parse_flag(&mut args, "--workers")),
+            "--max-sessions" => {
+                config = config.with_max_sessions(parse_flag(&mut args, "--max-sessions"));
+            }
+            "--max-tiles" => config = config.with_max_tiles(parse_flag(&mut args, "--max-tiles")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    let server = match Server::start(&addr, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("failed to bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.addr());
+    // Flush eagerly: a spawning bench-client reads this line through a pipe.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,301 @@
+//! A minimal blocking keep-alive HTTP/1.1 client plus the deterministic
+//! power-trace replay the bench client and CI smoke test share.
+//!
+//! The client exists so the integration suite and `bench-client` can
+//! exercise the server over real sockets with zero external
+//! dependencies. The trace is fully deterministic (no RNG): session `s`
+//! registers a gradient power map scaled by `s`, then each round patches
+//! a couple of tiles with values that cycle through a small set — so a
+//! replay is reproducible byte-for-byte and the warm rounds genuinely
+//! hit the engine's scenario cache, which is the behavior the
+//! cold-vs-warm latency gate measures.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::protocol::render_register_body;
+
+/// One reusable keep-alive connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7071"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Self {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one request and reads the response, returning
+    /// `(status, body)`. The connection stays usable afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on socket failure or a malformed response.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        write!(
+            self.stream,
+            "{method} {path} HTTP/1.1\r\nhost: ttsv\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, String)> {
+        let malformed = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+        let head_end = loop {
+            if let Some(i) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk)? {
+                0 => return Err(malformed("connection closed mid-response")),
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        };
+        let head = std::str::from_utf8(&self.buf[..head_end])
+            .map_err(|_| malformed("non-UTF-8 response head"))?;
+        let mut lines = head.split("\r\n");
+        let status: u16 = lines
+            .next()
+            .and_then(|l| l.split(' ').nth(1))
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| malformed("malformed status line"))?;
+        let mut content_length = 0usize;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| malformed("malformed content-length"))?;
+                }
+            }
+        }
+        let body_start = head_end + 4;
+        while self.buf.len() < body_start + content_length {
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk)? {
+                0 => return Err(malformed("connection closed mid-body")),
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+        let body = String::from_utf8(self.buf[body_start..body_start + content_length].to_vec())
+            .map_err(|_| malformed("non-UTF-8 response body"))?;
+        self.buf.drain(..body_start + content_length);
+        Ok((status, body))
+    }
+}
+
+/// Shape of a deterministic replay: `sessions` clients, each registering
+/// a `grid × grid` floorplan and streaming `rounds` power deltas.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Concurrent sessions to register.
+    pub sessions: usize,
+    /// Power-delta rounds per session.
+    pub rounds: usize,
+    /// Tiles per side of each session's floorplan.
+    pub grid: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            sessions: 4,
+            rounds: 25,
+            grid: 12,
+        }
+    }
+}
+
+/// Latencies gathered by a replay, split by request kind.
+#[derive(Debug, Clone, Default)]
+pub struct TraceOutcome {
+    /// Cold-session registration latencies (ns), one per session.
+    pub cold_ns: Vec<u128>,
+    /// Warm power-delta latencies (ns), `sessions × rounds` of them.
+    pub warm_ns: Vec<u128>,
+    /// Total wall-clock of the replay.
+    pub elapsed: Duration,
+}
+
+impl TraceOutcome {
+    /// Total requests the replay issued.
+    #[must_use]
+    pub fn requests(&self) -> usize {
+        self.cold_ns.len() + self.warm_ns.len()
+    }
+
+    /// Sustained requests per second over the replay.
+    #[must_use]
+    pub fn requests_per_sec(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        let n = self.requests() as f64;
+        n / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Nearest-rank percentile of `samples` (not required to be sorted).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+#[must_use]
+pub fn percentile_ns(samples: &[u128], q: f64) -> u128 {
+    assert!(!samples.is_empty(), "percentile of an empty sample set");
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The registration body session `s` sends: three planes of a gradient
+/// map (every tile distinct) scaled per session, so no two sessions
+/// share cache entries and registration is a genuinely cold evaluation.
+#[must_use]
+pub fn trace_register_body(grid: usize, session: usize) -> String {
+    let tiles = grid * grid;
+    #[allow(clippy::cast_precision_loss)]
+    let scale = 1.0 + session as f64 * 0.01;
+    #[allow(clippy::cast_precision_loss)]
+    let planes: Vec<Vec<f64>> = [70.0, 7.0, 7.0]
+        .iter()
+        .map(|&total| {
+            (0..tiles)
+                .map(|i| scale * (total / tiles as f64) * (0.5 + i as f64 / tiles as f64))
+                .collect()
+        })
+        .collect();
+    render_register_body(grid, grid, &planes, 0.005)
+}
+
+/// The power-delta body session `s` sends in `round`: patches two tiles
+/// with watt values cycling through five levels.
+#[must_use]
+pub fn trace_power_body(grid: usize, session: usize, round: usize) -> String {
+    let tiles = grid * grid;
+    let t1 = (round * 7 + session * 3) % tiles;
+    let t2 = (round * 13 + session * 5 + 1) % tiles;
+    #[allow(clippy::cast_precision_loss)]
+    let watts = |t: usize| 0.05 + 0.01 * (((round + session + t) % 5) as f64);
+    format!(
+        "{{\"plane\":0,\"updates\":[[{},{},{}],[{},{},{}]]}}",
+        t1 % grid,
+        t1 / grid,
+        watts(t1),
+        t2 % grid,
+        t2 / grid,
+        watts(t2)
+    )
+}
+
+/// Replays the trace against a running server, one thread per session,
+/// and gathers per-request latencies.
+///
+/// # Errors
+///
+/// Propagates the first socket or protocol failure any session hit.
+pub fn run_trace(addr: &str, config: TraceConfig) -> io::Result<TraceOutcome> {
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for s in 0..config.sessions {
+        let addr = addr.to_string();
+        handles.push(std::thread::spawn(
+            move || -> io::Result<(u128, Vec<u128>)> {
+                let mut client = Client::connect(&addr)?;
+                let bad = |status: u16, body: &str| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("session {s}: unexpected status {status}: {body}"),
+                    )
+                };
+                let t = Instant::now();
+                let (status, body) =
+                    client.request("POST", "/sessions", &trace_register_body(config.grid, s))?;
+                let cold = t.elapsed().as_nanos();
+                if status != 201 {
+                    return Err(bad(status, &body));
+                }
+                let id = body
+                    .split_once("\"session\":")
+                    .and_then(|(_, rest)| {
+                        rest.split(|c: char| !c.is_ascii_digit())
+                            .next()?
+                            .parse::<u64>()
+                            .ok()
+                    })
+                    .ok_or_else(|| bad(status, &body))?;
+                let mut warm = Vec::with_capacity(config.rounds);
+                for round in 0..config.rounds {
+                    let t = Instant::now();
+                    let (status, body) = client.request(
+                        "POST",
+                        &format!("/sessions/{id}/power"),
+                        &trace_power_body(config.grid, s, round),
+                    )?;
+                    warm.push(t.elapsed().as_nanos());
+                    if status != 200 {
+                        return Err(bad(status, &body));
+                    }
+                }
+                Ok((cold, warm))
+            },
+        ));
+    }
+    let mut outcome = TraceOutcome::default();
+    for handle in handles {
+        let (cold, warm) = handle
+            .join()
+            .map_err(|_| io::Error::other("trace session thread panicked"))??;
+        outcome.cold_ns.push(cold);
+        outcome.warm_ns.extend(warm);
+    }
+    outcome.elapsed = started.elapsed();
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let samples: Vec<u128> = (1..=100).collect();
+        assert_eq!(percentile_ns(&samples, 0.5), 50);
+        assert_eq!(percentile_ns(&samples, 0.99), 99);
+        assert_eq!(percentile_ns(&samples, 1.0), 100);
+        assert_eq!(percentile_ns(&[42], 0.99), 42);
+    }
+
+    #[test]
+    fn trace_bodies_are_deterministic_and_in_grid() {
+        assert_eq!(
+            trace_register_body(4, 2),
+            trace_register_body(4, 2),
+            "replays must be reproducible"
+        );
+        assert_ne!(trace_register_body(4, 1), trace_register_body(4, 2));
+        for round in 0..50 {
+            let body = trace_power_body(4, 1, round);
+            let spec = crate::protocol::parse_register(trace_register_body(4, 1).as_bytes())
+                .expect("trace register body is valid");
+            crate::protocol::parse_power_update(body.as_bytes(), &spec.plan)
+                .expect("trace power body is valid");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Thermal-as-a-service: a std-only HTTP/1.1 session server over the
+//! full-chip floorplan engine.
+//!
+//! The DATE 2011 models were built to answer *streams* of queries —
+//! PAPERS.md's multiscale 3-D-integration workflows assume a chip-thermal
+//! engine that prices repeated, slightly-perturbed floorplans cheaply.
+//! This crate serves exactly that workload over plain `std::net`
+//! sockets, in the spirit of the repo's vendored stand-ins (no external
+//! dependencies anywhere):
+//!
+//! * [`http`] — incremental HTTP/1.1 request parser (partial reads,
+//!   `Content-Length` bodies, keep-alive, pipelining, typed 4xx/5xx on
+//!   malformed input) + response writer,
+//! * [`protocol`] — JSON bodies → validated [`Floorplan`](ttsv_chip::Floorplan)
+//!   registrations and power-delta moves (`docs/PROTOCOL.md` is the wire
+//!   reference),
+//! * [`server`] — the session server: accept loop on a bounded
+//!   long-lived [`WorkerPool`](ttsv_validate::pool::WorkerPool), shared
+//!   capped [`ChipEngine`](ttsv_chip::ChipEngine), exact-LRU session
+//!   table with quotas, `GET /metrics`,
+//! * [`lru`] / [`metrics`] — the session cache and the request
+//!   counters/latency histogram behind it,
+//! * [`client`] — a blocking keep-alive client plus the deterministic
+//!   power-trace replay `bench-client` and CI share.
+//!
+//! Binaries: `serve` (run the server) and `bench-client` (replay a trace
+//! against one, reporting cold-session vs warm-delta latency).
+//!
+//! # Quick start
+//!
+//! This snippet is kept byte-identical to the README's
+//! "Thermal-as-a-service" section, so that section is verified by
+//! `cargo test --doc`:
+//!
+//! ```
+//! use ttsv_serve::client::Client;
+//! use ttsv_serve::server::{Server, ServerConfig};
+//!
+//! fn main() -> std::io::Result<()> {
+//!     // Ephemeral port, 2 connection workers, bounded caches.
+//!     let server = Server::start("127.0.0.1:0", ServerConfig::default().with_workers(2))?;
+//!     let mut client = Client::connect(&server.addr().to_string())?;
+//!
+//!     // Register a 2×2 floorplan (3 planes, paper §IV-E geometry).
+//!     let (status, body) = client.request(
+//!         "POST",
+//!         "/sessions",
+//!         r#"{"nx":2,"ny":2,"planes":[[20,15,20,15],[2,2,2,2],[2,2,2,2]],"via_density":0.005}"#,
+//!     )?;
+//!     assert_eq!(status, 201);
+//!     assert!(body.starts_with("{\"session\":"));
+//!
+//!     // Stream a power delta: only the touched tile re-solves.
+//!     let (status, report) = client.request(
+//!         "POST",
+//!         "/sessions/1/power",
+//!         r#"{"plane":0,"updates":[[0,0,25.0]]}"#,
+//!     )?;
+//!     assert_eq!(status, 200);
+//!     assert!(report.contains("\"max_delta_t\""));
+//!
+//!     // Observability: request counters, latency, cache hit rates.
+//!     let (status, metrics) = client.request("GET", "/metrics", "")?;
+//!     assert_eq!(status, 200);
+//!     assert!(metrics.contains("\"sessions\":{\"live\":1"));
+//!
+//!     server.shutdown();
+//!     Ok(())
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod lru;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, TraceConfig, TraceOutcome};
+pub use http::{HttpError, Request, RequestParser, Response};
+pub use lru::LruCache;
+pub use metrics::Metrics;
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,177 @@
+//! Lock-free request metrics: counters by status class plus a
+//! logarithmic latency histogram good enough for p50/p99.
+//!
+//! Latencies land in power-of-two nanosecond buckets (`⌊log₂ ns⌋`), so
+//! recording is two relaxed atomic increments on the hot path and
+//! quantiles are a 64-bucket walk at `GET /metrics` time. A quantile is
+//! reported as its bucket's upper bound — at most 2× the true value,
+//! which is plenty to watch the cold-session vs warm-delta separation
+//! the bench gate pins (≥5×).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const BUCKETS: usize = 64;
+
+/// Shared request metrics; every method takes `&self`.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    requests: AtomicU64,
+    ok_2xx: AtomicU64,
+    client_4xx: AtomicU64,
+    server_5xx: AtomicU64,
+    latency: [AtomicU64; BUCKETS],
+}
+
+/// A point-in-time view of the counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Seconds since the server started.
+    pub uptime_s: f64,
+    /// Requests answered (including error responses).
+    pub requests: u64,
+    /// 2xx responses.
+    pub ok_2xx: u64,
+    /// 4xx responses.
+    pub client_4xx: u64,
+    /// 5xx responses.
+    pub server_5xx: u64,
+    /// Requests per second of uptime.
+    pub requests_per_sec: f64,
+    /// Median request latency in nanoseconds (bucket upper bound).
+    pub p50_latency_ns: u64,
+    /// 99th-percentile request latency in nanoseconds (bucket upper bound).
+    pub p99_latency_ns: u64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh counters; uptime starts now.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            ok_2xx: AtomicU64::new(0),
+            client_4xx: AtomicU64::new(0),
+            server_5xx: AtomicU64::new(0),
+            latency: [(); BUCKETS].map(|()| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one answered request.
+    pub fn record(&self, status: u16, elapsed: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let class = match status {
+            200..=299 => &self.ok_2xx,
+            400..=499 => &self.client_4xx,
+            _ => &self.server_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let bucket = (63 - u64::leading_zeros(ns.max(1)) as usize).min(BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The latency at quantile `q` (nearest-rank over the histogram,
+    /// reported as the matched bucket's upper bound), or 0 before any
+    /// request.
+    #[must_use]
+    pub fn latency_quantile_ns(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .latency
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, &n) in counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return upper_bound_ns(i);
+            }
+        }
+        upper_bound_ns(BUCKETS - 1)
+    }
+
+    /// Snapshots every counter at once.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let uptime_s = self.started.elapsed().as_secs_f64().max(1e-9);
+        let requests = self.requests.load(Ordering::Relaxed);
+        #[allow(clippy::cast_precision_loss)]
+        let requests_per_sec = requests as f64 / uptime_s;
+        MetricsSnapshot {
+            uptime_s,
+            requests,
+            ok_2xx: self.ok_2xx.load(Ordering::Relaxed),
+            client_4xx: self.client_4xx.load(Ordering::Relaxed),
+            server_5xx: self.server_5xx.load(Ordering::Relaxed),
+            requests_per_sec,
+            p50_latency_ns: self.latency_quantile_ns(0.50),
+            p99_latency_ns: self.latency_quantile_ns(0.99),
+        }
+    }
+}
+
+/// Upper bound of latency bucket `i` in nanoseconds.
+fn upper_bound_ns(i: usize) -> u64 {
+    if i + 1 >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_split_by_status_class() {
+        let m = Metrics::new();
+        m.record(200, Duration::from_nanos(100));
+        m.record(201, Duration::from_nanos(100));
+        m.record(404, Duration::from_nanos(100));
+        m.record(500, Duration::from_nanos(100));
+        let snap = m.snapshot();
+        assert_eq!(snap.requests, 4);
+        assert_eq!(snap.ok_2xx, 2);
+        assert_eq!(snap.client_4xx, 1);
+        assert_eq!(snap.server_5xx, 1);
+        assert!(snap.requests_per_sec > 0.0);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_recorded_latencies() {
+        let m = Metrics::new();
+        // 99 fast requests (~1 µs) and one slow outlier (~1 ms).
+        for _ in 0..99 {
+            m.record(200, Duration::from_nanos(1_000));
+        }
+        m.record(200, Duration::from_nanos(1_000_000));
+        let p50 = m.latency_quantile_ns(0.50);
+        let p99 = m.latency_quantile_ns(0.99);
+        assert!((1_000..=2_048).contains(&p50), "p50 = {p50}");
+        assert!(p99 >= 1_000, "p99 = {p99}");
+        // The worst case lands in the ~1 ms bucket.
+        let p100 = m.latency_quantile_ns(1.0);
+        assert!((1_000_000..=2_097_152).contains(&p100), "max = {p100}");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        assert_eq!(Metrics::new().latency_quantile_ns(0.99), 0);
+    }
+}

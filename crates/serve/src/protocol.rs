@@ -1,0 +1,327 @@
+//! The wire protocol: JSON request bodies → validated floorplan moves.
+//!
+//! `docs/PROTOCOL.md` is the authoritative description; in short:
+//!
+//! * **Register** (`POST /sessions`): `{"nx", "ny", "planes": [[W…]…],
+//!   "via_density": d | [d…], "segments": [first, others]?}` — the stack
+//!   geometry is the paper's §IV-E case study
+//!   ([`CaseStudy::paper`](ttsv_core::full_chip::CaseStudy::paper)); the
+//!   maps and the Model B segment counts come from the request.
+//! * **Power delta** (`POST /sessions/{id}/power`): `{"plane": j,
+//!   "tiles": [W…]}` replaces plane `j`'s whole map, or `{"plane": j,
+//!   "updates": [[ix, iy, W]…]}` patches individual tiles — the cheap
+//!   serving move: unchanged tiles stay cache-hot in the engine.
+//!
+//! Every validation failure is a [`ProtocolError`] (HTTP 400 with the
+//! message in an `{"error": …}` body) — malformed JSON, wrong shapes,
+//! non-finite numbers, out-of-range indices, and floorplan constraint
+//! violations all land here; nothing panics on client input.
+
+use serde::json::Value;
+use ttsv_chip::{Floorplan, PowerMap, ViaDensityMap};
+use ttsv_core::full_chip::CaseStudy;
+use ttsv_core::model_b::ModelB;
+use ttsv_units::Power;
+
+/// A rejected request body: the message for the 400 response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn err(msg: impl Into<String>) -> ProtocolError {
+    ProtocolError(msg.into())
+}
+
+/// A registered session's immutable model and mutable floorplan.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// The floorplan power deltas will mutate.
+    pub plan: Floorplan,
+    /// The Model B configuration every evaluation uses.
+    pub model: ModelB,
+}
+
+fn parse_body(body: &[u8]) -> Result<Value, ProtocolError> {
+    let text = std::str::from_utf8(body).map_err(|_| err("request body is not valid UTF-8"))?;
+    serde::json::from_str(text).map_err(|e| err(format!("malformed JSON body: {e}")))
+}
+
+fn field<'a>(obj: &'a Value, name: &str) -> Result<&'a Value, ProtocolError> {
+    obj.get(name)
+        .ok_or_else(|| err(format!("missing field {name:?}")))
+}
+
+fn usize_field(obj: &Value, name: &str) -> Result<usize, ProtocolError> {
+    field(obj, name)?
+        .as_usize()
+        .ok_or_else(|| err(format!("field {name:?} must be a non-negative integer")))
+}
+
+fn watts_array(value: &Value, expected: usize, what: &str) -> Result<Vec<Power>, ProtocolError> {
+    let entries = value
+        .as_array()
+        .ok_or_else(|| err(format!("{what} must be an array of watts")))?;
+    if entries.len() != expected {
+        return Err(err(format!(
+            "{what} holds {} tiles but the grid needs {expected}",
+            entries.len()
+        )));
+    }
+    entries
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .map(Power::from_watts)
+                .ok_or_else(|| err(format!("{what} entries must be numbers")))
+        })
+        .collect()
+}
+
+/// Parses a `POST /sessions` registration body.
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] on malformed JSON, missing/ill-typed
+/// fields, or maps the floorplan constructors reject.
+pub fn parse_register(body: &[u8]) -> Result<SessionSpec, ProtocolError> {
+    let doc = parse_body(body)?;
+    let nx = usize_field(&doc, "nx")?;
+    let ny = usize_field(&doc, "ny")?;
+    let tiles = nx
+        .checked_mul(ny)
+        .ok_or_else(|| err("grid size overflows"))?;
+
+    let planes = field(&doc, "planes")?
+        .as_array()
+        .ok_or_else(|| err("field \"planes\" must be an array of per-plane tile arrays"))?;
+    let plane_maps = planes
+        .iter()
+        .enumerate()
+        .map(|(j, p)| {
+            let watts = watts_array(p, tiles, &format!("plane {j}"))?;
+            PowerMap::new(nx, ny, watts).map_err(|e| err(e.to_string()))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let via_map = match field(&doc, "via_density")? {
+        Value::Array(entries) => {
+            if entries.len() != tiles {
+                return Err(err(format!(
+                    "via_density holds {} tiles but the grid needs {tiles}",
+                    entries.len()
+                )));
+            }
+            let densities = entries
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or_else(|| err("via_density entries must be numbers"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            ViaDensityMap::new(nx, ny, densities)
+        }
+        scalar => {
+            let d = scalar
+                .as_f64()
+                .ok_or_else(|| err("field \"via_density\" must be a number or array"))?;
+            ViaDensityMap::uniform(nx, ny, d)
+        }
+    }
+    .map_err(|e| err(e.to_string()))?;
+
+    let model = match doc.get("segments") {
+        None => ModelB::paper_b20(),
+        Some(v) => {
+            let pair = v
+                .as_array()
+                .ok_or_else(|| err("field \"segments\" must be [first, others]"))?;
+            let (first, others) = match (pair.first(), pair.get(1)) {
+                (Some(f), Some(o)) if pair.len() == 2 => (
+                    f.as_usize()
+                        .ok_or_else(|| err("segment counts must be integers"))?,
+                    o.as_usize()
+                        .ok_or_else(|| err("segment counts must be integers"))?,
+                ),
+                _ => return Err(err("field \"segments\" must be [first, others]")),
+            };
+            if first == 0 || others == 0 || first > 1_000 || others > 10_000 {
+                return Err(err("segment counts must be in 1..=1000 / 1..=10000"));
+            }
+            ModelB::with_segments(first, others)
+        }
+    };
+
+    let plan =
+        Floorplan::new(&CaseStudy::paper(), plane_maps, via_map).map_err(|e| err(e.to_string()))?;
+    Ok(SessionSpec { plan, model })
+}
+
+/// Parses a `POST /sessions/{id}/power` delta body against the session's
+/// current floorplan, returning the plane index and its replacement map.
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] on malformed JSON, a plane or tile index
+/// outside the grid, or power values the map constructor rejects.
+pub fn parse_power_update(
+    body: &[u8],
+    plan: &Floorplan,
+) -> Result<(usize, PowerMap), ProtocolError> {
+    let doc = parse_body(body)?;
+    let plane = usize_field(&doc, "plane")?;
+    if plane >= plan.plane_count() {
+        return Err(err(format!(
+            "plane {plane} out of range for a {}-plane session",
+            plan.plane_count()
+        )));
+    }
+    let (nx, ny) = (plan.nx(), plan.ny());
+
+    if let Some(tiles) = doc.get("tiles") {
+        let watts = watts_array(tiles, nx * ny, "tiles")?;
+        let map = PowerMap::new(nx, ny, watts).map_err(|e| err(e.to_string()))?;
+        return Ok((plane, map));
+    }
+
+    let updates = field(&doc, "updates")?
+        .as_array()
+        .ok_or_else(|| err("field \"updates\" must be an array of [ix, iy, watts]"))?;
+    let mut tiles: Vec<Power> = plan.plane_maps()[plane].tiles().to_vec();
+    for u in updates {
+        let triple = u
+            .as_array()
+            .filter(|t| t.len() == 3)
+            .ok_or_else(|| err("each update must be [ix, iy, watts]"))?;
+        let ix = triple[0]
+            .as_usize()
+            .ok_or_else(|| err("update indices must be integers"))?;
+        let iy = triple[1]
+            .as_usize()
+            .ok_or_else(|| err("update indices must be integers"))?;
+        let w = triple[2]
+            .as_f64()
+            .ok_or_else(|| err("update watts must be a number"))?;
+        if ix >= nx || iy >= ny {
+            return Err(err(format!(
+                "update tile ({ix}, {iy}) outside the {nx}\u{d7}{ny} grid"
+            )));
+        }
+        tiles[iy * nx + ix] = Power::from_watts(w);
+    }
+    let map = PowerMap::new(nx, ny, tiles).map_err(|e| err(e.to_string()))?;
+    Ok((plane, map))
+}
+
+/// Renders a register body for `grid × grid` tiles with explicit
+/// per-plane watt arrays — shared by the bench client, docs, and tests.
+#[must_use]
+pub fn render_register_body(nx: usize, ny: usize, planes: &[Vec<f64>], via_density: f64) -> String {
+    let mut body = format!("{{\"nx\":{nx},\"ny\":{ny},\"planes\":[");
+    for (j, plane) in planes.iter().enumerate() {
+        if j > 0 {
+            body.push(',');
+        }
+        body.push('[');
+        for (i, w) in plane.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!("{w}"));
+        }
+        body.push(']');
+    }
+    body.push_str(&format!("],\"via_density\":{via_density}}}"));
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttsv_core::scenario::ThermalModel;
+
+    fn register_body(nx: usize, ny: usize) -> String {
+        let tiles = nx * ny;
+        #[allow(clippy::cast_precision_loss)]
+        let planes: Vec<Vec<f64>> = (0..3)
+            .map(|j| {
+                (0..tiles)
+                    .map(|i| 0.5 + 0.01 * (i as f64) + 0.1 * (j as f64))
+                    .collect()
+            })
+            .collect();
+        render_register_body(nx, ny, &planes, 0.005)
+    }
+
+    #[test]
+    fn register_round_trips_grid_and_planes() {
+        let spec = parse_register(register_body(3, 2).as_bytes()).unwrap();
+        assert_eq!((spec.plan.nx(), spec.plan.ny()), (3, 2));
+        assert_eq!(spec.plan.plane_count(), 3);
+        assert_eq!(spec.model.name(), ModelB::paper_b20().name());
+        assert!((spec.plan.plane_maps()[0].get(1, 0).as_watts() - 0.51).abs() < 1e-12);
+    }
+
+    #[test]
+    fn register_accepts_density_arrays_and_segment_overrides() {
+        let body = "{\"nx\":2,\"ny\":1,\"planes\":[[1,2],[0.1,0.2]],\
+                    \"via_density\":[0.004,0.006],\"segments\":[3,30]}";
+        let spec = parse_register(body.as_bytes()).unwrap();
+        assert!((spec.plan.via_map().get(1, 0) - 0.006).abs() < 1e-12);
+        assert_eq!(spec.model.name(), ModelB::with_segments(3, 30).name());
+    }
+
+    #[test]
+    fn register_rejections_name_the_problem() {
+        let cases: &[(&str, &str)] = &[
+            ("not json", "malformed JSON"),
+            ("{\"ny\":1,\"planes\":[],\"via_density\":0.005}", "missing field \"nx\""),
+            ("{\"nx\":2,\"ny\":1,\"planes\":[[1,2]],\"via_density\":0.005}", "at least 2 plane"),
+            ("{\"nx\":2,\"ny\":1,\"planes\":[[1],[2]],\"via_density\":0.005}", "grid needs 2"),
+            ("{\"nx\":2,\"ny\":1,\"planes\":[[1,2],[-1,0]],\"via_density\":0.005}", "non-negative"),
+            ("{\"nx\":2,\"ny\":1,\"planes\":[[1,2],[1,1]],\"via_density\":2.0}", "(0, 1)"),
+            (
+                "{\"nx\":2,\"ny\":1,\"planes\":[[1,2],[1,1]],\"via_density\":0.005,\"segments\":[0,5]}",
+                "segment counts",
+            ),
+        ];
+        for (body, needle) in cases {
+            let got = parse_register(body.as_bytes()).unwrap_err();
+            assert!(got.0.contains(needle), "{body} → {got}");
+        }
+    }
+
+    #[test]
+    fn power_updates_patch_tiles_in_place() {
+        let spec = parse_register(register_body(2, 2).as_bytes()).unwrap();
+        let (plane, map) =
+            parse_power_update(b"{\"plane\":1,\"updates\":[[0,1,9.5]]}", &spec.plan).unwrap();
+        assert_eq!(plane, 1);
+        assert!((map.get(0, 1).as_watts() - 9.5).abs() < 1e-12);
+        // Untouched tiles keep the registered values.
+        assert_eq!(
+            map.get(1, 0).as_watts(),
+            spec.plan.plane_maps()[1].get(1, 0).as_watts()
+        );
+    }
+
+    #[test]
+    fn power_update_full_replacement_and_rejections() {
+        let spec = parse_register(register_body(2, 1).as_bytes()).unwrap();
+        let (_, map) = parse_power_update(b"{\"plane\":0,\"tiles\":[4,5]}", &spec.plan).unwrap();
+        assert_eq!(map.get(1, 0).as_watts(), 5.0);
+        for (body, needle) in [
+            (&b"{\"plane\":7,\"updates\":[]}"[..], "out of range"),
+            (b"{\"plane\":0,\"updates\":[[5,0,1.0]]}", "outside the"),
+            (b"{\"plane\":0,\"updates\":[[0,0,-3.0]]}", "non-negative"),
+            (b"{\"plane\":0}", "missing field \"updates\""),
+        ] {
+            let got = parse_power_update(body, &spec.plan).unwrap_err();
+            assert!(got.0.contains(needle), "{got}");
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! The session server: accept loop, routing, and the shared serving
+//! state.
+//!
+//! One `std::net::TcpListener` accept thread hands each connection to a
+//! long-lived bounded [`WorkerPool`]
+//! (no thread per connection; the pool's bounded queue is the
+//! backpressure). Every worker shares one [`ChipEngine`] whose two cache
+//! tiers are bounded by the config's caps — a warm power-delta request
+//! re-solves only the tiles whose bits changed, which is the entire
+//! point of serving sessions instead of stateless requests.
+//!
+//! Sessions live in an exact-[`LruCache`]: registering past
+//! `max_sessions` evicts the least-recently-used session (counted, and
+//! visible in `GET /metrics`); a later request against an evicted id is
+//! a clean 404. Per-session work is serialized by a per-session mutex,
+//! so one session's responses form a deterministic sequence no matter
+//! how many server workers run — the integration suite pins responses
+//! bitwise against direct engine evaluation at 1/2/N workers.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ttsv_chip::ChipEngine;
+use ttsv_validate::pool::WorkerPool;
+
+use crate::http::{Method, Request, RequestParser, Response};
+use crate::lru::LruCache;
+use crate::metrics::Metrics;
+use crate::protocol::{self, SessionSpec};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connection-handling workers (the accept loop blocks when all are
+    /// busy and the pool queue is full — bounded backpressure).
+    pub workers: usize,
+    /// Live-session quota; registering past it LRU-evicts.
+    pub max_sessions: usize,
+    /// Per-session tile quota (`nx · ny` at registration).
+    pub max_tiles: usize,
+    /// Scenario-tier cache cap handed to the shared engine.
+    pub scenario_cache_cap: usize,
+    /// Matrix-tier cache cap handed to the shared engine.
+    pub matrix_cache_cap: usize,
+    /// Per-connection read timeout (an idle keep-alive connection is
+    /// dropped after this, freeing its worker).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: ttsv_validate::sweep::default_workers(),
+            max_sessions: 64,
+            max_tiles: 64 * 64,
+            scenario_cache_cap: 1 << 16,
+            matrix_cache_cap: 1 << 10,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Overrides the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one server worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the live-session quota.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_sessions` is zero.
+    #[must_use]
+    pub fn with_max_sessions(mut self, max_sessions: usize) -> Self {
+        assert!(max_sessions > 0, "need room for at least one session");
+        self.max_sessions = max_sessions;
+        self
+    }
+
+    /// Overrides the per-session tile quota.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_tiles` is zero.
+    #[must_use]
+    pub fn with_max_tiles(mut self, max_tiles: usize) -> Self {
+        assert!(max_tiles > 0, "need room for at least one tile");
+        self.max_tiles = max_tiles;
+        self
+    }
+}
+
+/// One registered session: the mutable floorplan plus its model.
+struct Session {
+    spec: Mutex<SessionSpec>,
+}
+
+/// State shared by every connection worker.
+struct ServerState {
+    engine: ChipEngine,
+    sessions: Mutex<LruCache<u64, Arc<Session>>>,
+    next_id: AtomicU64,
+    metrics: Metrics,
+    max_tiles: usize,
+}
+
+impl ServerState {
+    fn evaluate(&self, spec: &SessionSpec) -> Result<String, Response> {
+        self.engine
+            .evaluate_factored(&spec.plan, &spec.model)
+            .map(|report| report.to_json())
+            .map_err(|e| Response::error(500, &format!("evaluation failed: {e}")))
+    }
+
+    fn session(&self, id: u64) -> Result<Arc<Session>, Response> {
+        self.sessions
+            .lock()
+            .expect("session table lock")
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| {
+                Response::error(
+                    404,
+                    &format!("no session {id} (expired or never registered)"),
+                )
+            })
+    }
+
+    fn register(&self, body: &[u8]) -> Response {
+        let spec = match protocol::parse_register(body) {
+            Ok(spec) => spec,
+            Err(e) => return Response::error(400, &e.0),
+        };
+        if spec.plan.tiles() > self.max_tiles {
+            return Response::error(
+                413,
+                &format!(
+                    "floorplan of {} tiles exceeds the per-session quota of {}",
+                    spec.plan.tiles(),
+                    self.max_tiles
+                ),
+            );
+        }
+        // Evaluate before publishing: a session is never visible in a
+        // half-registered state, and the cold-session cost is all here.
+        let report = match self.evaluate(&spec) {
+            Ok(json) => json,
+            Err(resp) => return resp,
+        };
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let session = Arc::new(Session {
+            spec: Mutex::new(spec),
+        });
+        self.sessions
+            .lock()
+            .expect("session table lock")
+            .insert(id, session);
+        Response::json(201, format!("{{\"session\":{id},\"report\":{report}}}"))
+    }
+
+    fn power_update(&self, id: u64, body: &[u8]) -> Response {
+        let session = match self.session(id) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        // Per-session serialization: deltas from concurrent clients on
+        // the same session apply in some total order, and each response
+        // reflects exactly the plan it evaluated.
+        let mut spec = session.spec.lock().expect("session lock");
+        let (plane, map) = match protocol::parse_power_update(body, &spec.plan) {
+            Ok(update) => update,
+            Err(e) => return Response::error(400, &e.0),
+        };
+        if let Err(e) = spec.plan.update_power_map(plane, map) {
+            return Response::error(400, &e.to_string());
+        }
+        match self.evaluate(&spec) {
+            Ok(json) => Response::json(200, json),
+            Err(resp) => resp,
+        }
+    }
+
+    fn read_session(&self, id: u64) -> Response {
+        let session = match self.session(id) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        let spec = session.spec.lock().expect("session lock");
+        match self.evaluate(&spec) {
+            Ok(json) => Response::json(200, json),
+            Err(resp) => resp,
+        }
+    }
+
+    fn delete_session(&self, id: u64) -> Response {
+        match self
+            .sessions
+            .lock()
+            .expect("session table lock")
+            .remove(&id)
+        {
+            Some(_) => Response::json(200, format!("{{\"deleted\":{id}}}")),
+            None => Response::error(404, &format!("no session {id}")),
+        }
+    }
+
+    fn metrics_json(&self) -> String {
+        let snap = self.metrics.snapshot();
+        let (live, capacity, hits, misses, evictions) = {
+            let sessions = self.sessions.lock().expect("session table lock");
+            (
+                sessions.len(),
+                sessions.capacity(),
+                sessions.hits(),
+                sessions.misses(),
+                sessions.evictions(),
+            )
+        };
+        let (scenario_entries, matrix_entries) = self.engine.cache_entries();
+        format!(
+            "{{\"uptime_s\":{:.3},\"requests\":{},\"responses\":{{\"ok_2xx\":{},\"client_4xx\":{},\"server_5xx\":{}}},\
+             \"requests_per_sec\":{:.3},\"latency_ns\":{{\"p50\":{},\"p99\":{}}},\
+             \"sessions\":{{\"live\":{live},\"capacity\":{capacity},\"hits\":{hits},\"misses\":{misses},\"evictions\":{evictions}}},\
+             \"engine\":{{\"solves\":{},\"factorizations\":{},\"scenario_hits\":{},\"scenario_misses\":{},\"evictions\":{},\
+             \"scenario_entries\":{scenario_entries},\"matrix_entries\":{matrix_entries}}}}}",
+            snap.uptime_s,
+            snap.requests,
+            snap.ok_2xx,
+            snap.client_4xx,
+            snap.server_5xx,
+            snap.requests_per_sec,
+            snap.p50_latency_ns,
+            snap.p99_latency_ns,
+            self.engine.solves(),
+            self.engine.factorizations(),
+            self.engine.scenario_hits(),
+            self.engine.scenario_misses(),
+            self.engine.evictions(),
+        )
+    }
+
+    fn route(&self, request: &Request) -> Response {
+        let path = request.target.split('?').next().unwrap_or("");
+        match (request.method, path) {
+            (Method::Get, "/metrics") => Response::json(200, self.metrics_json()),
+            (Method::Get, "/healthz") => Response::json(200, "{\"ok\":true}".into()),
+            (Method::Post, "/sessions") => self.register(&request.body),
+            (method, path) if path.starts_with("/sessions/") => {
+                let rest = &path["/sessions/".len()..];
+                let (id_text, tail) = match rest.split_once('/') {
+                    Some((id, tail)) => (id, Some(tail)),
+                    None => (rest, None),
+                };
+                let Ok(id) = id_text.parse::<u64>() else {
+                    return Response::error(404, &format!("malformed session id {id_text:?}"));
+                };
+                match (method, tail) {
+                    (Method::Post, Some("power")) => self.power_update(id, &request.body),
+                    (Method::Get, None) => self.read_session(id),
+                    (Method::Delete, None) => self.delete_session(id),
+                    (_, Some(other)) => {
+                        Response::error(404, &format!("unknown session endpoint {other:?}"))
+                    }
+                    _ => Response::error(405, "method not allowed on this session endpoint"),
+                }
+            }
+            (_, "/metrics" | "/healthz" | "/sessions") => {
+                Response::error(405, "method not allowed on this endpoint")
+            }
+            _ => Response::error(404, &format!("unknown endpoint {path:?}")),
+        }
+    }
+}
+
+/// Serves one accepted connection until it closes, errors, or idles out.
+fn handle_connection(stream: &mut TcpStream, state: &ServerState, read_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut parser = RequestParser::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Drain every request already buffered (pipelining) before
+        // touching the socket again.
+        loop {
+            let started = Instant::now();
+            match parser.next_request() {
+                Ok(Some(request)) => {
+                    let response = state.route(&request);
+                    let keep_alive = request.keep_alive && response.keep_alive;
+                    let response = Response {
+                        keep_alive,
+                        ..response
+                    };
+                    state.metrics.record(response.status, started.elapsed());
+                    if response.write_to(stream).is_err() || !keep_alive {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    let response = Response::from_error(&e);
+                    state.metrics.record(response.status, started.elapsed());
+                    let _ = response.write_to(stream);
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => parser.feed(&chunk[..n]),
+        }
+    }
+}
+
+/// A running server: background accept loop + worker pool, shut down via
+/// [`Server::shutdown`] (or drop).
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(addr: &str, config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            engine: ChipEngine::new()
+                .with_workers(1)
+                .with_scenario_cache_cap(config.scenario_cache_cap)
+                .with_matrix_cache_cap(config.matrix_cache_cap),
+            sessions: Mutex::new(LruCache::new(config.max_sessions)),
+            next_id: AtomicU64::new(1),
+            metrics: Metrics::new(),
+            max_tiles: config.max_tiles,
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let read_timeout = config.read_timeout;
+        let workers = config.workers;
+        let accept_handle = std::thread::Builder::new()
+            .name("ttsv-serve-accept".into())
+            .spawn(move || {
+                // The pool lives (and drop-joins) inside the accept
+                // thread: shutdown drains in-flight connections before
+                // `Server::shutdown` returns.
+                let pool = WorkerPool::new(workers);
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut stream) = conn else { continue };
+                    let state = Arc::clone(&state);
+                    pool.submit(move || handle_connection(&mut stream, &state, read_timeout));
+                }
+            })?;
+        Ok(Self {
+            addr: local,
+            stop,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains in-flight connections, and joins the
+    /// accept thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.accept_handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}

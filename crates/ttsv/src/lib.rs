@@ -14,6 +14,7 @@
 //! | [`core`] | `ttsv-core` | Model A, Model B, the 1-D baseline, clustering, the DRAM-µP case study |
 //! | [`validate`] | `ttsv-validate` | FEM adapter, calibration, the paper's experiments |
 //! | [`chip`] | `ttsv-chip` | full-chip floorplan engine: power/via maps, batched cell evaluation |
+//! | [`serve`] | `ttsv-serve` | thermal-as-a-service: std-only HTTP session server over the chip engine |
 //!
 //! # Quick start
 //!
@@ -89,6 +90,7 @@ pub use ttsv_fem as fem;
 pub use ttsv_linalg as linalg;
 pub use ttsv_materials as materials;
 pub use ttsv_network as network;
+pub use ttsv_serve as serve;
 pub use ttsv_units as units;
 pub use ttsv_validate as validate;
 

@@ -3,18 +3,20 @@
 //! Every figure in the paper is a sweep of one scenario parameter evaluated
 //! by several models, and the full-chip floorplan engine (`ttsv-chip`)
 //! evaluates a bag of distinct unit cells — both are instances of the same
-//! problem: run `count` independent jobs on a bounded pool of scoped worker
+//! problem: run `count` independent jobs on a bounded pool of worker
 //! threads, at most `available_parallelism()` of them, that claim jobs one
 //! at a time from a shared atomic queue (self-scheduling work
-//! distribution). [`run_batch_with_workers`] is that primitive;
-//! [`run_sweep`] is the figure-shaped wrapper on top of it. Dense batches
+//! distribution). [`run_batch_with_workers`] is that primitive — since
+//! PR 6 a thin wrapper over [`crate::pool::scoped_batch`], which also runs
+//! single-worker batches inline (no spawn at all, the serving fast path);
+//! the long-lived [`crate::pool::WorkerPool`] shares the same
+//! self-scheduling core for `'static` jobs such as a server's connections.
+//! [`run_sweep`] is the figure-shaped wrapper on top. Dense batches
 //! of 100+ jobs therefore never oversubscribe the machine, and expensive
 //! jobs naturally load-balance across workers. Evaluation order within a
 //! batch is unspecified; the results come back in job order regardless,
 //! and models with internal warm-start caches (the FEM reference) share
 //! them across workers.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ttsv_core::scenario::{Scenario, ThermalModel};
 use ttsv_core::CoreError;
@@ -61,11 +63,13 @@ pub fn default_workers() -> usize {
 
 /// Runs `count` independent jobs on a bounded self-scheduling worker pool
 /// and returns the results in job order. This is the generic primitive
-/// behind [`run_sweep`]: workers claim job indices one at a time from a
-/// shared atomic counter, so expensive jobs load-balance and the pool
-/// never oversubscribes. `eval(i)` must be safe to call from any worker
-/// (jobs are independent); for deterministic `eval`, the returned vector
-/// is identical for every `workers` value.
+/// behind [`run_sweep`], delegating to [`crate::pool::scoped_batch`]:
+/// workers claim job indices one at a time from a shared atomic counter,
+/// so expensive jobs load-balance and the pool never oversubscribes, and
+/// `workers == 1` evaluates inline on the caller's thread (no spawn).
+/// `eval(i)` must be safe to call from any worker (jobs are independent);
+/// for deterministic `eval`, the returned vector is identical for every
+/// `workers` value.
 ///
 /// # Panics
 ///
@@ -80,43 +84,7 @@ where
     E: Send,
     F: Fn(usize) -> Result<T, E> + Sync,
 {
-    assert!(workers > 0, "need at least one batch worker");
-    if count == 0 {
-        return Ok(Vec::new());
-    }
-    let workers = workers.min(count);
-
-    let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<Result<T, E>>> = Vec::new();
-    results.resize_with(count, || None);
-
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= count {
-                            break;
-                        }
-                        out.push((i, eval(i)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, result) in handle.join().expect("batch worker panicked") {
-                results[i] = Some(result);
-            }
-        }
-    });
-
-    results
-        .into_iter()
-        .map(|r| r.expect("every job evaluated"))
-        .collect()
+    crate::pool::scoped_batch(count, workers, eval)
 }
 
 /// [`run_batch_with_workers`] at the default pool size

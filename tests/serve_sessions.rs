@@ -1,0 +1,261 @@
+//! Integration suite for `ttsv-serve` serving semantics.
+//!
+//! * N concurrent clients over a real `TcpListener` on an ephemeral
+//!   port, replaying interleaved sessions: every response body must be
+//!   **bitwise identical** to evaluating the same floorplan directly
+//!   through a fresh `ChipEngine` — at 1, 2, and N server workers.
+//! * Session quotas: the exact-LRU table evicts the least-recently-used
+//!   session past `max_sessions` (404 afterwards, counted in
+//!   `/metrics`), and oversized registrations bounce with 413.
+//! * An LRU property test against a naive reference model (eviction
+//!   order, counter bookkeeping, capacity enforcement).
+//! * Post-eviction correctness: an engine squeezed to 1-entry caches
+//!   returns byte-identical responses (evictions change cost, never
+//!   results).
+
+use proptest::prelude::*;
+use ttsv::serve::client::{trace_power_body, trace_register_body, Client};
+use ttsv::serve::lru::LruCache;
+use ttsv::serve::protocol::{parse_power_update, parse_register};
+use ttsv::serve::server::{Server, ServerConfig};
+use ttsv_chip::ChipEngine;
+
+const GRID: usize = 4;
+const ROUNDS: usize = 5;
+const CLIENTS: usize = 4;
+
+/// What one client's session produced: the register report plus one
+/// report per power round, as raw response bodies.
+fn drive_session(addr: &str, session: usize) -> Vec<String> {
+    let mut client = Client::connect(addr).expect("connect");
+    let (status, body) = client
+        .request("POST", "/sessions", &trace_register_body(GRID, session))
+        .expect("register");
+    assert_eq!(status, 201, "{body}");
+    let (id_part, report) = body
+        .split_once(",\"report\":")
+        .expect("register response envelope");
+    let id: u64 = id_part
+        .strip_prefix("{\"session\":")
+        .expect("session id field")
+        .parse()
+        .expect("numeric session id");
+    let mut reports = vec![report
+        .strip_suffix('}')
+        .expect("envelope close")
+        .to_string()];
+    for round in 0..ROUNDS {
+        let (status, body) = client
+            .request(
+                "POST",
+                &format!("/sessions/{id}/power"),
+                &trace_power_body(GRID, session, round),
+            )
+            .expect("power update");
+        assert_eq!(status, 200, "{body}");
+        reports.push(body);
+    }
+    reports
+}
+
+/// The ground truth: the same session replayed directly against a fresh
+/// single-worker engine, no sockets involved.
+fn direct_session(session: usize) -> Vec<String> {
+    let engine = ChipEngine::new().with_workers(1);
+    let mut spec = parse_register(trace_register_body(GRID, session).as_bytes()).expect("register");
+    let mut reports = vec![engine
+        .evaluate_factored(&spec.plan, &spec.model)
+        .expect("solvable")
+        .to_json()];
+    for round in 0..ROUNDS {
+        let (plane, map) = parse_power_update(
+            trace_power_body(GRID, session, round).as_bytes(),
+            &spec.plan,
+        )
+        .expect("power update");
+        spec.plan.update_power_map(plane, map).expect("same grid");
+        reports.push(
+            engine
+                .evaluate_factored(&spec.plan, &spec.model)
+                .expect("solvable")
+                .to_json(),
+        );
+    }
+    reports
+}
+
+#[test]
+fn concurrent_sessions_match_direct_evaluation_at_any_worker_count() {
+    let expected: Vec<Vec<String>> = (0..CLIENTS).map(direct_session).collect();
+    for workers in [1, 2, CLIENTS] {
+        let server = Server::start("127.0.0.1:0", ServerConfig::default().with_workers(workers))
+            .expect("bind ephemeral port");
+        let addr = server.addr().to_string();
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|s| {
+                let addr = addr.clone();
+                std::thread::spawn(move || drive_session(&addr, s))
+            })
+            .collect();
+        for (s, handle) in handles.into_iter().enumerate() {
+            let got = handle.join().expect("client thread");
+            assert_eq!(
+                got, expected[s],
+                "session {s} responses diverged from direct evaluation at {workers} workers"
+            );
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
+fn lru_quota_evicts_oldest_session_and_metrics_report_it() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig::default()
+            .with_workers(2)
+            .with_max_sessions(2)
+            .with_max_tiles(GRID * GRID),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    for s in 0..3 {
+        let (status, _) = client
+            .request("POST", "/sessions", &trace_register_body(GRID, s))
+            .expect("register");
+        assert_eq!(status, 201);
+    }
+    // Session 1 (the first id) was LRU-evicted by the third registration.
+    let (status, body) = client
+        .request("POST", "/sessions/1/power", &trace_power_body(GRID, 0, 0))
+        .expect("power update");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("expired"), "{body}");
+    // Sessions 2 and 3 still serve.
+    for id in [2, 3] {
+        let (status, _) = client
+            .request("GET", &format!("/sessions/{id}"), "")
+            .expect("read session");
+        assert_eq!(status, 200);
+    }
+    // Oversized registration bounces on the tile quota.
+    let (status, body) = client
+        .request("POST", "/sessions", &trace_register_body(GRID + 1, 0))
+        .expect("register");
+    assert_eq!(status, 413, "{body}");
+    assert!(body.contains("quota"), "{body}");
+
+    let (status, metrics) = client.request("GET", "/metrics", "").expect("metrics");
+    assert_eq!(status, 200);
+    let doc = serde::json::from_str(&metrics).expect("metrics endpoint emits valid JSON");
+    let sessions = doc.get("sessions").expect("sessions block");
+    assert_eq!(sessions.get("live").and_then(|v| v.as_usize()), Some(2));
+    assert_eq!(sessions.get("capacity").and_then(|v| v.as_usize()), Some(2));
+    assert_eq!(
+        sessions.get("evictions").and_then(|v| v.as_usize()),
+        Some(1)
+    );
+    let engine = doc.get("engine").expect("engine block");
+    assert!(engine
+        .get("scenario_hits")
+        .and_then(|v| v.as_usize())
+        .is_some());
+    assert!(doc.get("latency_ns").and_then(|l| l.get("p99")).is_some());
+    server.shutdown();
+}
+
+#[test]
+fn tiny_engine_caches_change_cost_never_results() {
+    // Squeeze both engine tiers to one entry: every request thrashes the
+    // caches, yet the responses must stay byte-identical to the
+    // default-cap server and the direct evaluation.
+    let expected = direct_session(0);
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            scenario_cache_cap: 1,
+            matrix_cache_cap: 1,
+            ..ServerConfig::default().with_workers(1)
+        },
+    )
+    .expect("bind ephemeral port");
+    let got = drive_session(&server.addr().to_string(), 0);
+    assert_eq!(got, expected, "eviction pressure changed a response");
+    server.shutdown();
+}
+
+/// A naive reference LRU: a Vec in recency order, recomputed the
+/// obvious way.
+#[derive(Default)]
+struct ModelLru {
+    capacity: usize,
+    entries: Vec<(u8, u32)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ModelLru {
+    fn get(&mut self, key: u8) -> Option<u32> {
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.hits += 1;
+            let entry = self.entries.remove(i);
+            self.entries.push(entry);
+            Some(self.entries.last().expect("just pushed").1)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    fn insert(&mut self, key: u8, value: u32) -> Option<(u8, u32)> {
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(i);
+        }
+        self.entries.push((key, value));
+        if self.entries.len() > self.capacity {
+            self.evictions += 1;
+            Some(self.entries.remove(0))
+        } else {
+            None
+        }
+    }
+
+    fn remove(&mut self, key: u8) -> Option<u32> {
+        let i = self.entries.iter().position(|(k, _)| *k == key)?;
+        Some(self.entries.remove(i).1)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // The serving LRU agrees with the naive model on every observable:
+    // lookups, eviction victims, recency order, counters, and length.
+    #[test]
+    fn lru_matches_the_reference_model(
+        capacity in 1usize..6,
+        ops in prop::collection::vec((0usize..3, 0u8..8, 0u32..100), 1..60),
+    ) {
+        let mut real = LruCache::new(capacity);
+        let mut model = ModelLru { capacity, ..ModelLru::default() };
+        for (op, key, value) in ops {
+            match op {
+                0 => prop_assert_eq!(real.get(&key).copied(), model.get(key)),
+                1 => prop_assert_eq!(real.insert(key, value), model.insert(key, value)),
+                _ => prop_assert_eq!(real.remove(&key), model.remove(key)),
+            }
+            prop_assert_eq!(real.len(), model.entries.len());
+            prop_assert!(real.len() <= capacity, "capacity violated");
+            let real_order: Vec<u8> = real.keys().copied().collect();
+            let model_order: Vec<u8> = model.entries.iter().map(|(k, _)| *k).collect();
+            prop_assert_eq!(real_order, model_order);
+            prop_assert_eq!(
+                (real.hits(), real.misses(), real.evictions()),
+                (model.hits, model.misses, model.evictions)
+            );
+        }
+    }
+}

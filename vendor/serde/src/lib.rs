@@ -435,12 +435,14 @@ impl fmt::Display for Content {
     }
 }
 
-/// Minimal JSON rendering of the [`Content`] data model (the stand-in's
-/// substitute for `serde_json::to_string`). Derived structs become
-/// objects, sequences become arrays, unit enum variants become strings,
-/// and data-carrying variants become single-key objects — the shapes the
-/// workspace's report types need for downstream serving. Non-finite
-/// floats serialize as `null` (JSON has no NaN/∞ literal).
+/// Minimal JSON rendering *and parsing* (the stand-in's substitute for
+/// `serde_json`). Rendering: derived structs become objects, sequences
+/// become arrays, unit enum variants become strings, and data-carrying
+/// variants become single-key objects — the shapes the workspace's report
+/// types need for downstream serving. Non-finite floats serialize as
+/// `null` (JSON has no NaN/∞ literal). Parsing: [`from_str`](json::from_str) produces a
+/// dynamically typed [`Value`](json::Value) tree (objects keep insertion order), the
+/// shape the `ttsv-serve` request handlers consume.
 pub mod json {
     use crate::{Content, Serialize};
 
@@ -533,6 +535,290 @@ pub mod json {
         }
     }
 
+    /// A parsed JSON document. Numbers keep their `f64` value (JSON has a
+    /// single number type); object members keep source order, and lookups
+    /// return the **first** member with the given key.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number.
+        Number(f64),
+        /// A string (escapes decoded).
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object, in source order.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The first member with this key, if `self` is an object.
+        #[must_use]
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The numeric value, if `self` is a number.
+        #[must_use]
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(v) => Some(*v),
+                _ => None,
+            }
+        }
+
+        /// The value as a non-negative integer, if it is a number with an
+        /// exact integral representation.
+        #[must_use]
+        pub fn as_usize(&self) -> Option<usize> {
+            match self {
+                Value::Number(v) if v.fract() == 0.0 && *v >= 0.0 && *v <= 2f64.powi(53) => {
+                    Some(*v as usize)
+                }
+                _ => None,
+            }
+        }
+
+        /// The string value, if `self` is a string.
+        #[must_use]
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The elements, if `self` is an array.
+        #[must_use]
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    /// Maximum nesting depth [`from_str`] accepts — deeper documents are
+    /// rejected instead of recursing toward a stack overflow (the parser
+    /// feeds a network-facing server).
+    const MAX_DEPTH: usize = 64;
+
+    /// Parses one complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message with the byte offset of the first
+    /// problem. Inputs deeper than 64 nesting levels, documents with
+    /// anything after the top-level value, and all syntax errors are
+    /// rejected; the parser never panics on any input (property-tested by
+    /// `ttsv-serve`).
+    pub fn from_str(input: &str) -> Result<Value, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, literal: &str) -> Result<(), String> {
+        if bytes[*pos..].starts_with(literal.as_bytes()) {
+            *pos += literal.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{literal}` at byte {pos}", pos = *pos))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+        }
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'n') => expect(bytes, pos, "null").map(|()| Value::Null),
+            Some(b't') => expect(bytes, pos, "true").map(|()| Value::Bool(true)),
+            Some(b'f') => expect(bytes, pos, "false").map(|()| Value::Bool(false)),
+            Some(b'"') => parse_string(bytes, pos).map(Value::String),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(parse_value(bytes, pos, depth + 1)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut members = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(bytes, pos)?;
+                    skip_ws(bytes, pos);
+                    if bytes.get(*pos) != Some(&b':') {
+                        return Err(format!("expected `:` at byte {}", *pos));
+                    }
+                    *pos += 1;
+                    let value = parse_value(bytes, pos, depth + 1)?;
+                    members.push((key, value));
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Object(members));
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+            Some(c) => Err(format!("unexpected byte {c:#04x} at byte {}", *pos)),
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        if bytes.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        let digits_from = *pos;
+        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        if *pos == digits_from {
+            return Err(format!("expected digits at byte {}", *pos));
+        }
+        // Reject leading zeros ("01") the way strict JSON does.
+        if bytes[digits_from] == b'0' && *pos > digits_from + 1 {
+            return Err(format!("leading zero at byte {digits_from}"));
+        }
+        if bytes.get(*pos) == Some(&b'.') {
+            *pos += 1;
+            let frac_from = *pos;
+            while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+                *pos += 1;
+            }
+            if *pos == frac_from {
+                return Err(format!("expected fraction digits at byte {}", *pos));
+            }
+        }
+        if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+            *pos += 1;
+            if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+                *pos += 1;
+            }
+            let exp_from = *pos;
+            while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+                *pos += 1;
+            }
+            if *pos == exp_from {
+                return Err(format!("expected exponent digits at byte {}", *pos));
+            }
+        }
+        let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII number bytes");
+        let value: f64 = text
+            .parse()
+            .map_err(|e| format!("number `{text}` at byte {start}: {e}"))?;
+        if !value.is_finite() {
+            return Err(format!("number `{text}` at byte {start} overflows f64"));
+        }
+        Ok(Value::Number(value))
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected `\"` at byte {}", *pos));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "non-ASCII \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            // Surrogates are rejected rather than paired:
+                            // the workspace never emits them.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| format!("\\u{hex} is not a scalar value"))?;
+                            out.push(c);
+                            *pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    *pos += 1;
+                }
+                Some(&c) if c < 0x20 => {
+                    return Err(format!("raw control byte {c:#04x} in string"));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so the
+                    // boundaries are valid by construction).
+                    let rest = std::str::from_utf8(&bytes[*pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let c = rest.chars().next().expect("non-empty remainder");
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -565,6 +851,61 @@ pub mod json {
             let mut out = String::new();
             write_content(&content, &mut out);
             assert_eq!(out, "{\"max\":2.5,\"cells\":[1,2]}");
+        }
+
+        #[test]
+        fn parser_handles_the_protocol_shapes() {
+            let v = from_str(r#"{"nx":4, "planes":[[1.5,2e-3],[0.5,-0]], "tag":"a\"b"}"#).unwrap();
+            assert_eq!(v.get("nx").and_then(Value::as_usize), Some(4));
+            let planes = v.get("planes").and_then(Value::as_array).unwrap();
+            assert_eq!(planes.len(), 2);
+            assert_eq!(planes[0].as_array().unwrap()[1].as_f64(), Some(0.002));
+            assert_eq!(v.get("tag").and_then(Value::as_str), Some("a\"b"));
+            assert_eq!(from_str("  null ").unwrap(), Value::Null);
+            assert_eq!(from_str("[]").unwrap(), Value::Array(vec![]));
+            assert_eq!(from_str("-12.5e1").unwrap(), Value::Number(-125.0));
+        }
+
+        #[test]
+        fn parser_rejects_malformed_documents() {
+            for bad in [
+                "",
+                "{",
+                "}",
+                "[1,",
+                "[1 2]",
+                "{\"a\"}",
+                "{\"a\":}",
+                "{a:1}",
+                "01",
+                "1.",
+                "1e",
+                "nul",
+                "truex",
+                "\"\\q\"",
+                "\"\u{1}\"",
+                "\"unterminated",
+                "1 2",
+                "[\"\\u12\"]",
+                "1e999",
+            ] {
+                assert!(from_str(bad).is_err(), "{bad:?} should fail");
+            }
+            let deep = "[".repeat(100) + &"]".repeat(100);
+            assert!(from_str(&deep).is_err(), "over-deep nesting should fail");
+        }
+
+        #[test]
+        fn render_parse_round_trip() {
+            let json = to_string(&vec![1.5f64, -2.25, 3e-7]);
+            let v = from_str(&json).unwrap();
+            let back: Vec<f64> = v
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|x| x.as_f64().unwrap())
+                .collect();
+            assert_eq!(back, vec![1.5, -2.25, 3e-7]);
         }
     }
 }
