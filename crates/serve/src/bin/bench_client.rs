@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p ttsv-serve --bin bench-client -- \
-//!     --spawn [--trace SESSIONS:ROUNDS:GRID] [--check]
+//!     --spawn [--trace SESSIONS:ROUNDS:GRID] [--check] [--chaos SEED]
 //! cargo run --release -p ttsv-serve --bin bench-client -- \
 //!     --addr 127.0.0.1:7071 [--sessions N] [--rounds N] [--grid N]
 //! ```
@@ -14,7 +14,13 @@
 //! external server. `--check` exits nonzero unless warm-delta p99
 //! latency beats cold-session p99 by at least 5× — the serving-layer
 //! acceptance gate: if a two-tile delta costs anywhere near a full
-//! registration, the session cache is broken.
+//! registration, the session cache is broken. `--chaos SEED` replays the
+//! same trace through a seeded lossless fault wrapper (short reads and
+//! writes, delays) — every response must still come back correct, which
+//! is the transport-robustness smoke CI runs.
+//!
+//! A connection the server refuses or resets exits 1 with a diagnostic
+//! naming the address, instead of an opaque panic.
 
 use std::io::{BufRead, BufReader};
 use std::process::{Child, Command, Stdio};
@@ -27,9 +33,29 @@ const WARM_SPEEDUP_GATE: u128 = 5;
 fn usage() -> ! {
     eprintln!(
         "usage: bench-client (--addr HOST:PORT | --spawn) \
-         [--trace SESSIONS:ROUNDS:GRID] [--sessions N] [--rounds N] [--grid N] [--check]"
+         [--trace SESSIONS:ROUNDS:GRID] [--sessions N] [--rounds N] [--grid N] \
+         [--check] [--chaos SEED]"
     );
     std::process::exit(2);
+}
+
+/// Turns the usual connection-level failures into actionable one-liners;
+/// everything else is reported verbatim.
+fn explain_trace_error(addr: &str, e: &std::io::Error) -> String {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::ConnectionRefused => format!(
+            "could not connect to {addr}: connection refused — is the serve process running \
+             and listening there? (start one with `serve --addr {addr}` or use --spawn)"
+        ),
+        ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted | ErrorKind::BrokenPipe => {
+            format!(
+                "connection to {addr} dropped mid-replay ({e}) — the server died, shed the \
+                 connection, or a proxy between us closed it"
+            )
+        }
+        _ => format!("trace replay against {addr} failed: {e}"),
+    }
 }
 
 fn parse_flag<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
@@ -83,6 +109,7 @@ fn main() {
             "--sessions" => config.sessions = parse_flag(&mut args, "--sessions"),
             "--rounds" => config.rounds = parse_flag(&mut args, "--rounds"),
             "--grid" => config.grid = parse_flag(&mut args, "--grid"),
+            "--chaos" => config.chaos = Some(parse_flag(&mut args, "--chaos")),
             "--trace" => {
                 let spec: String = parse_flag(&mut args, "--trace");
                 let parts: Vec<&str> = spec.split(':').collect();
@@ -96,6 +123,7 @@ fn main() {
                             sessions: s,
                             rounds: r,
                             grid: g,
+                            ..config
                         };
                     }
                     _ => {
@@ -133,7 +161,7 @@ fn main() {
         let _ = child.wait();
     }
     let outcome = outcome.unwrap_or_else(|e| {
-        eprintln!("trace replay failed: {e}");
+        eprintln!("{}", explain_trace_error(&addr, &e));
         std::process::exit(1);
     });
 

@@ -2,17 +2,25 @@
 //!
 //! ```text
 //! cargo run --release -p ttsv-serve --bin serve -- \
-//!     [--addr 127.0.0.1:7071] [--workers N] [--max-sessions N] [--max-tiles N]
+//!     [--addr 127.0.0.1:7071] [--workers N] [--max-sessions N] [--max-tiles N] \
+//!     [--queue-capacity N] [--max-pending-updates N] \
+//!     [--request-deadline-ms MS] [--write-timeout-ms MS]
 //! ```
 //!
 //! Prints exactly one `listening on <addr>` line to stdout once the
 //! socket is bound (port 0 resolves to the real ephemeral port), which
 //! is how `bench-client --spawn` discovers the address.
 
+use std::time::Duration;
+
 use ttsv_serve::server::{Server, ServerConfig};
 
 fn usage() -> ! {
-    eprintln!("usage: serve [--addr HOST:PORT] [--workers N] [--max-sessions N] [--max-tiles N]");
+    eprintln!(
+        "usage: serve [--addr HOST:PORT] [--workers N] [--max-sessions N] [--max-tiles N] \
+         [--queue-capacity N] [--max-pending-updates N] \
+         [--request-deadline-ms MS] [--write-timeout-ms MS]"
+    );
     std::process::exit(2);
 }
 
@@ -41,6 +49,25 @@ fn main() {
                 config = config.with_max_sessions(parse_flag(&mut args, "--max-sessions"));
             }
             "--max-tiles" => config = config.with_max_tiles(parse_flag(&mut args, "--max-tiles")),
+            "--queue-capacity" => {
+                config = config.with_queue_capacity(parse_flag(&mut args, "--queue-capacity"));
+            }
+            "--max-pending-updates" => {
+                config =
+                    config.with_max_pending_updates(parse_flag(&mut args, "--max-pending-updates"));
+            }
+            "--request-deadline-ms" => {
+                config = config.with_request_deadline(Duration::from_millis(parse_flag(
+                    &mut args,
+                    "--request-deadline-ms",
+                )));
+            }
+            "--write-timeout-ms" => {
+                config = config.with_write_timeout(Duration::from_millis(parse_flag(
+                    &mut args,
+                    "--write-timeout-ms",
+                )));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");

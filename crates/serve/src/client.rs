@@ -14,13 +14,27 @@ use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+use crate::faults::{FaultConfig, FaultyStream};
 use crate::protocol::render_register_body;
 
+/// What a [`Client`] talks through: a plain socket or a fault-injecting
+/// wrapper around one.
+trait Transport: Read + Write + Send {}
+
+impl<T: Read + Write + Send> Transport for T {}
+
 /// One reusable keep-alive connection.
-#[derive(Debug)]
 pub struct Client {
-    stream: TcpStream,
+    stream: Box<dyn Transport>,
     buf: Vec<u8>,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("buffered", &self.buf.len())
+            .finish()
+    }
 }
 
 impl Client {
@@ -30,13 +44,34 @@ impl Client {
     ///
     /// Propagates connection failures.
     pub fn connect(addr: &str) -> io::Result<Self> {
+        Ok(Self {
+            stream: Box::new(Self::socket(addr)?),
+            buf: Vec::new(),
+        })
+    }
+
+    /// Connects like [`Client::connect`] but routes all traffic through a
+    /// seeded [`FaultyStream`], so a replay can rehearse short
+    /// reads/writes and injected socket errors deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect_with_faults(addr: &str, config: FaultConfig, seed: u64) -> io::Result<Self> {
+        Ok(Self {
+            stream: Box::new(FaultyStream::new(Self::socket(addr)?, config, seed)),
+            buf: Vec::new(),
+        })
+    }
+
+    fn socket(addr: &str) -> io::Result<TcpStream> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-        Ok(Self {
-            stream,
-            buf: Vec::new(),
-        })
+        // A server that stops reading must fail the request, not wedge
+        // the client forever.
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        Ok(stream)
     }
 
     /// Sends one request and reads the response, returning
@@ -110,6 +145,11 @@ pub struct TraceConfig {
     pub rounds: usize,
     /// Tiles per side of each session's floorplan.
     pub grid: usize,
+    /// When set, replay through a seeded *lossless* [`FaultyStream`]
+    /// (short reads/writes and delays, no injected errors): every
+    /// response must still come back correct, just over a mangled
+    /// transport. Each session derives its own sub-seed.
+    pub chaos: Option<u64>,
 }
 
 impl Default for TraceConfig {
@@ -118,6 +158,7 @@ impl Default for TraceConfig {
             sessions: 4,
             rounds: 25,
             grid: 12,
+            chaos: None,
         }
     }
 }
@@ -217,7 +258,14 @@ pub fn run_trace(addr: &str, config: TraceConfig) -> io::Result<TraceOutcome> {
         let addr = addr.to_string();
         handles.push(std::thread::spawn(
             move || -> io::Result<(u128, Vec<u128>)> {
-                let mut client = Client::connect(&addr)?;
+                let mut client = match config.chaos {
+                    Some(seed) => Client::connect_with_faults(
+                        &addr,
+                        FaultConfig::lossless(),
+                        seed.wrapping_add((s as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    )?,
+                    None => Client::connect(&addr)?,
+                };
                 let bad = |status: u16, body: &str| {
                     io::Error::new(
                         io::ErrorKind::InvalidData,

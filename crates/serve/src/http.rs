@@ -325,11 +325,14 @@ pub fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         411 => "Length Required",
         413 => "Content Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        503 => "Service Unavailable",
         505 => "HTTP Version Not Supported",
         _ => "Unknown",
     }
@@ -344,6 +347,9 @@ pub struct Response {
     pub body: String,
     /// Whether the connection persists after writing this response.
     pub keep_alive: bool,
+    /// Seconds for a `Retry-After` header (overload responses: 503 when
+    /// the pool sheds, 429 when a session floods).
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -354,6 +360,7 @@ impl Response {
             status,
             body,
             keep_alive: true,
+            retry_after: None,
         }
     }
 
@@ -365,6 +372,7 @@ impl Response {
             status: err.status,
             body: format!("{{\"error\":{}}}", serde::json::to_string(&err.message)),
             keep_alive: false,
+            retry_after: None,
         }
     }
 
@@ -376,6 +384,18 @@ impl Response {
             status,
             body: format!("{{\"error\":{}}}", serde::json::to_string(&message)),
             keep_alive: true,
+            retry_after: None,
+        }
+    }
+
+    /// An overload rejection (`503` shed / `429` flood) carrying a
+    /// `Retry-After` hint so well-behaved clients back off instead of
+    /// hammering a saturated server.
+    #[must_use]
+    pub fn overloaded(status: u16, message: &str, retry_after_secs: u64) -> Self {
+        Self {
+            retry_after: Some(retry_after_secs),
+            ..Self::error(status, message)
         }
     }
 
@@ -392,12 +412,16 @@ impl Response {
         };
         write!(
             w,
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             reason_phrase(self.status),
             self.body.len(),
             connection,
         )?;
+        if let Some(secs) = self.retry_after {
+            write!(w, "retry-after: {secs}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
         w.write_all(self.body.as_bytes())
     }
 }
@@ -537,5 +561,26 @@ mod tests {
         let err = String::from_utf8(err).unwrap();
         assert!(err.contains("connection: close"), "{err}");
         assert!(err.contains("{\"error\":\"bad \\\"quote\\\"\"}"), "{err}");
+    }
+
+    #[test]
+    fn overload_responses_carry_retry_after() {
+        let mut out = Vec::new();
+        Response::overloaded(503, "saturated", 2)
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("retry-after: 2\r\n"), "{text}");
+        assert!(text.contains("\r\n\r\n{\"error\":\"saturated\"}"), "{text}");
+        // Ordinary responses never emit the header.
+        let mut plain = Vec::new();
+        Response::json(200, "{}".into())
+            .write_to(&mut plain)
+            .unwrap();
+        assert!(!String::from_utf8(plain).unwrap().contains("retry-after"));
     }
 }

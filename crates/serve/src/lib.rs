@@ -73,6 +73,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod faults;
 pub mod http;
 pub mod lru;
 pub mod metrics;
@@ -80,6 +81,7 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{Client, TraceConfig, TraceOutcome};
+pub use faults::{FaultConfig, FaultyStream, ServerFaults, SplitMix64};
 pub use http::{HttpError, Request, RequestParser, Response};
 pub use lru::LruCache;
 pub use metrics::Metrics;

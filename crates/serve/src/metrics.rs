@@ -7,6 +7,15 @@
 //! reported as its bucket's upper bound — at most 2× the true value,
 //! which is plenty to watch the cold-session vs warm-delta separation
 //! the bench gate pins (≥5×).
+//!
+//! **Accounting invariant** (pinned by a property test in
+//! `tests/serve_chaos.rs`): every answered request increments `requests`,
+//! exactly one of the three status-class counters, and exactly one
+//! histogram bucket — so `requests == ok_2xx + client_4xx + server_5xx`
+//! and `requests == Σ histogram` at every instant. The overload/failure
+//! attributions (`shed`, `rate_limited`, `timeouts`, `panics`) cross-cut
+//! those classes: a shed request is *also* a 5xx, a deadline expiry is
+//! *also* a 4xx — they never double-count the totals.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -21,6 +30,17 @@ pub struct Metrics {
     ok_2xx: AtomicU64,
     client_4xx: AtomicU64,
     server_5xx: AtomicU64,
+    /// 503s issued because the worker pool was saturated (load shed).
+    shed: AtomicU64,
+    /// 429s issued because one session's update queue flooded.
+    rate_limited: AtomicU64,
+    /// 408s issued because a request blew its deadline (slowloris,
+    /// slow reader, stalled body).
+    timeouts: AtomicU64,
+    /// 500s issued because a handler panicked and was contained.
+    panics: AtomicU64,
+    /// Connections currently inside `handle_connection` (gauge).
+    inflight: AtomicU64,
     latency: [AtomicU64; BUCKETS],
 }
 
@@ -43,6 +63,19 @@ pub struct MetricsSnapshot {
     pub p50_latency_ns: u64,
     /// 99th-percentile request latency in nanoseconds (bucket upper bound).
     pub p99_latency_ns: u64,
+    /// Total histogram samples (equals `requests` by the accounting
+    /// invariant; exported so clients can verify reconciliation).
+    pub latency_samples: u64,
+    /// 503s shed at admission (subset of `server_5xx`).
+    pub shed: u64,
+    /// 429s from per-session update floods (subset of `client_4xx`).
+    pub rate_limited: u64,
+    /// 408s from blown request deadlines (subset of `client_4xx`).
+    pub timeouts: u64,
+    /// Contained handler panics answered as 500 (subset of `server_5xx`).
+    pub panics: u64,
+    /// Connections currently being handled (gauge, not a total).
+    pub inflight: u64,
 }
 
 impl Default for Metrics {
@@ -61,6 +94,11 @@ impl Metrics {
             ok_2xx: AtomicU64::new(0),
             client_4xx: AtomicU64::new(0),
             server_5xx: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            rate_limited: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
             latency: [(); BUCKETS].map(|()| AtomicU64::new(0)),
         }
     }
@@ -77,6 +115,39 @@ impl Metrics {
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
         let bucket = (63 - u64::leading_zeros(ns.max(1)) as usize).min(BUCKETS - 1);
         self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request shed at admission (a 503 + `Retry-After`).
+    pub fn record_shed(&self, elapsed: Duration) {
+        self.record(503, elapsed);
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a per-session flood rejection (a 429 + `Retry-After`).
+    pub fn record_rate_limited(&self, elapsed: Duration) {
+        self.record(429, elapsed);
+        self.rate_limited.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a blown request deadline (a 408, connection closed).
+    pub fn record_timeout(&self, elapsed: Duration) {
+        self.record(408, elapsed);
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a contained handler panic (a 500; the request itself is
+    /// recorded via [`Metrics::record`] like any other response).
+    pub fn note_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one connection entering service; the returned guard
+    /// decrements the gauge on drop (panic-safe: the worker's
+    /// `catch_unwind` runs destructors).
+    #[must_use]
+    pub fn inflight_guard(&self) -> InflightGuard<'_> {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+        InflightGuard { metrics: self }
     }
 
     /// The latency at quantile `q` (nearest-rank over the histogram,
@@ -121,7 +192,26 @@ impl Metrics {
             requests_per_sec,
             p50_latency_ns: self.latency_quantile_ns(0.50),
             p99_latency_ns: self.latency_quantile_ns(0.99),
+            latency_samples: self.latency.iter().map(|c| c.load(Ordering::Relaxed)).sum(),
+            shed: self.shed.load(Ordering::Relaxed),
+            rate_limited: self.rate_limited.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Decrements the in-flight gauge when the connection finishes (however
+/// it finishes).
+#[derive(Debug)]
+pub struct InflightGuard<'a> {
+    metrics: &'a Metrics,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.metrics.inflight.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -173,5 +263,49 @@ mod tests {
     #[test]
     fn empty_histogram_reports_zero() {
         assert_eq!(Metrics::new().latency_quantile_ns(0.99), 0);
+    }
+
+    #[test]
+    fn overload_paths_attribute_without_double_counting() {
+        let m = Metrics::new();
+        let t = Duration::from_nanos(500);
+        m.record(200, t);
+        m.record_shed(t);
+        m.record_rate_limited(t);
+        m.record_timeout(t);
+        m.record(500, t);
+        m.note_panic();
+        let snap = m.snapshot();
+        assert_eq!(snap.requests, 5);
+        assert_eq!(snap.ok_2xx, 1);
+        assert_eq!(snap.client_4xx, 2, "429 + 408");
+        assert_eq!(snap.server_5xx, 2, "503 + 500");
+        assert_eq!(
+            snap.requests,
+            snap.ok_2xx + snap.client_4xx + snap.server_5xx
+        );
+        assert_eq!(snap.latency_samples, snap.requests);
+        assert_eq!(
+            (snap.shed, snap.rate_limited, snap.timeouts, snap.panics),
+            (1, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn inflight_gauge_tracks_guards_even_across_panics() {
+        let m = Metrics::new();
+        assert_eq!(m.snapshot().inflight, 0);
+        {
+            let _a = m.inflight_guard();
+            let _b = m.inflight_guard();
+            assert_eq!(m.snapshot().inflight, 2);
+        }
+        assert_eq!(m.snapshot().inflight, 0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.inflight_guard();
+            panic!("unwind through the guard");
+        }));
+        assert!(caught.is_err());
+        assert_eq!(m.snapshot().inflight, 0, "guard drops during unwind");
     }
 }

@@ -16,26 +16,70 @@
 //! so one session's responses form a deterministic sequence no matter
 //! how many server workers run — the integration suite pins responses
 //! bitwise against direct engine evaluation at 1/2/N workers.
+//!
+//! # Overload control and failure containment
+//!
+//! The server is built to survive *mis*behaving traffic, not just
+//! well-formed load (`tests/serve_chaos.rs` pins all of this):
+//!
+//! * **Admission control** — the accept loop uses
+//!   [`WorkerPool::try_submit`]; when every worker is busy and the queue
+//!   is full, the connection is answered `503 Service Unavailable` with
+//!   a `Retry-After` hint directly on the accept thread and closed, so
+//!   tail latency stays bounded instead of queue depth growing without
+//!   limit. Shed connections are counted in `/metrics`.
+//! * **Per-session flood control** — more than
+//!   [`ServerConfig::max_pending_updates`] concurrent requests against
+//!   one session answer `429 Too Many Requests` + `Retry-After` instead
+//!   of piling onto the session's serialization lock.
+//! * **Deadlines** — reads carry the configured idle timeout; once a
+//!   request's first byte arrives, the whole request must parse within
+//!   [`ServerConfig::request_deadline`] or the connection is answered
+//!   `408 Request Timeout` and closed (slowloris protection). Writes
+//!   carry [`ServerConfig::write_timeout`], so a slow-reading client
+//!   cannot pin a worker forever.
+//! * **Panic containment** — every request handler runs under
+//!   `catch_unwind`; a panic maps to a typed `500` with the connection,
+//!   session table, and metrics left healthy. All shared locks are
+//!   acquired with poison recovery, so one bad request can never brick
+//!   the server.
+//! * **Fault injection** — [`ServerConfig::with_faults`] installs a
+//!   deterministic [`ServerFaults`] schedule (injected panics, engine
+//!   errors, stalls) so the chaos suite can reproduce failure storms
+//!   bit-for-bit.
 
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use ttsv_chip::ChipEngine;
-use ttsv_validate::pool::WorkerPool;
+use ttsv_validate::pool::{PoolMonitor, WorkerPool};
 
+use crate::faults::{FaultDirective, ServerFaults};
 use crate::http::{Method, Request, RequestParser, Response};
 use crate::lru::LruCache;
 use crate::metrics::Metrics;
 use crate::protocol::{self, SessionSpec};
 
+/// The `Retry-After` hint (seconds) on overload responses (503/429).
+pub const RETRY_AFTER_SECS: u64 = 1;
+
+/// Locks a mutex, recovering from poisoning. Handler panics are caught
+/// at the request boundary, but a panic *while holding* a lock still
+/// poisons it; every protected structure here (session table, session
+/// spec) is valid at every await-free interleaving, so recovery is
+/// sound — and the alternative is one bad request bricking every later
+/// `.lock().expect(…)` call.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Connection-handling workers (the accept loop blocks when all are
-    /// busy and the pool queue is full — bounded backpressure).
+    /// Connection-handling workers.
     pub workers: usize,
     /// Live-session quota; registering past it LRU-evicts.
     pub max_sessions: usize,
@@ -48,6 +92,21 @@ pub struct ServerConfig {
     /// Per-connection read timeout (an idle keep-alive connection is
     /// dropped after this, freeing its worker).
     pub read_timeout: Duration,
+    /// Per-write socket timeout: a client that stops reading its
+    /// response loses the connection instead of pinning a worker.
+    pub write_timeout: Duration,
+    /// Total time a request may take from first byte to fully parsed;
+    /// past it the connection is answered 408 and closed.
+    pub request_deadline: Duration,
+    /// Pending-connection queue bound; `None` keeps the pool default
+    /// (4 × workers). Connections past it are shed with 503.
+    pub queue_capacity: Option<usize>,
+    /// Concurrent requests allowed per session before 429 (flood
+    /// control on the per-session serialization lock).
+    pub max_pending_updates: usize,
+    /// Deterministic fault schedule for chaos testing (`None` in
+    /// production: one `Option` check per request).
+    pub faults: Option<Arc<ServerFaults>>,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +118,11 @@ impl Default for ServerConfig {
             scenario_cache_cap: 1 << 16,
             matrix_cache_cap: 1 << 10,
             read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            request_deadline: Duration::from_secs(60),
+            queue_capacity: None,
+            max_pending_updates: 8,
+            faults: None,
         }
     }
 }
@@ -99,11 +163,84 @@ impl ServerConfig {
         self.max_tiles = max_tiles;
         self
     }
+
+    /// Overrides the idle read timeout.
+    #[must_use]
+    pub fn with_read_timeout(mut self, read_timeout: Duration) -> Self {
+        self.read_timeout = read_timeout;
+        self
+    }
+
+    /// Overrides the per-write socket timeout.
+    #[must_use]
+    pub fn with_write_timeout(mut self, write_timeout: Duration) -> Self {
+        self.write_timeout = write_timeout;
+        self
+    }
+
+    /// Overrides the first-byte-to-parsed request deadline.
+    #[must_use]
+    pub fn with_request_deadline(mut self, deadline: Duration) -> Self {
+        self.request_deadline = deadline;
+        self
+    }
+
+    /// Overrides the pending-connection queue bound (admission control
+    /// sheds with 503 past it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "the connection queue needs capacity");
+        self.queue_capacity = Some(capacity);
+        self
+    }
+
+    /// Overrides the per-session concurrent-request cap (429 past it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn with_max_pending_updates(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "need room for at least one pending update");
+        self.max_pending_updates = cap;
+        self
+    }
+
+    /// Installs a deterministic fault-injection schedule (chaos tests).
+    #[must_use]
+    pub fn with_faults(mut self, faults: Arc<ServerFaults>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
 }
 
-/// One registered session: the mutable floorplan plus its model.
+/// The connection-level timeout bundle `handle_connection` needs.
+#[derive(Debug, Clone, Copy)]
+struct ConnDeadlines {
+    read_timeout: Duration,
+    write_timeout: Duration,
+    request_deadline: Duration,
+}
+
+/// One registered session: the mutable floorplan plus its model, and
+/// the flood-control gauge counting requests currently targeting it.
 struct Session {
     spec: Mutex<SessionSpec>,
+    pending: AtomicUsize,
+}
+
+/// Decrements a session's pending-request gauge on drop — panic-safe,
+/// so a contained handler panic can never leak a flood-control slot.
+struct PendingGuard<'a>(&'a AtomicUsize);
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// State shared by every connection worker.
@@ -113,10 +250,30 @@ struct ServerState {
     next_id: AtomicU64,
     metrics: Metrics,
     max_tiles: usize,
+    max_pending_updates: usize,
+    pool_monitor: PoolMonitor,
+    faults: Option<Arc<ServerFaults>>,
 }
 
 impl ServerState {
-    fn evaluate(&self, spec: &SessionSpec) -> Result<String, Response> {
+    fn evaluate(&self, spec: &SessionSpec, directive: FaultDirective) -> Result<String, Response> {
+        if let Some(delay) = directive.engine_delay {
+            std::thread::sleep(delay);
+        }
+        // The injected panic fires *here*, mid-evaluation — for a power
+        // update that means while the per-session lock is held, so the
+        // chaos suite proves poison recovery and not just the
+        // `catch_unwind` boundary.
+        assert!(
+            !directive.panic,
+            "injected fault: handler panic mid-evaluation"
+        );
+        if directive.engine_error {
+            return Err(Response::error(
+                500,
+                "evaluation failed: injected engine fault",
+            ));
+        }
         self.engine
             .evaluate_factored(&spec.plan, &spec.model)
             .map(|report| report.to_json())
@@ -124,20 +281,15 @@ impl ServerState {
     }
 
     fn session(&self, id: u64) -> Result<Arc<Session>, Response> {
-        self.sessions
-            .lock()
-            .expect("session table lock")
-            .get(&id)
-            .cloned()
-            .ok_or_else(|| {
-                Response::error(
-                    404,
-                    &format!("no session {id} (expired or never registered)"),
-                )
-            })
+        lock(&self.sessions).get(&id).cloned().ok_or_else(|| {
+            Response::error(
+                404,
+                &format!("no session {id} (expired or never registered)"),
+            )
+        })
     }
 
-    fn register(&self, body: &[u8]) -> Response {
+    fn register(&self, body: &[u8], directive: FaultDirective) -> Response {
         let spec = match protocol::parse_register(body) {
             Ok(spec) => spec,
             Err(e) => return Response::error(400, &e.0),
@@ -154,30 +306,42 @@ impl ServerState {
         }
         // Evaluate before publishing: a session is never visible in a
         // half-registered state, and the cold-session cost is all here.
-        let report = match self.evaluate(&spec) {
+        let report = match self.evaluate(&spec, directive) {
             Ok(json) => json,
             Err(resp) => return resp,
         };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let session = Arc::new(Session {
             spec: Mutex::new(spec),
+            pending: AtomicUsize::new(0),
         });
-        self.sessions
-            .lock()
-            .expect("session table lock")
-            .insert(id, session);
+        lock(&self.sessions).insert(id, session);
         Response::json(201, format!("{{\"session\":{id},\"report\":{report}}}"))
     }
 
-    fn power_update(&self, id: u64, body: &[u8]) -> Response {
+    fn power_update(&self, id: u64, body: &[u8], directive: FaultDirective) -> Response {
         let session = match self.session(id) {
             Ok(s) => s,
             Err(resp) => return resp,
         };
+        // Flood control: past the cap, reject *before* queuing on the
+        // session lock — a client hammering one session gets bounded
+        // latency (429 + Retry-After) instead of unbounded lock queues.
+        let already_pending = session.pending.fetch_add(1, Ordering::SeqCst);
+        let _pending = PendingGuard(&session.pending);
+        if already_pending >= self.max_pending_updates {
+            return Response::overloaded(
+                429,
+                &format!(
+                    "session {id} already has {already_pending} requests in flight; retry shortly"
+                ),
+                RETRY_AFTER_SECS,
+            );
+        }
         // Per-session serialization: deltas from concurrent clients on
         // the same session apply in some total order, and each response
         // reflects exactly the plan it evaluated.
-        let mut spec = session.spec.lock().expect("session lock");
+        let mut spec = lock(&session.spec);
         let (plane, map) = match protocol::parse_power_update(body, &spec.plan) {
             Ok(update) => update,
             Err(e) => return Response::error(400, &e.0),
@@ -185,31 +349,26 @@ impl ServerState {
         if let Err(e) = spec.plan.update_power_map(plane, map) {
             return Response::error(400, &e.to_string());
         }
-        match self.evaluate(&spec) {
+        match self.evaluate(&spec, directive) {
             Ok(json) => Response::json(200, json),
             Err(resp) => resp,
         }
     }
 
-    fn read_session(&self, id: u64) -> Response {
+    fn read_session(&self, id: u64, directive: FaultDirective) -> Response {
         let session = match self.session(id) {
             Ok(s) => s,
             Err(resp) => return resp,
         };
-        let spec = session.spec.lock().expect("session lock");
-        match self.evaluate(&spec) {
+        let spec = lock(&session.spec);
+        match self.evaluate(&spec, directive) {
             Ok(json) => Response::json(200, json),
             Err(resp) => resp,
         }
     }
 
     fn delete_session(&self, id: u64) -> Response {
-        match self
-            .sessions
-            .lock()
-            .expect("session table lock")
-            .remove(&id)
-        {
+        match lock(&self.sessions).remove(&id) {
             Some(_) => Response::json(200, format!("{{\"deleted\":{id}}}")),
             None => Response::error(404, &format!("no session {id}")),
         }
@@ -218,7 +377,7 @@ impl ServerState {
     fn metrics_json(&self) -> String {
         let snap = self.metrics.snapshot();
         let (live, capacity, hits, misses, evictions) = {
-            let sessions = self.sessions.lock().expect("session table lock");
+            let sessions = lock(&self.sessions);
             (
                 sessions.len(),
                 sessions.capacity(),
@@ -230,7 +389,9 @@ impl ServerState {
         let (scenario_entries, matrix_entries) = self.engine.cache_entries();
         format!(
             "{{\"uptime_s\":{:.3},\"requests\":{},\"responses\":{{\"ok_2xx\":{},\"client_4xx\":{},\"server_5xx\":{}}},\
-             \"requests_per_sec\":{:.3},\"latency_ns\":{{\"p50\":{},\"p99\":{}}},\
+             \"requests_per_sec\":{:.3},\"latency_ns\":{{\"p50\":{},\"p99\":{},\"samples\":{}}},\
+             \"overload\":{{\"shed_503\":{},\"rate_limited_429\":{},\"timeouts_408\":{},\"panics\":{},\
+             \"inflight\":{},\"queue_depth\":{},\"busy_workers\":{}}},\
              \"sessions\":{{\"live\":{live},\"capacity\":{capacity},\"hits\":{hits},\"misses\":{misses},\"evictions\":{evictions}}},\
              \"engine\":{{\"solves\":{},\"factorizations\":{},\"scenario_hits\":{},\"scenario_misses\":{},\"evictions\":{},\
              \"scenario_entries\":{scenario_entries},\"matrix_entries\":{matrix_entries}}}}}",
@@ -242,6 +403,14 @@ impl ServerState {
             snap.requests_per_sec,
             snap.p50_latency_ns,
             snap.p99_latency_ns,
+            snap.latency_samples,
+            snap.shed,
+            snap.rate_limited,
+            snap.timeouts,
+            snap.panics,
+            snap.inflight,
+            self.pool_monitor.queue_depth(),
+            self.pool_monitor.in_flight(),
             self.engine.solves(),
             self.engine.factorizations(),
             self.engine.scenario_hits(),
@@ -250,12 +419,32 @@ impl ServerState {
         )
     }
 
-    fn route(&self, request: &Request) -> Response {
+    /// Routes one parsed request, with the panic boundary: an unwinding
+    /// handler (or an injected fault panic) becomes a typed 500 and the
+    /// connection, session table, and metrics stay healthy.
+    fn handle(&self, request: &Request) -> Response {
+        let directive = self
+            .faults
+            .as_ref()
+            .map_or_else(FaultDirective::default, |f| f.begin_request());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.route(request, directive)
+        }));
+        outcome.unwrap_or_else(|_| {
+            self.metrics.note_panic();
+            Response::error(
+                500,
+                "request handler panicked; the request was aborted and the server is healthy",
+            )
+        })
+    }
+
+    fn route(&self, request: &Request, directive: FaultDirective) -> Response {
         let path = request.target.split('?').next().unwrap_or("");
         match (request.method, path) {
             (Method::Get, "/metrics") => Response::json(200, self.metrics_json()),
             (Method::Get, "/healthz") => Response::json(200, "{\"ok\":true}".into()),
-            (Method::Post, "/sessions") => self.register(&request.body),
+            (Method::Post, "/sessions") => self.register(&request.body, directive),
             (method, path) if path.starts_with("/sessions/") => {
                 let rest = &path["/sessions/".len()..];
                 let (id_text, tail) = match rest.split_once('/') {
@@ -266,8 +455,10 @@ impl ServerState {
                     return Response::error(404, &format!("malformed session id {id_text:?}"));
                 };
                 match (method, tail) {
-                    (Method::Post, Some("power")) => self.power_update(id, &request.body),
-                    (Method::Get, None) => self.read_session(id),
+                    (Method::Post, Some("power")) => {
+                        self.power_update(id, &request.body, directive)
+                    }
+                    (Method::Get, None) => self.read_session(id, directive),
                     (Method::Delete, None) => self.delete_session(id),
                     (_, Some(other)) => {
                         Response::error(404, &format!("unknown session endpoint {other:?}"))
@@ -283,12 +474,31 @@ impl ServerState {
     }
 }
 
-/// Serves one accepted connection until it closes, errors, or idles out.
-fn handle_connection(stream: &mut TcpStream, state: &ServerState, read_timeout: Duration) {
-    let _ = stream.set_read_timeout(Some(read_timeout));
+/// Answers a blown request deadline: a counted `408`, connection closed.
+fn answer_timeout(stream: &mut TcpStream, state: &ServerState, started: Instant) {
+    state.metrics.record_timeout(started.elapsed());
+    let response = Response {
+        keep_alive: false,
+        ..Response::error(
+            408,
+            "request did not complete within the server's request deadline",
+        )
+    };
+    let _ = response.write_to(stream);
+}
+
+/// Serves one accepted connection until it closes, errors, idles out, or
+/// blows a deadline.
+fn handle_connection(stream: &mut TcpStream, state: &ServerState, deadlines: &ConnDeadlines) {
+    let _inflight = state.metrics.inflight_guard();
+    let _ = stream.set_read_timeout(Some(deadlines.read_timeout));
+    let _ = stream.set_write_timeout(Some(deadlines.write_timeout));
     let _ = stream.set_nodelay(true);
     let mut parser = RequestParser::new();
     let mut chunk = [0u8; 4096];
+    // First-byte instant of the request currently being parsed; while
+    // set, the whole request must finish within `request_deadline`.
+    let mut request_started: Option<Instant> = None;
     loop {
         // Drain every request already buffered (pipelining) before
         // touching the socket again.
@@ -296,13 +506,20 @@ fn handle_connection(stream: &mut TcpStream, state: &ServerState, read_timeout: 
             let started = Instant::now();
             match parser.next_request() {
                 Ok(Some(request)) => {
-                    let response = state.route(&request);
+                    request_started = None;
+                    let response = state.handle(&request);
                     let keep_alive = request.keep_alive && response.keep_alive;
                     let response = Response {
                         keep_alive,
                         ..response
                     };
-                    state.metrics.record(response.status, started.elapsed());
+                    // 429 only ever means per-session flood control, so
+                    // the attribution counter rides the status here.
+                    if response.status == 429 {
+                        state.metrics.record_rate_limited(started.elapsed());
+                    } else {
+                        state.metrics.record(response.status, started.elapsed());
+                    }
                     if response.write_to(stream).is_err() || !keep_alive {
                         return;
                     }
@@ -316,11 +533,62 @@ fn handle_connection(stream: &mut TcpStream, state: &ServerState, read_timeout: 
                 }
             }
         }
+        // A partially-buffered request head/body is the slowloris shape:
+        // cap the next read at whatever deadline budget remains.
+        let timeout = if parser.buffered() > 0 {
+            let started = *request_started.get_or_insert_with(Instant::now);
+            match deadlines.request_deadline.checked_sub(started.elapsed()) {
+                Some(remaining) if !remaining.is_zero() => remaining.min(deadlines.read_timeout),
+                _ => {
+                    answer_timeout(stream, state, started);
+                    return;
+                }
+            }
+        } else {
+            request_started = None;
+            deadlines.read_timeout
+        };
+        let _ = stream.set_read_timeout(Some(timeout));
         match stream.read(&mut chunk) {
-            Ok(0) | Err(_) => return,
+            Ok(0) => return,
             Ok(n) => parser.feed(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // A stall mid-request is a timeout worth a typed answer;
+                // a stall between requests is just an idle keep-alive
+                // connection being reclaimed.
+                if let Some(started) = request_started {
+                    answer_timeout(stream, state, started);
+                }
+                return;
+            }
+            Err(_) => return,
         }
     }
+}
+
+/// Load-sheds one connection the pool refused: a counted `503` +
+/// `Retry-After`, written on the accept thread with a short timeout so a
+/// slow client cannot stall admission.
+fn shed_connection(slot: &Mutex<Option<TcpStream>>, state: &ServerState, started: Instant) {
+    let Some(mut stream) = lock(slot).take() else {
+        return;
+    };
+    state.metrics.record_shed(started.elapsed());
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let response = Response {
+        keep_alive: false,
+        ..Response::overloaded(
+            503,
+            "server saturated: every worker is busy and the connection queue is full; retry shortly",
+            RETRY_AFTER_SECS,
+        )
+    };
+    let _ = response.write_to(&mut stream);
 }
 
 /// A running server: background accept loop + worker pool, shut down via
@@ -347,6 +615,14 @@ impl Server {
     pub fn start(addr: &str, config: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        // The pool is created out here so the shared state can hold its
+        // (weak) monitor; it still moves into the accept thread, which
+        // drop-joins it on shutdown so in-flight connections drain
+        // before `Server::shutdown` returns.
+        let pool = match config.queue_capacity {
+            Some(cap) => WorkerPool::with_queue_capacity(config.workers, cap),
+            None => WorkerPool::new(config.workers),
+        };
         let state = Arc::new(ServerState {
             engine: ChipEngine::new()
                 .with_workers(1)
@@ -356,25 +632,41 @@ impl Server {
             next_id: AtomicU64::new(1),
             metrics: Metrics::new(),
             max_tiles: config.max_tiles,
+            max_pending_updates: config.max_pending_updates,
+            pool_monitor: pool.monitor(),
+            faults: config.faults.clone(),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let accept_stop = Arc::clone(&stop);
-        let read_timeout = config.read_timeout;
-        let workers = config.workers;
+        let deadlines = ConnDeadlines {
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            request_deadline: config.request_deadline,
+        };
         let accept_handle = std::thread::Builder::new()
             .name("ttsv-serve-accept".into())
             .spawn(move || {
-                // The pool lives (and drop-joins) inside the accept
-                // thread: shutdown drains in-flight connections before
-                // `Server::shutdown` returns.
-                let pool = WorkerPool::new(workers);
                 for conn in listener.incoming() {
                     if accept_stop.load(Ordering::SeqCst) {
                         break;
                     }
-                    let Ok(mut stream) = conn else { continue };
-                    let state = Arc::clone(&state);
-                    pool.submit(move || handle_connection(&mut stream, &state, read_timeout));
+                    let Ok(stream) = conn else { continue };
+                    let started = Instant::now();
+                    // `try_submit` hands a rejected job back, but the
+                    // stream can't be unpacked from the closure — park
+                    // it in a shared slot so the shed path can recover
+                    // it and answer 503 on the accept thread.
+                    let slot = Arc::new(Mutex::new(Some(stream)));
+                    let job_slot = Arc::clone(&slot);
+                    let job_state = Arc::clone(&state);
+                    let admitted = pool.try_submit(move || {
+                        if let Some(mut stream) = lock(&job_slot).take() {
+                            handle_connection(&mut stream, &job_state, &deadlines);
+                        }
+                    });
+                    if admitted.is_err() {
+                        shed_connection(&slot, &state, started);
+                    }
                 }
             })?;
         Ok(Self {

@@ -21,11 +21,26 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
 use std::thread::JoinHandle;
 
 /// A job the persistent pool can run: owned, sendable work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Locks the pool state, recovering from poisoning: every mutation of
+/// `PoolState` is a handful of counter/queue updates that are valid at
+/// any interleaving, so a panic while holding the lock (only possible
+/// outside the catch_unwind-wrapped job body) never leaves the state
+/// half-written — discarding the poison flag is sound and keeps one bad
+/// thread from bricking the whole pool.
+fn lock_state(shared: &PoolShared) -> MutexGuard<'_, PoolState> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `Condvar::wait` with the same poison recovery as [`lock_state`].
+fn wait_on<'a>(cv: &Condvar, guard: MutexGuard<'a, PoolState>) -> MutexGuard<'a, PoolState> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
 
 /// What the queue holds between a submitter and the workers.
 struct PoolState {
@@ -121,9 +136,9 @@ impl WorkerPool {
     /// Panics if the pool is already shutting down (jobs submitted from a
     /// live pool handle never observe this).
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
-        let mut state = self.shared.state.lock().expect("pool state lock");
+        let mut state = lock_state(&self.shared);
         while state.queue.len() >= self.shared.capacity && !state.shutting_down {
-            state = self.shared.job_done.wait(state).expect("pool state lock");
+            state = wait_on(&self.shared.job_done, state);
         }
         assert!(!state.shutting_down, "submit on a shut-down pool");
         state.queue.push_back(Box::new(job));
@@ -131,12 +146,51 @@ impl WorkerPool {
         self.shared.job_ready.notify_one();
     }
 
+    /// Enqueues a job only if the queue has room, never blocking: the
+    /// admission-control path. A saturated (or shutting-down) pool hands
+    /// the job straight back so the caller can shed the work — e.g.
+    /// answer `503 Service Unavailable` — instead of queuing
+    /// unboundedly-latent requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job unchanged when the queue is at capacity or the
+    /// pool is shutting down.
+    pub fn try_submit<F>(&self, job: F) -> Result<(), F>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut state = lock_state(&self.shared);
+        if state.shutting_down || state.queue.len() >= self.shared.capacity {
+            return Err(job);
+        }
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.shared.job_ready.notify_one();
+        Ok(())
+    }
+
+    /// A detachable load gauge over this pool's queue: cheap to clone,
+    /// safe to hold after the pool is gone (reads then report empty).
+    #[must_use]
+    pub fn monitor(&self) -> PoolMonitor {
+        PoolMonitor {
+            shared: Arc::downgrade(&self.shared),
+        }
+    }
+
+    /// Pending-queue capacity (jobs, not workers).
+    #[must_use]
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
     /// Blocks until the queue is empty and no job is running — the pause
     /// point the serving tests use to observe a quiescent server.
     pub fn wait_idle(&self) {
-        let mut state = self.shared.state.lock().expect("pool state lock");
+        let mut state = lock_state(&self.shared);
         while !state.queue.is_empty() || state.in_flight > 0 {
-            state = self.shared.job_done.wait(state).expect("pool state lock");
+            state = wait_on(&self.shared.job_done, state);
         }
     }
 
@@ -195,10 +249,36 @@ impl WorkerPool {
     }
 }
 
+/// A weak handle onto a [`WorkerPool`]'s load state, for metrics
+/// endpoints: reports the queue depth and in-flight job count without
+/// keeping the pool alive (a dead pool reads as idle).
+#[derive(Debug, Clone)]
+pub struct PoolMonitor {
+    shared: Weak<PoolShared>,
+}
+
+impl PoolMonitor {
+    /// Jobs queued but not yet started.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .upgrade()
+            .map_or(0, |shared| lock_state(&shared).queue.len())
+    }
+
+    /// Jobs currently running on a worker.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.shared
+            .upgrade()
+            .map_or(0, |shared| lock_state(&shared).in_flight)
+    }
+}
+
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("pool state lock");
+            let mut state = lock_state(&self.shared);
             state.shutting_down = true;
         }
         self.shared.job_ready.notify_all();
@@ -214,7 +294,7 @@ impl Drop for WorkerPool {
 fn worker_loop(shared: &PoolShared) {
     loop {
         let job = {
-            let mut state = shared.state.lock().expect("pool state lock");
+            let mut state = lock_state(shared);
             loop {
                 if let Some(job) = state.queue.pop_front() {
                     state.in_flight += 1;
@@ -223,14 +303,14 @@ fn worker_loop(shared: &PoolShared) {
                 if state.shutting_down {
                     return;
                 }
-                state = shared.job_ready.wait(state).expect("pool state lock");
+                state = wait_on(&shared.job_ready, state);
             }
         };
         shared.job_done.notify_all();
         // A panicking job must not take the worker thread (or the pool's
         // `in_flight` accounting) down with it — the server keeps serving.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-        let mut state = shared.state.lock().expect("pool state lock");
+        let mut state = lock_state(shared);
         state.in_flight -= 1;
         drop(state);
         shared.job_done.notify_all();
@@ -404,6 +484,82 @@ mod tests {
         }
         pool.wait_idle();
         assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn try_submit_reports_saturation_instead_of_blocking() {
+        // One worker, queue of one. Park the worker on a gate, fill the
+        // queue: the next try_submit must bounce immediately with the job
+        // handed back, and after the gate opens the pool drains normally.
+        let pool = WorkerPool::with_queue_capacity(1, 1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let ran = Arc::new(AtomicU64::new(0));
+
+        let g = Arc::clone(&gate);
+        let r = Arc::clone(&ran);
+        pool.submit(move || {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        // Wait until the worker holds the gated job so the queue is free.
+        while pool.monitor().in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        let r = Arc::clone(&ran);
+        let admitted = pool.try_submit(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(admitted.is_ok(), "queue has room for one pending job");
+        let r = Arc::clone(&ran);
+        let rejected = pool.try_submit(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(rejected.is_err(), "a full queue must shed, not block");
+        assert_eq!(pool.monitor().queue_depth(), 1);
+
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        pool.wait_idle();
+        // The gated job + the one admitted try_submit ran; the shed job
+        // (returned to us and dropped) did not.
+        assert_eq!(ran.load(Ordering::Relaxed), 2);
+        assert_eq!(pool.monitor().queue_depth(), 0);
+        assert_eq!(pool.monitor().in_flight(), 0);
+    }
+
+    #[test]
+    fn monitor_outlives_the_pool_and_reads_idle() {
+        let monitor = {
+            let pool = WorkerPool::new(1);
+            pool.submit(|| {});
+            pool.wait_idle();
+            pool.monitor()
+        };
+        assert_eq!(monitor.queue_depth(), 0);
+        assert_eq!(monitor.in_flight(), 0);
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_poison_the_pool() {
+        // Two panics in a row, then real work: the pool's mutex and
+        // accounting must survive (poison-recovering lock acquisition).
+        let pool = WorkerPool::new(1);
+        for _ in 0..2 {
+            pool.submit(|| panic!("injected job panic"));
+        }
+        pool.wait_idle();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        pool.submit(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.wait_idle();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
     }
 
     #[test]

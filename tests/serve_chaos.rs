@@ -1,0 +1,515 @@
+//! Chaos suite for `ttsv-serve`: seeded fault storms, overload control,
+//! and the accounting invariants that must survive them.
+//!
+//! Everything here is deterministic — fault schedules come from
+//! [`ServerFaults`] plans and seeded [`FaultConfig`] streams, so a
+//! failure reproduces bit-for-bit. The pinned invariants:
+//!
+//! * **Bitwise transparency** — a *lossless* client-side fault storm
+//!   (short reads/writes, delays; never a lost byte) changes nothing:
+//!   every response is byte-identical to direct engine evaluation, and
+//!   `/metrics` totals reconcile exactly with the requests issued.
+//! * **Panic containment** — an injected handler panic (fired while the
+//!   per-session lock is held, so the lock is genuinely poisoned)
+//!   answers a typed 500, and every later request on every session is
+//!   byte-identical to a fault-free run.
+//! * **Overload control** — a saturated pool sheds new connections with
+//!   `503` + `Retry-After` promptly; one session flooded past its
+//!   pending cap answers `429` + `Retry-After`; a slowloris half-request
+//!   is answered `408` at the deadline. All three are counted.
+//! * **Survival** — a *lossy* storm (hard connection errors + injected
+//!   server panics and engine faults) never takes the server down,
+//!   `/metrics` stays internally consistent, and shutdown mid-storm
+//!   drains cleanly.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use ttsv::serve::client::{trace_power_body, trace_register_body, Client};
+use ttsv::serve::faults::{FaultConfig, ServerFaults};
+use ttsv::serve::metrics::Metrics;
+use ttsv::serve::server::{Server, ServerConfig, RETRY_AFTER_SECS};
+use ttsv_chip::ChipEngine;
+
+const GRID: usize = 4;
+const ROUNDS: usize = 5;
+
+/// Reads `/metrics` through a clean client and parses it.
+fn fetch_metrics(addr: &str) -> serde::json::Value {
+    let mut client = Client::connect(addr).expect("connect for metrics");
+    let (status, body) = client.request("GET", "/metrics", "").expect("metrics");
+    assert_eq!(status, 200, "{body}");
+    serde::json::from_str(&body).expect("metrics endpoint emits valid JSON")
+}
+
+fn field(doc: &serde::json::Value, block: &str, name: &str) -> usize {
+    doc.get(block)
+        .and_then(|b| b.get(name))
+        .and_then(serde::json::Value::as_usize)
+        .unwrap_or_else(|| panic!("metrics field {block}.{name} missing"))
+}
+
+/// Asserts the accounting invariant on a quiescent server: answered
+/// requests equal the status-class sum and the histogram sample count,
+/// and each overload attribution is bounded by its status class.
+fn assert_metrics_reconcile(doc: &serde::json::Value) {
+    let requests = doc
+        .get("requests")
+        .and_then(serde::json::Value::as_usize)
+        .expect("requests field");
+    let classes = field(doc, "responses", "ok_2xx")
+        + field(doc, "responses", "client_4xx")
+        + field(doc, "responses", "server_5xx");
+    assert_eq!(requests, classes, "status classes must sum to requests");
+    assert_eq!(
+        requests,
+        field(doc, "latency_ns", "samples"),
+        "every answered request lands exactly one histogram sample"
+    );
+    assert!(field(doc, "overload", "shed_503") <= field(doc, "responses", "server_5xx"));
+    assert!(field(doc, "overload", "panics") <= field(doc, "responses", "server_5xx"));
+    assert!(field(doc, "overload", "rate_limited_429") <= field(doc, "responses", "client_4xx"));
+    assert!(field(doc, "overload", "timeouts_408") <= field(doc, "responses", "client_4xx"));
+}
+
+/// One session replayed through a (possibly fault-wrapped) client:
+/// the register report plus one report per power round, as raw bodies.
+/// Every status must be clean — lossless faults may not change behavior.
+fn drive_session(addr: &str, session: usize, chaos_seed: Option<u64>) -> Vec<String> {
+    let mut client = match chaos_seed {
+        Some(seed) => Client::connect_with_faults(addr, FaultConfig::lossless(), seed)
+            .expect("connect with faults"),
+        None => Client::connect(addr).expect("connect"),
+    };
+    let (status, body) = client
+        .request("POST", "/sessions", &trace_register_body(GRID, session))
+        .expect("register");
+    assert_eq!(status, 201, "{body}");
+    let (id_part, report) = body
+        .split_once(",\"report\":")
+        .expect("register response envelope");
+    let id: u64 = id_part
+        .strip_prefix("{\"session\":")
+        .expect("session id field")
+        .parse()
+        .expect("numeric session id");
+    let mut reports = vec![report
+        .strip_suffix('}')
+        .expect("envelope close")
+        .to_string()];
+    for round in 0..ROUNDS {
+        let (status, body) = client
+            .request(
+                "POST",
+                &format!("/sessions/{id}/power"),
+                &trace_power_body(GRID, session, round),
+            )
+            .expect("power update");
+        assert_eq!(status, 200, "{body}");
+        reports.push(body);
+    }
+    reports
+}
+
+/// Ground truth: the same session replayed directly against a fresh
+/// single-worker engine, no sockets involved.
+fn direct_session(session: usize) -> Vec<String> {
+    let engine = ChipEngine::new().with_workers(1);
+    let mut spec =
+        ttsv::serve::protocol::parse_register(trace_register_body(GRID, session).as_bytes())
+            .expect("register");
+    let mut reports = vec![engine
+        .evaluate_factored(&spec.plan, &spec.model)
+        .expect("solvable")
+        .to_json()];
+    for round in 0..ROUNDS {
+        let (plane, map) = ttsv::serve::protocol::parse_power_update(
+            trace_power_body(GRID, session, round).as_bytes(),
+            &spec.plan,
+        )
+        .expect("power update");
+        spec.plan.update_power_map(plane, map).expect("same grid");
+        reports.push(
+            engine
+                .evaluate_factored(&spec.plan, &spec.model)
+                .expect("solvable")
+                .to_json(),
+        );
+    }
+    reports
+}
+
+/// Lossless transport storm: short reads, short writes, and delays on
+/// every client — yet each response is byte-identical to direct engine
+/// evaluation, and the server's totals reconcile exactly with the
+/// requests issued.
+#[test]
+fn lossless_fault_storm_is_bitwise_transparent_and_metrics_reconcile() {
+    const CLIENTS: usize = 3;
+    let expected: Vec<Vec<String>> = (0..CLIENTS).map(direct_session).collect();
+    let server = Server::start("127.0.0.1:0", ServerConfig::default().with_workers(CLIENTS))
+        .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|s| {
+            let addr = addr.clone();
+            std::thread::spawn(move || drive_session(&addr, s, Some(0xC4A05 + s as u64)))
+        })
+        .collect();
+    for (s, handle) in handles.into_iter().enumerate() {
+        let got = handle.join().expect("chaos client thread");
+        assert_eq!(
+            got, expected[s],
+            "session {s} responses diverged under a lossless fault storm"
+        );
+    }
+    let doc = fetch_metrics(&addr);
+    let issued = CLIENTS * (1 + ROUNDS);
+    assert_eq!(
+        doc.get("requests").and_then(serde::json::Value::as_usize),
+        Some(issued),
+        "every issued request must be answered and counted exactly once"
+    );
+    assert_eq!(field(&doc, "responses", "ok_2xx"), issued);
+    assert_metrics_reconcile(&doc);
+    server.shutdown();
+}
+
+/// One injected panic fires mid-evaluation of a power update — while the
+/// per-session lock is held, so the lock is genuinely poisoned. The
+/// request answers a typed 500, and every later request (same session
+/// and a brand-new one) is byte-identical to a fault-free run.
+#[test]
+fn injected_panic_answers_500_then_serves_bitwise_correct_reports() {
+    // Ordinal 1 is the registration; ordinal 2 (the round-0 power
+    // update) panics after its delta was applied but before evaluation.
+    let faults = Arc::new(ServerFaults::new().panic_on(2));
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig::default()
+            .with_workers(2)
+            .with_faults(Arc::clone(&faults)),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+    let expected = direct_session(0);
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let (status, body) = client
+        .request("POST", "/sessions", &trace_register_body(GRID, 0))
+        .expect("register");
+    assert_eq!(status, 201, "{body}");
+    let (status, body) = client
+        .request("POST", "/sessions/1/power", &trace_power_body(GRID, 0, 0))
+        .expect("power update survives the contained panic");
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("panicked"), "typed panic response: {body}");
+
+    // The panicked update's delta *was* applied before the panic, so
+    // replaying round 0 re-applies the identical absolute watt values —
+    // every report from here on must match the fault-free ground truth.
+    for round in 0..ROUNDS {
+        let (status, body) = client
+            .request(
+                "POST",
+                "/sessions/1/power",
+                &trace_power_body(GRID, 0, round),
+            )
+            .expect("post-panic power update");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(
+            body,
+            expected[round + 1],
+            "round {round} diverged after the contained panic"
+        );
+    }
+    // The poisoned session still reads, and new sessions still register.
+    let (status, body) = client.request("GET", "/sessions/1", "").expect("read");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, expected[ROUNDS]);
+    let got = drive_session(&addr, 1, None);
+    assert_eq!(got, direct_session(1), "new session after the panic");
+
+    let doc = fetch_metrics(&addr);
+    assert_eq!(field(&doc, "overload", "panics"), 1);
+    assert_metrics_reconcile(&doc);
+    server.shutdown();
+}
+
+/// With one worker and a one-slot queue, the first connection pins the
+/// worker, the second fills the queue, and the third is shed promptly
+/// with `503` + `Retry-After` — written on the accept thread before a
+/// single request byte is read.
+#[test]
+fn saturated_pool_sheds_with_503_and_retry_after() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(1)
+            .with_read_timeout(Duration::from_millis(300)),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+
+    // Pin the worker: a full round-trip proves the job left the queue,
+    // and the open keep-alive connection holds the worker after it.
+    let mut pinned = Client::connect(&addr).expect("connect");
+    let (status, _) = pinned
+        .request("POST", "/sessions", &trace_register_body(GRID, 0))
+        .expect("register");
+    assert_eq!(status, 201);
+
+    // Fill the one queue slot with a connection that just sits there.
+    let queued = TcpStream::connect(&addr).expect("queued connection");
+    std::thread::sleep(Duration::from_millis(150));
+
+    // The next connection must be shed, promptly.
+    let started = Instant::now();
+    let mut shed = TcpStream::connect(&addr).expect("shed connection");
+    shed.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    let mut response = String::new();
+    shed.read_to_string(&mut response)
+        .expect("read the 503 to EOF");
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "shedding must be prompt, took {:?}",
+        started.elapsed()
+    );
+    assert!(
+        response.starts_with("HTTP/1.1 503 "),
+        "expected a 503, got {response:?}"
+    );
+    assert!(
+        response.contains(&format!("retry-after: {RETRY_AFTER_SECS}\r\n")),
+        "503 must carry Retry-After: {response:?}"
+    );
+    assert!(response.contains("saturated"), "{response:?}");
+
+    // Free the worker and confirm the shed was counted.
+    drop(pinned);
+    drop(queued);
+    std::thread::sleep(Duration::from_millis(100));
+    let doc = fetch_metrics(&addr);
+    assert_eq!(field(&doc, "overload", "shed_503"), 1);
+    assert_metrics_reconcile(&doc);
+    server.shutdown();
+}
+
+/// Flooding one session past its pending cap answers `429` +
+/// `Retry-After` instead of queueing on the session lock; the stalled
+/// in-flight update still completes with 200.
+#[test]
+fn per_session_flood_answers_429_with_retry_after() {
+    // Ordinal 1 registers; ordinal 2 (the first power update) stalls
+    // inside evaluation, holding the session busy deterministically.
+    let faults = Arc::new(ServerFaults::new().engine_delay_on(2, Duration::from_millis(600)));
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig::default()
+            .with_workers(4)
+            .with_max_pending_updates(1)
+            .with_faults(faults),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let (status, _) = client
+        .request("POST", "/sessions", &trace_register_body(GRID, 0))
+        .expect("register");
+    assert_eq!(status, 201);
+
+    let slow_addr = addr.clone();
+    let slow = std::thread::spawn(move || {
+        let mut client = Client::connect(&slow_addr).expect("connect slow");
+        client
+            .request("POST", "/sessions/1/power", &trace_power_body(GRID, 0, 0))
+            .expect("stalled update")
+    });
+    std::thread::sleep(Duration::from_millis(200));
+
+    // While the stalled update holds the session, a second one floods.
+    let (status, body) = client
+        .request("POST", "/sessions/1/power", &trace_power_body(GRID, 0, 1))
+        .expect("flooding update");
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("in flight"), "{body}");
+
+    let (status, body) = slow.join().expect("slow thread");
+    assert_eq!(status, 200, "stalled update still completes: {body}");
+
+    let doc = fetch_metrics(&addr);
+    assert_eq!(field(&doc, "overload", "rate_limited_429"), 1);
+    assert_metrics_reconcile(&doc);
+    server.shutdown();
+}
+
+/// A slowloris half-request — head bytes trickled in, then silence — is
+/// answered `408 Request Timeout` once the request deadline lapses, and
+/// the connection is closed.
+#[test]
+fn slowloris_half_request_answers_408_at_the_deadline() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig::default()
+            .with_workers(2)
+            .with_request_deadline(Duration::from_millis(250))
+            // The idle timeout is much longer: the *deadline* must fire.
+            .with_read_timeout(Duration::from_secs(30)),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .write_all(b"POST /sessions HTTP/1.1\r\ncontent-le")
+        .expect("send a partial head");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read the 408 to EOF");
+    assert!(
+        response.starts_with("HTTP/1.1 408 "),
+        "expected a 408, got {response:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "the deadline must fire promptly, took {:?}",
+        started.elapsed()
+    );
+
+    let doc = fetch_metrics(&addr);
+    assert_eq!(field(&doc, "overload", "timeouts_408"), 1);
+    assert_metrics_reconcile(&doc);
+    server.shutdown();
+}
+
+/// The full storm: lossy client transports (hard connection errors) plus
+/// injected server panics and engine faults. No panic escapes, whatever
+/// `/metrics` reports stays internally consistent, and shutting down in
+/// the middle of a second storm wave drains cleanly.
+#[test]
+fn lossy_storm_survives_and_shutdown_mid_storm_is_clean() {
+    const CLIENTS: usize = 4;
+    let faults = Arc::new(ServerFaults::storm(0xD1CE, 3, 3, 40));
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig::default()
+            .with_workers(CLIENTS)
+            .with_read_timeout(Duration::from_millis(250))
+            .with_faults(faults),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+
+    // A storm client tolerates transport errors and injected 500s; it
+    // only fails the test if the *test harness itself* breaks.
+    let storm_client = |addr: String, seed: u64, session: usize| {
+        move || {
+            let Ok(mut client) = Client::connect_with_faults(&addr, FaultConfig::lossy(), seed)
+            else {
+                return;
+            };
+            let Ok((status, body)) =
+                client.request("POST", "/sessions", &trace_register_body(GRID, session))
+            else {
+                return;
+            };
+            if status != 201 {
+                return;
+            }
+            let Some(id) = body.split_once("\"session\":").and_then(|(_, rest)| {
+                rest.split(|c: char| !c.is_ascii_digit())
+                    .next()?
+                    .parse::<u64>()
+                    .ok()
+            }) else {
+                return;
+            };
+            for round in 0..ROUNDS {
+                if client
+                    .request(
+                        "POST",
+                        &format!("/sessions/{id}/power"),
+                        &trace_power_body(GRID, session, round),
+                    )
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    };
+
+    // Wave one: run to completion, then reconcile on a quiet server.
+    let wave: Vec<_> = (0..CLIENTS)
+        .map(|s| std::thread::spawn(storm_client(addr.clone(), 0xBEEF + s as u64, s)))
+        .collect();
+    for handle in wave {
+        handle.join().expect("storm client must not panic");
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    assert_metrics_reconcile(&fetch_metrics(&addr));
+
+    // Wave two: shut down while clients are mid-flight. `shutdown`
+    // drains in-flight connections, so returning at all (the join below)
+    // is the invariant; the clients just see errors.
+    let wave: Vec<_> = (0..CLIENTS)
+        .map(|s| std::thread::spawn(storm_client(addr.clone(), 0xF00D + s as u64, s)))
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+    server.shutdown();
+    for handle in wave {
+        handle
+            .join()
+            .expect("mid-shutdown storm client must not panic");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // Every terminal path — plain responses, shed 503s, flood 429s,
+    // deadline 408s, contained-panic 500s — increments `requests`,
+    // exactly one status-class counter, and exactly one histogram
+    // sample; attributions never exceed their class.
+    #[test]
+    fn every_terminal_path_keeps_the_accounting_invariant(
+        ops in prop::collection::vec((0usize..7, 1u64..2_000_000), 1..200),
+    ) {
+        let m = Metrics::new();
+        let (mut ok, mut c4, mut s5) = (0u64, 0u64, 0u64);
+        for &(op, ns) in &ops {
+            let t = Duration::from_nanos(ns);
+            match op {
+                0 => { m.record(200, t); ok += 1; }
+                1 => { m.record(404, t); c4 += 1; }
+                2 => { m.record(500, t); s5 += 1; }
+                3 => { m.record_shed(t); s5 += 1; }
+                4 => { m.record_rate_limited(t); c4 += 1; }
+                5 => { m.record_timeout(t); c4 += 1; }
+                // A contained panic: the 500 is recorded like any other
+                // response, the panic counter is a pure attribution.
+                _ => { m.note_panic(); m.record(500, t); s5 += 1; }
+            }
+        }
+        let snap = m.snapshot();
+        prop_assert_eq!(snap.requests, ok + c4 + s5);
+        prop_assert_eq!(snap.ok_2xx, ok);
+        prop_assert_eq!(snap.client_4xx, c4);
+        prop_assert_eq!(snap.server_5xx, s5);
+        prop_assert_eq!(snap.latency_samples, snap.requests);
+        prop_assert!(snap.shed + snap.panics <= snap.server_5xx);
+        prop_assert!(snap.rate_limited + snap.timeouts <= snap.client_4xx);
+        prop_assert_eq!(snap.inflight, 0);
+    }
+}
