@@ -4,7 +4,7 @@
 //!
 //! Usage:
 //! `cargo run --release -p ttsv-bench --bin bench_json [-- PATH [--check COMMITTED]]`
-//! (default output: `BENCH_6.json` in the current directory). With
+//! (default output: `BENCH_8.json` in the current directory). With
 //! `--check COMMITTED`, the freshly measured medians are compared against
 //! the committed recording and the process exits nonzero if any shared
 //! row regressed more than 1.5× — the CI regression guard. See the
@@ -28,32 +28,38 @@ const TARGET_SAMPLES: usize = 15;
 const CHECK_HEADROOM_NUM: u128 = 3;
 const CHECK_HEADROOM_DEN: u128 = 2;
 
-/// PR-5 numbers for the carried-over workloads (the medians recorded in
-/// the committed `BENCH_5.json`) — the baseline the PR-6 acceptance
-/// criteria compare against. The `serve/*` rows are new in PR 6 and have
-/// no earlier baseline.
-const BASELINE_PR5_NS: &[(&str, u128)] = &[
-    ("fig4_radius_sweep/fem_coarse", 644_034),
-    ("fig4_radius_sweep/model_b_100", 62_202),
-    ("table1_segments/B(500)", 52_421),
-    ("table1_segments/B(1000)", 145_756),
-    ("table1_segments/banded_lu/1000", 280_202),
-    ("ablation_fem_precond/ssor/coarse", 1_660_188),
-    ("ablation_fem_precond/multigrid/coarse", 879_990),
-    ("ablation_fem_precond/multigrid_cheby/coarse", 967_420),
-    ("ablation_fem_precond/direct_banded/coarse", 98_128),
-    ("mg_hierarchy/build/box32k", 6_299_240),
-    ("mg_hierarchy/refresh/box32k", 1_413_997),
-    ("mg_hierarchy/refresh_flat/box32k", 5_972_711),
-    ("mg_vcycle/jacobi/box32k", 856_336),
-    ("mg_vcycle/chebyshev3/box32k", 2_365_282),
-    ("fem_mg_sweep/rebuild", 95_163_276),
-    ("fem_mg_sweep/reuse", 71_978_988),
-    ("floorplan_chip/hotspot32/model_b100", 113_075),
-    ("floorplan_chip/hotspot32/model_b100/no_dedup", 11_947_116),
-    ("floorplan_chip/gradient32/model_b100", 12_102_614),
-    ("floorplan_chip/gradient32/factor_shared", 2_337_975),
-    ("sweep_runner/fig4_quick", 851_019),
+/// PR-6 numbers for the carried-over workloads (the medians recorded in
+/// the committed `BENCH_6.json`) — the baseline the PR-8 acceptance
+/// criteria compare against. The `serve/*` rows recorded here were
+/// measured on the blocking connection-per-worker server, so they price
+/// exactly what the multiplexed rewrite must not regress;
+/// `serve/warm_delta_response` and `serve/sustained_fanout` are new in
+/// PR 8 and have no earlier baseline.
+const BASELINE_PR6_NS: &[(&str, u128)] = &[
+    ("fig4_radius_sweep/fem_coarse", 657_823),
+    ("fig4_radius_sweep/model_b_100", 70_175),
+    ("table1_segments/B(500)", 61_045),
+    ("table1_segments/B(1000)", 165_127),
+    ("table1_segments/banded_lu/1000", 309_777),
+    ("ablation_fem_precond/ssor/coarse", 1_684_105),
+    ("ablation_fem_precond/multigrid/coarse", 844_184),
+    ("ablation_fem_precond/multigrid_cheby/coarse", 948_486),
+    ("ablation_fem_precond/direct_banded/coarse", 110_369),
+    ("mg_hierarchy/build/box32k", 5_978_258),
+    ("mg_hierarchy/refresh/box32k", 1_328_409),
+    ("mg_hierarchy/refresh_flat/box32k", 6_052_764),
+    ("mg_vcycle/jacobi/box32k", 806_524),
+    ("mg_vcycle/chebyshev3/box32k", 2_133_156),
+    ("fem_mg_sweep/rebuild", 86_940_380),
+    ("fem_mg_sweep/reuse", 67_274_865),
+    ("floorplan_chip/hotspot32/model_b100", 115_113),
+    ("floorplan_chip/hotspot32/model_b100/no_dedup", 14_202_668),
+    ("floorplan_chip/gradient32/model_b100", 14_300_479),
+    ("floorplan_chip/gradient32/factor_shared", 2_418_502),
+    ("sweep_runner/fig4_quick", 900_811),
+    ("serve/cold_session", 3_883_437),
+    ("serve/warm_delta", 261_931),
+    ("serve/sustained_32req", 7_380_242),
 ];
 
 struct Sampler {
@@ -80,7 +86,7 @@ impl Sampler {
     }
 
     fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": \"ttsv-bench-json/1\",\n  \"pr\": 6,\n");
+        let mut out = String::from("{\n  \"schema\": \"ttsv-bench-json/1\",\n  \"pr\": 8,\n");
         out.push_str(
             "  \"generated_by\": \"cargo run --release -p ttsv-bench --bin bench_json\",\n",
         );
@@ -91,9 +97,9 @@ impl Sampler {
                 "    \"{name}\": {{\"median_ns\": {median}, \"samples\": {samples}}}{comma}\n"
             ));
         }
-        out.push_str("  },\n  \"baseline_pr5_ns\": {\n");
-        for (i, (name, ns)) in BASELINE_PR5_NS.iter().enumerate() {
-            let comma = if i + 1 < BASELINE_PR5_NS.len() {
+        out.push_str("  },\n  \"baseline_pr6_ns\": {\n");
+        for (i, (name, ns)) in BASELINE_PR6_NS.iter().enumerate() {
+            let comma = if i + 1 < BASELINE_PR6_NS.len() {
                 ","
             } else {
                 ""
@@ -161,7 +167,7 @@ fn main() {
         .enumerate()
         .find(|&(i, a)| !a.starts_with("--") && Some(i) != check_pos.map(|c| c + 1))
         .map(|(_, a)| a.clone())
-        .unwrap_or_else(|| "BENCH_6.json".into());
+        .unwrap_or_else(|| "BENCH_8.json".into());
     if check_against.as_deref() == Some(path.as_str()) {
         eprintln!("--check target and output path are the same file ({path}) — refusing");
         std::process::exit(2);
@@ -321,13 +327,20 @@ fn main() {
     // density, so both engine cache tiers miss (fresh ladder
     // factorization plus per-tile solves); `warm_delta` patches two
     // tiles of a live session whose power levels cycle through the
-    // scenario cache; `sustained_32req` prices a 32-request warm burst
-    // (requests/sec ≈ 32e9 / median_ns).
+    // scenario cache, answered with the full report (`?full=1`, the
+    // PR-6 wire format, so the row stays comparable to its baseline);
+    // `warm_delta_response` is the same update answered with the
+    // default delta response (changed tiles + summary stats only);
+    // `sustained_32req` prices a 32-request warm burst on one
+    // connection (requests/sec ≈ 32e9 / median_ns); `sustained_fanout`
+    // prices the same 32 updates arriving concurrently on 32 keep-alive
+    // connections through the multiplexed event loops.
     {
         use ttsv::serve::client::{trace_power_body, Client};
         use ttsv::serve::protocol::render_register_body;
         use ttsv::serve::server::{Server, ServerConfig};
         const GRID: usize = 12;
+        const FANOUT: usize = 32;
         // A never-seen chip configuration per id: per-session power scale
         // and via density (both cache tiers miss), solved with the
         // paper's deep B(1000) model — the same model warm deltas then
@@ -347,8 +360,12 @@ fn main() {
             let body = render_register_body(GRID, GRID, &planes, density);
             format!("{},\"segments\":[10,1000]}}", &body[..body.len() - 1])
         };
-        let server = Server::start("127.0.0.1:0", ServerConfig::default().with_workers(2))
-            .expect("bind ephemeral port");
+        let config = ServerConfig::default()
+            .with_workers(2)
+            .with_max_sessions(128)
+            .with_max_connections(2 * FANOUT)
+            .with_queue_capacity(2 * FANOUT);
+        let server = Server::start("127.0.0.1:0", config).expect("bind ephemeral port");
         let addr = server.addr().to_string();
         let mut client = Client::connect(&addr).expect("connect");
         let mut session = 0usize;
@@ -370,22 +387,75 @@ fn main() {
             .and_then(|id| id.parse().ok())
             .expect("session id in register response");
         let warm_session = session + 1;
-        let path = format!("/sessions/{warm_id}/power");
+        // `?full=1` keeps warm_delta and sustained_32req on the PR-6
+        // wire format (full report per update) so their baselines still
+        // price the same bytes; warm_delta_response drops the query to
+        // measure the default delta response on the identical update.
+        let full_path = format!("/sessions/{warm_id}/power?full=1");
+        let delta_path = format!("/sessions/{warm_id}/power");
         let mut round = 0usize;
-        let mut warm_post = |client: &mut Client| {
+        let mut warm_post = |client: &mut Client, path: &str| {
             round += 1;
             let (status, body) = client
-                .request("POST", &path, &trace_power_body(GRID, warm_session, round))
+                .request("POST", path, &trace_power_body(GRID, warm_session, round))
                 .expect("power update");
             assert_eq!(status, 200, "{body}");
             body
         };
-        sampler.bench("serve/warm_delta", || warm_post(&mut client));
+        sampler.bench("serve/warm_delta", || warm_post(&mut client, &full_path));
+        sampler.bench("serve/warm_delta_response", || {
+            warm_post(&mut client, &delta_path)
+        });
         sampler.bench("serve/sustained_32req", || {
             for _ in 0..31 {
-                warm_post(&mut client);
+                warm_post(&mut client, &full_path);
             }
-            warm_post(&mut client)
+            warm_post(&mut client, &full_path)
+        });
+        // 32 live sessions on 32 keep-alive connections; each sample
+        // fires one delta per connection concurrently, so the row prices
+        // the event loops' ability to overlap requests, not one socket's
+        // round-trip pipeline.
+        let mut fan: Vec<(u64, Client)> = (0..FANOUT)
+            .map(|i| {
+                let mut c = Client::connect(&addr).expect("connect fanout client");
+                let (status, body) = c
+                    .request("POST", "/sessions", &register_body(1000 + i))
+                    .expect("register fanout session");
+                assert_eq!(status, 201, "{body}");
+                let id: u64 = body
+                    .strip_prefix("{\"session\":")
+                    .and_then(|rest| rest.split(',').next())
+                    .and_then(|id| id.parse().ok())
+                    .expect("session id in register response");
+                (id, c)
+            })
+            .collect();
+        let mut fan_round = 0usize;
+        sampler.bench("serve/sustained_fanout", || {
+            fan_round += 1;
+            let round = fan_round;
+            let mut last = String::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = fan
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, (id, client))| {
+                        scope.spawn(move || {
+                            let path = format!("/sessions/{id}/power");
+                            let body = trace_power_body(GRID, 1000 + i, round);
+                            let (status, body) =
+                                client.request("POST", &path, &body).expect("fanout update");
+                            assert_eq!(status, 200, "{body}");
+                            body
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    last = handle.join().expect("fanout thread");
+                }
+            });
+            last
         });
         server.shutdown();
     }

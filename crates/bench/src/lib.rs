@@ -37,18 +37,20 @@
 //! smoothed-aggregation preset, the bounded sweep runner, the 32×32
 //! floorplan-engine evaluations including the factor-once batched path,
 //! and the `ttsv-serve` session server timed over a real loopback socket:
-//! cold registration, warm two-tile power deltas, and a sustained
-//! 32-request burst) with its own median-of-N harness and writes them to
-//! `BENCH_6.json` (default path). The file also embeds the PR-5 baseline
-//! numbers (the committed `BENCH_5.json` medians) for the carried-over
-//! workloads, so each future PR can re-run the binary and compare the
-//! trajectory; a schema sanity test in this crate parses the committed
-//! file, checks the required rows, and bounds the acceptance-criteria
-//! medians against that baseline (the committed recording is compared
-//! outright; regenerated files only need to stay within 2× — absolute
-//! nanoseconds are machine-dependent). CI runs the emitter every push
-//! with `--check BENCH_6.json`, which fails the build if any row shared
-//! with the committed recording regresses past 1.5×.
+//! cold registration, warm two-tile power deltas in both full-report and
+//! delta-response form, a sustained 32-request burst on one connection,
+//! and the same 32 updates fanned out across 32 concurrent connections)
+//! with its own median-of-N harness and writes them to `BENCH_8.json`
+//! (default path). The file also embeds the PR-6 baseline numbers (the
+//! committed `BENCH_6.json` medians) for the carried-over workloads, so
+//! each future PR can re-run the binary and compare the trajectory; a
+//! schema sanity test in this crate parses the committed file, checks
+//! the required rows, and bounds the acceptance-criteria medians against
+//! that baseline (the committed recording is compared outright;
+//! regenerated files only need to stay within 2× — absolute nanoseconds
+//! are machine-dependent). CI runs the emitter every push with
+//! `--check BENCH_8.json`, which fails the build if any row shared with
+//! the committed recording regresses past 1.5×.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -280,20 +282,20 @@ mod tests {
 
     #[test]
     fn bench_json_schema_is_sane() {
-        // Parse the committed BENCH_6.json: schema tag, every headline
-        // bench present with a positive median, the PR-5 baseline
+        // Parse the committed BENCH_8.json: schema tag, every headline
+        // bench present with a positive median, the PR-6 baseline
         // embedded — and the acceptance-criteria medians within bounds of
         // that baseline.
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json");
-        let json = std::fs::read_to_string(path).expect("BENCH_6.json committed at repo root");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json");
+        let json = std::fs::read_to_string(path).expect("BENCH_8.json committed at repo root");
         assert!(
             json.contains("\"schema\": \"ttsv-bench-json/1\""),
             "schema tag missing"
         );
-        assert!(json.contains("\"pr\": 6"), "pr tag missing");
+        assert!(json.contains("\"pr\": 8"), "pr tag missing");
 
         let benches = section_integers(&json, "benches", Some("median_ns"));
-        let baseline = section_integers(&json, "baseline_pr5_ns", None);
+        let baseline = section_integers(&json, "baseline_pr6_ns", None);
         let median = |set: &[(String, u128)], key: &str| -> u128 {
             set.iter()
                 .find(|(k, _)| k == key)
@@ -317,12 +319,14 @@ mod tests {
             "floorplan_chip/gradient32/factor_shared",
             "serve/cold_session",
             "serve/warm_delta",
+            "serve/warm_delta_response",
             "serve/sustained_32req",
+            "serve/sustained_fanout",
         ] {
             assert!(median(&benches, key) > 0, "{key} must have a real median");
         }
-        // Carried-over workloads must stay near the PR-5 baseline. The
-        // committed file (recorded on the PR-6 machine) is compared
+        // Carried-over workloads must stay near the PR-6 baseline. The
+        // committed file (recorded on the PR-8 machine) is compared
         // outright; regenerated files from arbitrary hardware only need
         // to avoid a catastrophic regression, since absolute nanoseconds
         // are machine-dependent — 2× headroom absorbs a slower CI runner
@@ -330,22 +334,22 @@ mod tests {
         assert!(
             median(&benches, "fig4_radius_sweep/fem_coarse")
                 < 2 * median(&baseline, "fig4_radius_sweep/fem_coarse"),
-            "fem_coarse regressed far past the PR-5 baseline"
+            "fem_coarse regressed far past the PR-6 baseline"
         );
         assert!(
             median(&benches, "sweep_runner/fig4_quick")
                 < 2 * median(&baseline, "sweep_runner/fig4_quick"),
-            "sweep runner regressed far past the PR-5 baseline"
+            "sweep runner regressed far past the PR-6 baseline"
         );
         assert!(
             median(&benches, "mg_hierarchy/refresh/box32k")
                 < 2 * median(&baseline, "mg_hierarchy/refresh/box32k"),
-            "hierarchy refresh regressed far past the PR-5 baseline"
+            "hierarchy refresh regressed far past the PR-6 baseline"
         );
         assert!(
             median(&benches, "floorplan_chip/gradient32/factor_shared")
                 < 2 * median(&baseline, "floorplan_chip/gradient32/factor_shared"),
-            "factor-once batched gradient map regressed far past the PR-5 baseline"
+            "factor-once batched gradient map regressed far past the PR-6 baseline"
         );
         // PR-6 acceptance criterion (same-run, machine-independent): a
         // warm two-tile power delta on a live session must be ≥5× cheaper
@@ -360,6 +364,25 @@ mod tests {
         assert!(
             median(&benches, "serve/sustained_32req") < 64 * median(&benches, "serve/warm_delta"),
             "sustained warm burst must amortize per-request overhead"
+        );
+        // PR-8 additions (same-run, machine-independent). A delta
+        // response is the same evaluation with a smaller body, so it must
+        // not cost materially more than the full-report form of the
+        // identical update — 2× headroom absorbs sampling noise.
+        assert!(
+            median(&benches, "serve/warm_delta_response")
+                < 2 * median(&benches, "serve/warm_delta"),
+            "delta responses must not cost more than full reports"
+        );
+        // 32 concurrent updates across 32 connections must stay within
+        // shouting distance of the same 32 updates pipelined on one
+        // connection: on one core fan-out adds scheduling overhead rather
+        // than parallel speedup, so the bound only rules out the
+        // catastrophic case (serial accept-evaluate-close per request).
+        assert!(
+            median(&benches, "serve/sustained_fanout")
+                < 4 * median(&benches, "serve/sustained_32req"),
+            "concurrent fan-out must not collapse to serial per-connection serving"
         );
         // Same-run comparisons (machine-independent): the numeric refresh
         // must undercut a full hierarchy build, the dedup cache must

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! cargo run --release -p ttsv-serve --bin serve -- \
-//!     [--addr 127.0.0.1:7071] [--workers N] [--max-sessions N] [--max-tiles N] \
-//!     [--queue-capacity N] [--max-pending-updates N] \
+//!     [--addr 127.0.0.1:7071] [--workers N] [--event-loops N] \
+//!     [--max-sessions N] [--session-shards N] [--max-tiles N] \
+//!     [--queue-capacity N] [--max-connections N] [--max-pending-updates N] \
 //!     [--request-deadline-ms MS] [--write-timeout-ms MS]
 //! ```
 //!
@@ -17,8 +18,9 @@ use ttsv_serve::server::{Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve [--addr HOST:PORT] [--workers N] [--max-sessions N] [--max-tiles N] \
-         [--queue-capacity N] [--max-pending-updates N] \
+        "usage: serve [--addr HOST:PORT] [--workers N] [--event-loops N] \
+         [--max-sessions N] [--session-shards N] [--max-tiles N] \
+         [--queue-capacity N] [--max-connections N] [--max-pending-updates N] \
          [--request-deadline-ms MS] [--write-timeout-ms MS]"
     );
     std::process::exit(2);
@@ -45,12 +47,21 @@ fn main() {
         match arg.as_str() {
             "--addr" => addr = parse_flag(&mut args, "--addr"),
             "--workers" => config = config.with_workers(parse_flag(&mut args, "--workers")),
+            "--event-loops" => {
+                config = config.with_event_loops(parse_flag(&mut args, "--event-loops"));
+            }
             "--max-sessions" => {
                 config = config.with_max_sessions(parse_flag(&mut args, "--max-sessions"));
+            }
+            "--session-shards" => {
+                config = config.with_session_shards(parse_flag(&mut args, "--session-shards"));
             }
             "--max-tiles" => config = config.with_max_tiles(parse_flag(&mut args, "--max-tiles")),
             "--queue-capacity" => {
                 config = config.with_queue_capacity(parse_flag(&mut args, "--queue-capacity"));
+            }
+            "--max-connections" => {
+                config = config.with_max_connections(parse_flag(&mut args, "--max-connections"));
             }
             "--max-pending-updates" => {
                 config =

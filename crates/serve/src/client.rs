@@ -8,7 +8,9 @@
 //! a couple of tiles with values that cycle through a small set — so a
 //! replay is reproducible byte-for-byte and the warm rounds genuinely
 //! hit the engine's scenario cache, which is the behavior the
-//! cold-vs-warm latency gate measures.
+//! cold-vs-warm latency gate measures. Power rounds replay either the
+//! full-report wire format (`?full=1`, the default here, comparable
+//! across bench history) or the server's default delta responses.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -150,6 +152,12 @@ pub struct TraceConfig {
     /// response must still come back correct, just over a mangled
     /// transport. Each session derives its own sub-seed.
     pub chaos: Option<u64>,
+    /// When set, power updates request `?full=1` (the complete
+    /// `ChipReport` per round, the pre-delta wire format) instead of the
+    /// default delta responses. Defaults to `true` so latency numbers
+    /// stay comparable across bench history; flip it off to measure the
+    /// delta wire format.
+    pub full_reports: bool,
 }
 
 impl Default for TraceConfig {
@@ -159,6 +167,7 @@ impl Default for TraceConfig {
             rounds: 25,
             grid: 12,
             chaos: None,
+            full_reports: true,
         }
     }
 }
@@ -207,7 +216,9 @@ pub fn percentile_ns(samples: &[u128], q: f64) -> u128 {
 
 /// The registration body session `s` sends: three planes of a gradient
 /// map (every tile distinct) scaled per session, so no two sessions
-/// share cache entries and registration is a genuinely cold evaluation.
+/// share cache entries, plus a per-session via density and the paper's
+/// deep B(1000) model — registration genuinely pays a fresh ladder
+/// factorization, which is the "cold" the cold-vs-warm gate prices.
 #[must_use]
 pub fn trace_register_body(grid: usize, session: usize) -> String {
     let tiles = grid * grid;
@@ -222,7 +233,10 @@ pub fn trace_register_body(grid: usize, session: usize) -> String {
                 .collect()
         })
         .collect();
-    render_register_body(grid, grid, &planes, 0.005)
+    #[allow(clippy::cast_precision_loss)]
+    let density = 0.005 + session as f64 * 1e-5;
+    let body = render_register_body(grid, grid, &planes, density);
+    format!("{},\"segments\":[10,1000]}}", &body[..body.len() - 1])
 }
 
 /// The power-delta body session `s` sends in `round`: patches two tiles
@@ -288,12 +302,17 @@ pub fn run_trace(addr: &str, config: TraceConfig) -> io::Result<TraceOutcome> {
                             .ok()
                     })
                     .ok_or_else(|| bad(status, &body))?;
+                let power_path = if config.full_reports {
+                    format!("/sessions/{id}/power?full=1")
+                } else {
+                    format!("/sessions/{id}/power")
+                };
                 let mut warm = Vec::with_capacity(config.rounds);
                 for round in 0..config.rounds {
                     let t = Instant::now();
                     let (status, body) = client.request(
                         "POST",
-                        &format!("/sessions/{id}/power"),
+                        &power_path,
                         &trace_power_body(config.grid, s, round),
                     )?;
                     warm.push(t.elapsed().as_nanos());

@@ -405,24 +405,107 @@ impl Response {
     ///
     /// Propagates I/O errors from `w`.
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&self.to_bytes())
+    }
+
+    /// Renders the full wire image (status line, headers, body) into one
+    /// buffer — the form the nonblocking write path needs, where a
+    /// response may leave the socket across many partial writes.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
         let connection = if self.keep_alive {
             "keep-alive"
         } else {
             "close"
         };
-        write!(
-            w,
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        let _ = write!(
+            out,
             "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             reason_phrase(self.status),
             self.body.len(),
             connection,
-        )?;
+        );
         if let Some(secs) = self.retry_after {
-            write!(w, "retry-after: {secs}\r\n")?;
+            let _ = write!(out, "retry-after: {secs}\r\n");
         }
-        w.write_all(b"\r\n")?;
-        w.write_all(self.body.as_bytes())
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(self.body.as_bytes());
+        out
+    }
+}
+
+/// An outgoing byte queue for one nonblocking connection.
+///
+/// Responses are staged with [`WriteBuffer::push_response`]; the event
+/// loop drains the queue with [`WriteBuffer::flush`] whenever the socket
+/// accepts bytes. `WouldBlock` is not an error at this layer — it maps to
+/// `Ok(0)` so the caller can tell "no progress" from "peer gone" without
+/// matching on error kinds everywhere.
+#[derive(Debug, Default)]
+pub struct WriteBuffer {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl WriteBuffer {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether every staged byte has left the buffer.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    /// Bytes still waiting to be written.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Stages a response's full wire image behind whatever is queued.
+    pub fn push_response(&mut self, response: &Response) {
+        if self.is_empty() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(&response.to_bytes());
+    }
+
+    /// Writes as much queued data as `w` accepts right now.
+    ///
+    /// Returns the number of bytes written this call; `WouldBlock` (and
+    /// `Interrupted`) report `Ok(0)`. Fully drained buffers are compacted
+    /// so a long-lived keep-alive connection does not grow without bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hard I/O errors (reset, broken pipe) — the caller
+    /// should drop the connection.
+    pub fn flush(&mut self, w: &mut impl Write) -> io::Result<usize> {
+        let mut written = 0;
+        while self.pos < self.buf.len() {
+            match w.write(&self.buf[self.pos..]) {
+                Ok(0) => break,
+                Ok(n) => {
+                    self.pos += n;
+                    written += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.is_empty() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        Ok(written)
     }
 }
 
@@ -561,6 +644,40 @@ mod tests {
         let err = String::from_utf8(err).unwrap();
         assert!(err.contains("connection: close"), "{err}");
         assert!(err.contains("{\"error\":\"bad \\\"quote\\\"\"}"), "{err}");
+    }
+
+    #[test]
+    fn write_buffer_survives_one_byte_at_a_time_sinks() {
+        struct OneByte(Vec<u8>, usize);
+        impl Write for OneByte {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                // Alternate a 1-byte write with a WouldBlock, like a
+                // congested nonblocking socket.
+                self.1 += 1;
+                if self.1.is_multiple_of(2) {
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+                }
+                self.0.push(buf[0]);
+                Ok(1)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let first = Response::json(200, "{\"ok\":true}".into());
+        let second = Response::error(404, "gone");
+        let mut expected = first.to_bytes();
+        expected.extend_from_slice(&second.to_bytes());
+        let mut queue = WriteBuffer::new();
+        queue.push_response(&first);
+        queue.push_response(&second);
+        assert_eq!(queue.pending(), expected.len());
+        let mut sink = OneByte(Vec::new(), 0);
+        while !queue.is_empty() {
+            queue.flush(&mut sink).unwrap();
+        }
+        assert_eq!(sink.0, expected, "byte-exact across partial writes");
+        assert_eq!(queue.pending(), 0);
     }
 
     #[test]

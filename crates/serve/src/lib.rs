@@ -12,13 +12,17 @@
 //!   `Content-Length` bodies, keep-alive, pipelining, typed 4xx/5xx on
 //!   malformed input) + response writer,
 //! * [`protocol`] — JSON bodies → validated [`Floorplan`](ttsv_chip::Floorplan)
-//!   registrations and power-delta moves (`docs/PROTOCOL.md` is the wire
-//!   reference),
-//! * [`server`] — the session server: accept loop on a bounded
-//!   long-lived [`WorkerPool`](ttsv_validate::pool::WorkerPool), shared
-//!   capped [`ChipEngine`](ttsv_chip::ChipEngine), exact-LRU session
-//!   table with quotas, `GET /metrics`,
-//! * [`lru`] / [`metrics`] — the session cache and the request
+//!   registrations and power-delta moves, plus the delta-response
+//!   renderer and its client-side `apply_delta` inverse
+//!   (`docs/PROTOCOL.md` is the wire reference),
+//! * [`server`] — the session server: nonblocking connections
+//!   multiplexed across a few event-loop threads that hand evaluations
+//!   to a bounded long-lived
+//!   [`WorkerPool`](ttsv_validate::pool::WorkerPool), shared capped
+//!   [`ChipEngine`](ttsv_chip::ChipEngine), sharded exact-LRU session
+//!   table with quotas, transactional power updates (staged, rolled
+//!   back on failure), `GET /metrics`,
+//! * [`lru`] / [`metrics`] — the sharded session cache and the request
 //!   counters/latency histogram behind it,
 //! * [`client`] — a blocking keep-alive client plus the deterministic
 //!   power-trace replay `bench-client` and CI share.

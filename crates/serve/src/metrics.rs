@@ -39,6 +39,9 @@ pub struct Metrics {
     timeouts: AtomicU64,
     /// 500s issued because a handler panicked and was contained.
     panics: AtomicU64,
+    /// `accept(2)` failures observed by the accept loop (fd exhaustion,
+    /// aborted handshakes); each one also triggers a short backoff there.
+    accept_errors: AtomicU64,
     /// Connections currently inside `handle_connection` (gauge).
     inflight: AtomicU64,
     latency: [AtomicU64; BUCKETS],
@@ -74,6 +77,9 @@ pub struct MetricsSnapshot {
     pub timeouts: u64,
     /// Contained handler panics answered as 500 (subset of `server_5xx`).
     pub panics: u64,
+    /// Accept-loop errors (not requests: nothing was parsed or answered,
+    /// so these stay outside the accounting invariant).
+    pub accept_errors: u64,
     /// Connections currently being handled (gauge, not a total).
     pub inflight: u64,
 }
@@ -98,6 +104,7 @@ impl Metrics {
             rate_limited: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            accept_errors: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
             latency: [(); BUCKETS].map(|()| AtomicU64::new(0)),
         }
@@ -139,6 +146,13 @@ impl Metrics {
     /// recorded via [`Metrics::record`] like any other response).
     pub fn note_panic(&self) {
         self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one failed `accept(2)` call. Accept errors are not
+    /// requests — no response was produced — so this touches neither
+    /// `requests` nor the histogram.
+    pub fn record_accept_error(&self) {
+        self.accept_errors.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Marks one connection entering service; the returned guard
@@ -197,6 +211,7 @@ impl Metrics {
             rate_limited: self.rate_limited.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
             inflight: self.inflight.load(Ordering::Relaxed),
         }
     }
@@ -217,7 +232,7 @@ impl Drop for InflightGuard<'_> {
 
 /// Upper bound of latency bucket `i` in nanoseconds.
 fn upper_bound_ns(i: usize) -> u64 {
-    if i + 1 >= 64 {
+    if i + 1 >= BUCKETS {
         u64::MAX
     } else {
         (1u64 << (i + 1)) - 1
@@ -289,6 +304,24 @@ mod tests {
             (snap.shed, snap.rate_limited, snap.timeouts, snap.panics),
             (1, 1, 1, 1)
         );
+    }
+
+    #[test]
+    fn accept_errors_count_outside_the_request_invariant() {
+        let m = Metrics::new();
+        m.record_accept_error();
+        m.record_accept_error();
+        let snap = m.snapshot();
+        assert_eq!(snap.accept_errors, 2);
+        assert_eq!(snap.requests, 0, "accept errors are not requests");
+        assert_eq!(snap.latency_samples, 0);
+    }
+
+    #[test]
+    fn top_bucket_upper_bound_saturates() {
+        let m = Metrics::new();
+        m.record(200, Duration::from_nanos(u64::MAX));
+        assert_eq!(m.latency_quantile_ns(1.0), u64::MAX);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! violations all land here; nothing panics on client input.
 
 use serde::json::Value;
-use ttsv_chip::{Floorplan, PowerMap, ViaDensityMap};
+use ttsv_chip::{ChipReport, Floorplan, PowerMap, ViaDensityMap};
 use ttsv_core::full_chip::CaseStudy;
 use ttsv_core::model_b::ModelB;
 use ttsv_units::Power;
@@ -217,6 +217,157 @@ pub fn parse_power_update(
     Ok((plane, map))
 }
 
+/// Renders the delta-response body for a power update: only the tiles
+/// whose `ΔT` changed bitwise between `prev` and `next`, plus `next`'s
+/// full summary statistics.
+///
+/// The wire format (`"delta":true` is the discriminator — full reports
+/// never carry it):
+///
+/// ```json
+/// {"delta":true,"model":…,"nx":…,"ny":…,"tiles":…,
+///  "changed":[[index,delta_t]…],
+///  "max_delta_t":…,"mean_delta_t":…,"p99_delta_t":…,
+///  "argmax_ix":…,"argmax_iy":…,"total_vias":…,"distinct_cells":…}
+/// ```
+///
+/// Every number is rendered exactly as [`ChipReport::to_json`] would
+/// render it (shortest round-trip floats), so [`apply_delta`] can rebuild
+/// the full report byte-for-byte.
+///
+/// # Panics
+///
+/// Panics if the two reports cover different tile counts — a delta only
+/// makes sense within one session, whose grid is fixed at registration.
+#[must_use]
+pub fn render_delta(prev: &ChipReport, next: &ChipReport) -> String {
+    assert_eq!(
+        prev.delta_t.len(),
+        next.delta_t.len(),
+        "delta responses require a fixed grid"
+    );
+    let mut body = format!(
+        "{{\"delta\":true,\"model\":{},\"nx\":{},\"ny\":{},\"tiles\":{},\"changed\":[",
+        serde::json::to_string(&next.model),
+        next.nx,
+        next.ny,
+        next.tiles,
+    );
+    let mut first = true;
+    for (i, (p, n)) in prev.delta_t.iter().zip(&next.delta_t).enumerate() {
+        if p.to_bits() == n.to_bits() {
+            continue;
+        }
+        if !first {
+            body.push(',');
+        }
+        first = false;
+        body.push_str(&format!("[{i},{}]", serde::json::to_string(n)));
+    }
+    body.push_str(&format!(
+        "],\"max_delta_t\":{},\"mean_delta_t\":{},\"p99_delta_t\":{},\"argmax_ix\":{},\"argmax_iy\":{},\"total_vias\":{},\"distinct_cells\":{}}}",
+        serde::json::to_string(&next.max_delta_t),
+        serde::json::to_string(&next.mean_delta_t),
+        serde::json::to_string(&next.p99_delta_t),
+        next.argmax_ix,
+        next.argmax_iy,
+        serde::json::to_string(&next.total_vias),
+        next.distinct_cells,
+    ));
+    body
+}
+
+fn f64_at(doc: &Value, name: &str) -> Result<f64, ProtocolError> {
+    field(doc, name)?
+        .as_f64()
+        .ok_or_else(|| err(format!("field {name:?} must be a number")))
+}
+
+/// Applies a [`render_delta`] body on top of the previous *full* report
+/// JSON, reproducing the next full report exactly as the server would
+/// have rendered it with `?full=1`.
+///
+/// Byte-exactness holds because both sides render floats in shortest
+/// round-trip form: parsing a full report recovers every `f64` bit
+/// pattern, and re-rendering a recovered `f64` reproduces its original
+/// text.
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] when either document is malformed, the
+/// delta is not a delta (`"delta":true` missing), or a changed-tile index
+/// falls outside the previous report's grid.
+pub fn apply_delta(prev_full: &str, delta: &str) -> Result<String, ProtocolError> {
+    let prev = serde::json::from_str(prev_full)
+        .map_err(|e| err(format!("malformed previous report: {e}")))?;
+    let doc =
+        serde::json::from_str(delta).map_err(|e| err(format!("malformed delta response: {e}")))?;
+    if !matches!(doc.get("delta"), Some(Value::Bool(true))) {
+        return Err(err("not a delta response (missing \"delta\":true)"));
+    }
+
+    let mut delta_t: Vec<f64> = field(&prev, "delta_t")?
+        .as_array()
+        .ok_or_else(|| err("previous report field \"delta_t\" must be an array"))?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| err("previous report delta_t entries must be numbers"))
+        })
+        .collect::<Result<_, _>>()?;
+    let changed = field(&doc, "changed")?
+        .as_array()
+        .ok_or_else(|| err("field \"changed\" must be an array of [index, delta_t]"))?;
+    for entry in changed {
+        let pair = entry
+            .as_array()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| err("each changed entry must be [index, delta_t]"))?;
+        let i = pair[0]
+            .as_usize()
+            .ok_or_else(|| err("changed indices must be integers"))?;
+        let v = pair[1]
+            .as_f64()
+            .ok_or_else(|| err("changed values must be numbers"))?;
+        if i >= delta_t.len() {
+            return Err(err(format!(
+                "changed tile {i} outside the {}-tile grid",
+                delta_t.len()
+            )));
+        }
+        delta_t[i] = v;
+    }
+
+    let model = field(&doc, "model")?
+        .as_str()
+        .ok_or_else(|| err("field \"model\" must be a string"))?
+        .to_string();
+    let mut body = format!(
+        "{{\"model\":{},\"nx\":{},\"ny\":{},\"delta_t\":[",
+        serde::json::to_string(&model),
+        usize_field(&doc, "nx")?,
+        usize_field(&doc, "ny")?,
+    );
+    for (i, v) in delta_t.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&serde::json::to_string(v));
+    }
+    body.push_str(&format!(
+        "],\"max_delta_t\":{},\"mean_delta_t\":{},\"p99_delta_t\":{},\"argmax_ix\":{},\"argmax_iy\":{},\"total_vias\":{},\"distinct_cells\":{},\"tiles\":{}}}",
+        serde::json::to_string(&f64_at(&doc, "max_delta_t")?),
+        serde::json::to_string(&f64_at(&doc, "mean_delta_t")?),
+        serde::json::to_string(&f64_at(&doc, "p99_delta_t")?),
+        usize_field(&doc, "argmax_ix")?,
+        usize_field(&doc, "argmax_iy")?,
+        serde::json::to_string(&f64_at(&doc, "total_vias")?),
+        usize_field(&doc, "distinct_cells")?,
+        usize_field(&doc, "tiles")?,
+    ));
+    Ok(body)
+}
+
 /// Renders a register body for `grid × grid` tiles with explicit
 /// per-plane watt arrays — shared by the bench client, docs, and tests.
 #[must_use]
@@ -307,6 +458,74 @@ mod tests {
             map.get(1, 0).as_watts(),
             spec.plan.plane_maps()[1].get(1, 0).as_watts()
         );
+    }
+
+    #[test]
+    fn delta_render_and_apply_round_trip_bitwise() {
+        use ttsv_chip::ChipEngine;
+
+        let engine = ChipEngine::new().with_workers(1);
+        let spec = parse_register(register_body(4, 4).as_bytes()).unwrap();
+        let before = engine.evaluate_factored(&spec.plan, &spec.model).unwrap();
+
+        let mut plan = spec.plan.clone();
+        let (plane, map) =
+            parse_power_update(b"{\"plane\":0,\"updates\":[[1,2,9.0],[3,0,4.5]]}", &plan).unwrap();
+        plan.update_power_map(plane, map).unwrap();
+        let after = engine.evaluate_factored(&plan, &spec.model).unwrap();
+
+        let delta = render_delta(&before, &after);
+        assert!(delta.starts_with("{\"delta\":true,"));
+        assert!(delta.contains("\"max_delta_t\""));
+        assert!(
+            delta.len() < after.to_json().len(),
+            "a two-tile update's delta ({} B) must undercut the full report ({} B)",
+            delta.len(),
+            after.to_json().len()
+        );
+        let rebuilt = apply_delta(&before.to_json(), &delta).unwrap();
+        assert_eq!(rebuilt, after.to_json(), "byte-exact reconstruction");
+    }
+
+    #[test]
+    fn delta_with_no_changes_still_reconstructs() {
+        let engine = ttsv_chip::ChipEngine::new().with_workers(1);
+        let spec = parse_register(register_body(3, 3).as_bytes()).unwrap();
+        let report = engine.evaluate_factored(&spec.plan, &spec.model).unwrap();
+        let delta = render_delta(&report, &report);
+        assert!(delta.contains("\"changed\":[]"), "{delta}");
+        assert_eq!(
+            apply_delta(&report.to_json(), &delta).unwrap(),
+            report.to_json()
+        );
+    }
+
+    #[test]
+    fn apply_delta_rejections_name_the_problem() {
+        let engine = ttsv_chip::ChipEngine::new().with_workers(1);
+        let spec = parse_register(register_body(2, 2).as_bytes()).unwrap();
+        let full = engine
+            .evaluate_factored(&spec.plan, &spec.model)
+            .unwrap()
+            .to_json();
+        for (delta, needle) in [
+            ("not json", "malformed delta"),
+            (full.as_str(), "not a delta response"),
+            ("{\"delta\":true}", "missing field \"changed\""),
+            (
+                "{\"delta\":true,\"changed\":[[99,1.0]],\"model\":\"m\",\"nx\":2,\"ny\":2,\
+                 \"tiles\":4,\"max_delta_t\":1,\"mean_delta_t\":1,\"p99_delta_t\":1,\
+                 \"argmax_ix\":0,\"argmax_iy\":0,\"total_vias\":1,\"distinct_cells\":1}",
+                "outside the 4-tile grid",
+            ),
+        ] {
+            let got = apply_delta(&full, delta).unwrap_err();
+            assert!(got.0.contains(needle), "{delta} → {got}");
+        }
+        assert!(apply_delta("broken", "{\"delta\":true}")
+            .unwrap_err()
+            .0
+            .contains("malformed previous report"));
     }
 
     #[test]

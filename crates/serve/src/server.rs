@@ -1,43 +1,82 @@
-//! The session server: accept loop, routing, and the shared serving
-//! state.
+//! The session server: readiness-based connection multiplexing over a
+//! small worker pool, routing, and the shared serving state.
 //!
-//! One `std::net::TcpListener` accept thread hands each connection to a
-//! long-lived bounded [`WorkerPool`]
-//! (no thread per connection; the pool's bounded queue is the
-//! backpressure). Every worker shares one [`ChipEngine`] whose two cache
-//! tiers are bounded by the config's caps — a warm power-delta request
-//! re-solves only the tiles whose bits changed, which is the entire
-//! point of serving sessions instead of stateless requests.
+//! # Architecture: event loops own connections, workers own evaluations
 //!
-//! Sessions live in an exact-[`LruCache`]: registering past
-//! `max_sessions` evicts the least-recently-used session (counted, and
-//! visible in `GET /metrics`); a later request against an evicted id is
-//! a clean 404. Per-session work is serialized by a per-session mutex,
-//! so one session's responses form a deterministic sequence no matter
-//! how many server workers run — the integration suite pins responses
-//! bitwise against direct engine evaluation at 1/2/N workers.
+//! One `std::net::TcpListener` accept thread admits connections (with a
+//! live-connection cap and a backoff on accept errors) and hands them
+//! round-robin to a small number of **event-loop threads**. Each loop
+//! owns its connections outright: sockets are `set_nonblocking(true)`,
+//! incoming bytes feed the incremental [`RequestParser`] (whose state is
+//! a pure function of the buffered bytes — exactly what a readiness loop
+//! needs), and responses drain from per-connection
+//! [`WriteBuffer`]s as the sockets accept
+//! them. Cheap requests (`/metrics`, `/healthz`, deletes, routing
+//! errors) are answered inline on the loop; only **evaluation** work —
+//! registration, power updates, session reads — is handed to the
+//! long-lived bounded [`WorkerPool`], one request in flight per
+//! connection, with completions delivered back to the owning loop.
+//! (One latency exception: when the whole server is idle — nothing
+//! queued, in flight, or already inline — the loop evaluates right on
+//! its own thread, skipping two thread handoffs; concurrent load
+//! immediately shifts evaluation back to the pool.)
+//! Std has no portable readiness API, so the loops sweep their sockets:
+//! a short yield-spin window after the last progress keeps hot traffic
+//! at near-blocking latency, then the loop parks on a condvar (woken by
+//! the accept thread and worker completions) with a millisecond tick
+//! for deadline enforcement.
+//!
+//! Every worker shares one [`ChipEngine`] whose two cache tiers are
+//! bounded by the config's caps — a warm power-delta request re-solves
+//! only the tiles whose bits changed, which is the entire point of
+//! serving sessions instead of stateless requests. By default a warm
+//! update also *answers* with only what changed: a delta response
+//! carrying the changed tiles and updated summary statistics
+//! (`?full=1` opts back into the full report; see `docs/PROTOCOL.md`).
+//!
+//! Sessions live in a [`ShardedLru`]: N independently locked exact-LRU
+//! shards keyed by session id, so lookups for different sessions never
+//! serialize on one global lock. Registering past `max_sessions` evicts
+//! the least-recently-used session in the new session's shard (counted,
+//! and visible per shard in `GET /metrics`); a later request against an
+//! evicted id is a clean 404. Per-session work is serialized by a
+//! per-session mutex, so one session's responses form a deterministic
+//! sequence no matter how many workers or loops run — the integration
+//! suite pins responses bitwise against direct engine evaluation.
 //!
 //! # Overload control and failure containment
 //!
 //! The server is built to survive *mis*behaving traffic, not just
 //! well-formed load (`tests/serve_chaos.rs` pins all of this):
 //!
-//! * **Admission control** — the accept loop uses
-//!   [`WorkerPool::try_submit`]; when every worker is busy and the queue
-//!   is full, the connection is answered `503 Service Unavailable` with
-//!   a `Retry-After` hint directly on the accept thread and closed, so
-//!   tail latency stays bounded instead of queue depth growing without
-//!   limit. Shed connections are counted in `/metrics`.
+//! * **Admission control** — connections past
+//!   [`ServerConfig::max_connections`] (default: workers + job-queue
+//!   capacity, i.e. exactly the evaluation slots available) are
+//!   answered `503 Service Unavailable` with a `Retry-After` hint
+//!   directly on the accept thread and closed, so tail latency stays
+//!   bounded instead of queue depth growing without limit. A request
+//!   the pool itself refuses is shed the same way. Shed requests are
+//!   counted in `/metrics`.
+//! * **Accept-error backoff** — a failing `accept(2)` (fd exhaustion,
+//!   aborted handshakes) counts an `accept_errors` metric and backs the
+//!   accept thread off exponentially (1 ms doubling to ~128 ms) instead
+//!   of spinning the thread at 100% CPU until the condition clears.
 //! * **Per-session flood control** — more than
 //!   [`ServerConfig::max_pending_updates`] concurrent requests against
 //!   one session answer `429 Too Many Requests` + `Retry-After` instead
 //!   of piling onto the session's serialization lock.
-//! * **Deadlines** — reads carry the configured idle timeout; once a
-//!   request's first byte arrives, the whole request must parse within
-//!   [`ServerConfig::request_deadline`] or the connection is answered
-//!   `408 Request Timeout` and closed (slowloris protection). Writes
-//!   carry [`ServerConfig::write_timeout`], so a slow-reading client
-//!   cannot pin a worker forever.
+//! * **Deadlines** — once a request's first byte arrives, the whole
+//!   request must parse within [`ServerConfig::request_deadline`] (and
+//!   may never stall longer than the read timeout) or the connection is
+//!   answered `408 Request Timeout` and closed; the latency histogram
+//!   measures from that same first-byte instant. An idle keep-alive
+//!   connection is reclaimed silently after the read timeout. A client
+//!   that stops reading its response is dropped once the write buffer
+//!   makes no progress for [`ServerConfig::write_timeout`].
+//! * **Failed updates roll back** — a power update stages its mutation
+//!   and restores the previous power map if evaluation fails (engine
+//!   error *or* contained panic), so a 500 leaves the session exactly
+//!   as it was and a retry evaluates the same pre-update state.
 //! * **Panic containment** — every request handler runs under
 //!   `catch_unwind`; a panic maps to a typed `500` with the connection,
 //!   session table, and metrics left healthy. All shared locks are
@@ -51,27 +90,36 @@
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use ttsv_chip::ChipEngine;
+use ttsv_chip::{ChipEngine, ChipReport};
 use ttsv_validate::pool::{PoolMonitor, WorkerPool};
 
 use crate::faults::{FaultDirective, ServerFaults};
-use crate::http::{Method, Request, RequestParser, Response};
-use crate::lru::LruCache;
+use crate::http::{Method, Request, RequestParser, Response, WriteBuffer};
+use crate::lru::ShardedLru;
 use crate::metrics::Metrics;
 use crate::protocol::{self, SessionSpec};
 
 /// The `Retry-After` hint (seconds) on overload responses (503/429).
 pub const RETRY_AFTER_SECS: u64 = 1;
 
+/// How long an event loop keeps yield-spinning after its last progress
+/// before parking on its condvar. Continuous traffic never leaves the
+/// window, so the hot path stays at near-blocking latency.
+const SPIN_WINDOW: Duration = Duration::from_micros(200);
+/// The parked loop's tick: deadline checks run at least this often.
+const IDLE_TICK: Duration = Duration::from_millis(1);
+/// The parked loop's tick with no connections at all to watch.
+const EMPTY_TICK: Duration = Duration::from_millis(100);
+
 /// Locks a mutex, recovering from poisoning. Handler panics are caught
 /// at the request boundary, but a panic *while holding* a lock still
 /// poisons it; every protected structure here (session table, session
-/// spec) is valid at every await-free interleaving, so recovery is
-/// sound — and the alternative is one bad request bricking every later
-/// `.lock().expect(…)` call.
+/// state, loop inboxes) is valid at every await-free interleaving, so
+/// recovery is sound — and the alternative is one bad request bricking
+/// every later `.lock().expect(…)` call.
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
@@ -79,10 +127,15 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Connection-handling workers.
+    /// Evaluation workers (the pool event loops dispatch into).
     pub workers: usize,
+    /// Event-loop threads owning the nonblocking connections.
+    pub event_loops: usize,
     /// Live-session quota; registering past it LRU-evicts.
     pub max_sessions: usize,
+    /// Session-table shards (clamped to `max_sessions`; each shard is an
+    /// independently locked exact LRU over its slice of the quota).
+    pub session_shards: usize,
     /// Per-session tile quota (`nx · ny` at registration).
     pub max_tiles: usize,
     /// Scenario-tier cache cap handed to the shared engine.
@@ -90,17 +143,22 @@ pub struct ServerConfig {
     /// Matrix-tier cache cap handed to the shared engine.
     pub matrix_cache_cap: usize,
     /// Per-connection read timeout (an idle keep-alive connection is
-    /// dropped after this, freeing its worker).
+    /// dropped after this; a mid-request stall this long answers 408).
     pub read_timeout: Duration,
-    /// Per-write socket timeout: a client that stops reading its
-    /// response loses the connection instead of pinning a worker.
+    /// Write-progress timeout: a client that stops reading its response
+    /// loses the connection instead of pinning a write buffer forever.
     pub write_timeout: Duration,
     /// Total time a request may take from first byte to fully parsed;
     /// past it the connection is answered 408 and closed.
     pub request_deadline: Duration,
-    /// Pending-connection queue bound; `None` keeps the pool default
-    /// (4 × workers). Connections past it are shed with 503.
+    /// Evaluation-job queue bound; `None` keeps the pool default
+    /// (4 × workers). Requests past it are shed with 503.
     pub queue_capacity: Option<usize>,
+    /// Live-connection cap; admission sheds with 503 past it. `None`
+    /// derives workers + queue capacity — one request in flight per
+    /// connection then fills the pool exactly. Raise it to multiplex
+    /// more connections than evaluation slots.
+    pub max_connections: Option<usize>,
     /// Concurrent requests allowed per session before 429 (flood
     /// control on the per-session serialization lock).
     pub max_pending_updates: usize,
@@ -113,7 +171,9 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             workers: ttsv_validate::sweep::default_workers(),
+            event_loops: 2,
             max_sessions: 64,
+            session_shards: 8,
             max_tiles: 64 * 64,
             scenario_cache_cap: 1 << 16,
             matrix_cache_cap: 1 << 10,
@@ -121,6 +181,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(10),
             request_deadline: Duration::from_secs(60),
             queue_capacity: None,
+            max_connections: None,
             max_pending_updates: 8,
             faults: None,
         }
@@ -140,6 +201,18 @@ impl ServerConfig {
         self
     }
 
+    /// Overrides the event-loop thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event_loops` is zero.
+    #[must_use]
+    pub fn with_event_loops(mut self, event_loops: usize) -> Self {
+        assert!(event_loops > 0, "need at least one event loop");
+        self.event_loops = event_loops;
+        self
+    }
+
     /// Overrides the live-session quota.
     ///
     /// # Panics
@@ -149,6 +222,19 @@ impl ServerConfig {
     pub fn with_max_sessions(mut self, max_sessions: usize) -> Self {
         assert!(max_sessions > 0, "need room for at least one session");
         self.max_sessions = max_sessions;
+        self
+    }
+
+    /// Overrides the session-table shard count (clamped to the session
+    /// quota at startup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn with_session_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one session shard");
+        self.session_shards = shards;
         self
     }
 
@@ -171,7 +257,7 @@ impl ServerConfig {
         self
     }
 
-    /// Overrides the per-write socket timeout.
+    /// Overrides the write-progress timeout.
     #[must_use]
     pub fn with_write_timeout(mut self, write_timeout: Duration) -> Self {
         self.write_timeout = write_timeout;
@@ -185,16 +271,29 @@ impl ServerConfig {
         self
     }
 
-    /// Overrides the pending-connection queue bound (admission control
-    /// sheds with 503 past it).
+    /// Overrides the evaluation-job queue bound (requests are shed with
+    /// 503 past it).
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     #[must_use]
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
-        assert!(capacity > 0, "the connection queue needs capacity");
+        assert!(capacity > 0, "the job queue needs capacity");
         self.queue_capacity = Some(capacity);
+        self
+    }
+
+    /// Overrides the live-connection cap (admission sheds with 503 past
+    /// it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn with_max_connections(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "need room for at least one connection");
+        self.max_connections = Some(cap);
         self
     }
 
@@ -218,7 +317,7 @@ impl ServerConfig {
     }
 }
 
-/// The connection-level timeout bundle `handle_connection` needs.
+/// The connection-level timeout bundle the event loops enforce.
 #[derive(Debug, Clone, Copy)]
 struct ConnDeadlines {
     read_timeout: Duration,
@@ -226,10 +325,18 @@ struct ConnDeadlines {
     request_deadline: Duration,
 }
 
-/// One registered session: the mutable floorplan plus its model, and
-/// the flood-control gauge counting requests currently targeting it.
+/// A session's serialized mutable state: the floorplan + model, and the
+/// last successfully evaluated report (the baseline delta responses are
+/// computed against).
+struct SessionState {
+    spec: SessionSpec,
+    last_report: Option<ChipReport>,
+}
+
+/// One registered session: the serialized state plus the flood-control
+/// gauge counting requests currently targeting it.
 struct Session {
-    spec: Mutex<SessionSpec>,
+    state: Mutex<SessionState>,
     pending: AtomicUsize,
 }
 
@@ -243,20 +350,33 @@ impl Drop for PendingGuard<'_> {
     }
 }
 
-/// State shared by every connection worker.
+/// State shared by the accept thread, event loops, and workers.
 struct ServerState {
     engine: ChipEngine,
-    sessions: Mutex<LruCache<u64, Arc<Session>>>,
+    sessions: ShardedLru<Arc<Session>>,
     next_id: AtomicU64,
     metrics: Metrics,
     max_tiles: usize,
     max_pending_updates: usize,
     pool_monitor: PoolMonitor,
     faults: Option<Arc<ServerFaults>>,
+    /// Connections currently owned by event loops (plus those in flight
+    /// between accept and adoption) — the admission gauge.
+    live_connections: AtomicUsize,
+    /// Evaluations currently running inline on event loops. While the
+    /// whole server is idle (nothing queued, nothing in flight, nothing
+    /// inline) a loop evaluates on its own thread — two thread handoffs
+    /// cheaper, which is most of a warm request's latency — and this
+    /// gauge routes concurrent work to the pool instead.
+    inline_busy: AtomicUsize,
 }
 
 impl ServerState {
-    fn evaluate(&self, spec: &SessionSpec, directive: FaultDirective) -> Result<String, Response> {
+    fn evaluate(
+        &self,
+        spec: &SessionSpec,
+        directive: FaultDirective,
+    ) -> Result<ChipReport, Response> {
         if let Some(delay) = directive.engine_delay {
             std::thread::sleep(delay);
         }
@@ -276,12 +396,11 @@ impl ServerState {
         }
         self.engine
             .evaluate_factored(&spec.plan, &spec.model)
-            .map(|report| report.to_json())
             .map_err(|e| Response::error(500, &format!("evaluation failed: {e}")))
     }
 
     fn session(&self, id: u64) -> Result<Arc<Session>, Response> {
-        lock(&self.sessions).get(&id).cloned().ok_or_else(|| {
+        self.sessions.get(id).ok_or_else(|| {
             Response::error(
                 404,
                 &format!("no session {id} (expired or never registered)"),
@@ -307,19 +426,29 @@ impl ServerState {
         // Evaluate before publishing: a session is never visible in a
         // half-registered state, and the cold-session cost is all here.
         let report = match self.evaluate(&spec, directive) {
-            Ok(json) => json,
+            Ok(report) => report,
             Err(resp) => return resp,
         };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let json = report.to_json();
         let session = Arc::new(Session {
-            spec: Mutex::new(spec),
+            state: Mutex::new(SessionState {
+                spec,
+                last_report: Some(report),
+            }),
             pending: AtomicUsize::new(0),
         });
-        lock(&self.sessions).insert(id, session);
-        Response::json(201, format!("{{\"session\":{id},\"report\":{report}}}"))
+        self.sessions.insert(id, session);
+        Response::json(201, format!("{{\"session\":{id},\"report\":{json}}}"))
     }
 
-    fn power_update(&self, id: u64, body: &[u8], directive: FaultDirective) -> Response {
+    fn power_update(
+        &self,
+        id: u64,
+        body: &[u8],
+        full: bool,
+        directive: FaultDirective,
+    ) -> Response {
         let session = match self.session(id) {
             Ok(s) => s,
             Err(resp) => return resp,
@@ -341,17 +470,52 @@ impl ServerState {
         // Per-session serialization: deltas from concurrent clients on
         // the same session apply in some total order, and each response
         // reflects exactly the plan it evaluated.
-        let mut spec = lock(&session.spec);
-        let (plane, map) = match protocol::parse_power_update(body, &spec.plan) {
+        let mut guard = lock(&session.state);
+        let state = &mut *guard;
+        let (plane, map) = match protocol::parse_power_update(body, &state.spec.plan) {
             Ok(update) => update,
             Err(e) => return Response::error(400, &e.0),
         };
-        if let Err(e) = spec.plan.update_power_map(plane, map) {
+        // Stage the mutation: keep the previous map so *any* evaluation
+        // failure — injected fault, engine error, or a panic unwinding
+        // through — rolls the plan back. A 500 must leave the session
+        // bitwise where it was, or a retry silently evaluates different
+        // state.
+        let previous = state.spec.plan.plane_maps()[plane].clone();
+        if let Err(e) = state.spec.plan.update_power_map(plane, map) {
             return Response::error(400, &e.to_string());
         }
-        match self.evaluate(&spec, directive) {
-            Ok(json) => Response::json(200, json),
-            Err(resp) => resp,
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.evaluate(&state.spec, directive)
+        }));
+        let result = match outcome {
+            Ok(result) => result,
+            Err(panic) => {
+                let _ = state.spec.plan.update_power_map(plane, previous);
+                // Re-raise for the request-level boundary in `handle`,
+                // which owns the panic accounting and the typed 500.
+                std::panic::resume_unwind(panic);
+            }
+        };
+        match result {
+            Ok(report) => {
+                let body = if full {
+                    report.to_json()
+                } else {
+                    match &state.last_report {
+                        Some(prev) if prev.delta_t.len() == report.delta_t.len() => {
+                            protocol::render_delta(prev, &report)
+                        }
+                        _ => report.to_json(),
+                    }
+                };
+                state.last_report = Some(report);
+                Response::json(200, body)
+            }
+            Err(resp) => {
+                let _ = state.spec.plan.update_power_map(plane, previous);
+                resp
+            }
         }
     }
 
@@ -360,15 +524,15 @@ impl ServerState {
             Ok(s) => s,
             Err(resp) => return resp,
         };
-        let spec = lock(&session.spec);
-        match self.evaluate(&spec, directive) {
-            Ok(json) => Response::json(200, json),
+        let state = lock(&session.state);
+        match self.evaluate(&state.spec, directive) {
+            Ok(report) => Response::json(200, report.to_json()),
             Err(resp) => resp,
         }
     }
 
     fn delete_session(&self, id: u64) -> Response {
-        match lock(&self.sessions).remove(&id) {
+        match self.sessions.remove(id) {
             Some(_) => Response::json(200, format!("{{\"deleted\":{id}}}")),
             None => Response::error(404, &format!("no session {id}")),
         }
@@ -376,23 +540,24 @@ impl ServerState {
 
     fn metrics_json(&self) -> String {
         let snap = self.metrics.snapshot();
-        let (live, capacity, hits, misses, evictions) = {
-            let sessions = lock(&self.sessions);
-            (
-                sessions.len(),
-                sessions.capacity(),
-                sessions.hits(),
-                sessions.misses(),
-                sessions.evictions(),
-            )
-        };
+        let total = self.sessions.aggregate_stats();
+        let mut shards = String::new();
+        for (i, s) in self.sessions.shard_stats().iter().enumerate() {
+            if i > 0 {
+                shards.push(',');
+            }
+            shards.push_str(&format!(
+                "{{\"live\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\"evictions\":{}}}",
+                s.live, s.capacity, s.hits, s.misses, s.evictions
+            ));
+        }
         let (scenario_entries, matrix_entries) = self.engine.cache_entries();
         format!(
             "{{\"uptime_s\":{:.3},\"requests\":{},\"responses\":{{\"ok_2xx\":{},\"client_4xx\":{},\"server_5xx\":{}}},\
              \"requests_per_sec\":{:.3},\"latency_ns\":{{\"p50\":{},\"p99\":{},\"samples\":{}}},\
              \"overload\":{{\"shed_503\":{},\"rate_limited_429\":{},\"timeouts_408\":{},\"panics\":{},\
-             \"inflight\":{},\"queue_depth\":{},\"busy_workers\":{}}},\
-             \"sessions\":{{\"live\":{live},\"capacity\":{capacity},\"hits\":{hits},\"misses\":{misses},\"evictions\":{evictions}}},\
+             \"accept_errors\":{},\"inflight\":{},\"queue_depth\":{},\"busy_workers\":{}}},\
+             \"sessions\":{{\"live\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\"shards\":[{shards}]}},\
              \"engine\":{{\"solves\":{},\"factorizations\":{},\"scenario_hits\":{},\"scenario_misses\":{},\"evictions\":{},\
              \"scenario_entries\":{scenario_entries},\"matrix_entries\":{matrix_entries}}}}}",
             snap.uptime_s,
@@ -408,9 +573,15 @@ impl ServerState {
             snap.rate_limited,
             snap.timeouts,
             snap.panics,
-            snap.inflight,
+            snap.accept_errors,
+            self.live_connections.load(Ordering::SeqCst),
             self.pool_monitor.queue_depth(),
             self.pool_monitor.in_flight(),
+            total.live,
+            total.capacity,
+            total.hits,
+            total.misses,
+            total.evictions,
             self.engine.solves(),
             self.engine.factorizations(),
             self.engine.scenario_hits(),
@@ -440,7 +611,11 @@ impl ServerState {
     }
 
     fn route(&self, request: &Request, directive: FaultDirective) -> Response {
-        let path = request.target.split('?').next().unwrap_or("");
+        let (path, query) = match request.target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (request.target.as_str(), ""),
+        };
+        let full = query.split('&').any(|kv| kv == "full=1");
         match (request.method, path) {
             (Method::Get, "/metrics") => Response::json(200, self.metrics_json()),
             (Method::Get, "/healthz") => Response::json(200, "{\"ok\":true}".into()),
@@ -456,7 +631,7 @@ impl ServerState {
                 };
                 match (method, tail) {
                     (Method::Post, Some("power")) => {
-                        self.power_update(id, &request.body, directive)
+                        self.power_update(id, &request.body, full, directive)
                     }
                     (Method::Get, None) => self.read_session(id, directive),
                     (Method::Delete, None) => self.delete_session(id),
@@ -474,110 +649,397 @@ impl ServerState {
     }
 }
 
-/// Answers a blown request deadline: a counted `408`, connection closed.
-fn answer_timeout(stream: &mut TcpStream, state: &ServerState, started: Instant) {
-    state.metrics.record_timeout(started.elapsed());
-    let response = Response {
-        keep_alive: false,
-        ..Response::error(
-            408,
-            "request did not complete within the server's request deadline",
-        )
-    };
-    let _ = response.write_to(stream);
+/// Whether a request carries evaluation work (worth a pool slot) or is
+/// cheap enough to answer inline on the event loop.
+fn needs_pool(request: &Request) -> bool {
+    let path = request.target.split('?').next().unwrap_or("");
+    match (request.method, path) {
+        (Method::Post, "/sessions") => true,
+        (Method::Post | Method::Get, p) => p.starts_with("/sessions/"),
+        _ => false,
+    }
 }
 
-/// Serves one accepted connection until it closes, errors, idles out, or
-/// blows a deadline.
-fn handle_connection(stream: &mut TcpStream, state: &ServerState, deadlines: &ConnDeadlines) {
-    let _inflight = state.metrics.inflight_guard();
-    let _ = stream.set_read_timeout(Some(deadlines.read_timeout));
-    let _ = stream.set_write_timeout(Some(deadlines.write_timeout));
-    let _ = stream.set_nodelay(true);
-    let mut parser = RequestParser::new();
-    let mut chunk = [0u8; 4096];
-    // First-byte instant of the request currently being parsed; while
-    // set, the whole request must finish within `request_deadline`.
-    let mut request_started: Option<Instant> = None;
-    loop {
-        // Drain every request already buffered (pipelining) before
-        // touching the socket again.
-        loop {
-            let started = Instant::now();
-            match parser.next_request() {
-                Ok(Some(request)) => {
-                    request_started = None;
-                    let response = state.handle(&request);
-                    let keep_alive = request.keep_alive && response.keep_alive;
-                    let response = Response {
-                        keep_alive,
-                        ..response
-                    };
-                    // 429 only ever means per-session flood control, so
-                    // the attribution counter rides the status here.
-                    if response.status == 429 {
-                        state.metrics.record_rate_limited(started.elapsed());
-                    } else {
-                        state.metrics.record(response.status, started.elapsed());
-                    }
-                    if response.write_to(stream).is_err() || !keep_alive {
-                        return;
-                    }
-                }
-                Ok(None) => break,
-                Err(e) => {
-                    let response = Response::from_error(&e);
-                    state.metrics.record(response.status, started.elapsed());
-                    let _ = response.write_to(stream);
-                    return;
-                }
-            }
-        }
-        // A partially-buffered request head/body is the slowloris shape:
-        // cap the next read at whatever deadline budget remains.
-        let timeout = if parser.buffered() > 0 {
-            let started = *request_started.get_or_insert_with(Instant::now);
-            match deadlines.request_deadline.checked_sub(started.elapsed()) {
-                Some(remaining) if !remaining.is_zero() => remaining.min(deadlines.read_timeout),
-                _ => {
-                    answer_timeout(stream, state, started);
-                    return;
-                }
-            }
-        } else {
-            request_started = None;
-            deadlines.read_timeout
-        };
-        let _ = stream.set_read_timeout(Some(timeout));
-        match stream.read(&mut chunk) {
-            Ok(0) => return,
-            Ok(n) => parser.feed(&chunk[..n]),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                // A stall mid-request is a timeout worth a typed answer;
-                // a stall between requests is just an idle keep-alive
-                // connection being reclaimed.
-                if let Some(started) = request_started {
-                    answer_timeout(stream, state, started);
-                }
-                return;
-            }
-            Err(_) => return,
+/// A request dispatched to the pool and not yet answered: the first-byte
+/// instant (the honest latency origin) and the request's keep-alive
+/// disposition.
+struct Pending {
+    started: Instant,
+    keep_alive: bool,
+}
+
+/// One nonblocking connection owned by an event loop.
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    parser: RequestParser,
+    write: WriteBuffer,
+    /// Last byte-level progress in either direction (idle/stall clock).
+    last_activity: Instant,
+    /// Last time the write buffer drained any bytes (slow-reader clock).
+    last_write_progress: Instant,
+    /// First-byte instant of the request currently being parsed; while
+    /// set, the whole request must finish within the request deadline.
+    request_started: Option<Instant>,
+    /// The one request currently evaluating on the pool, if any.
+    inflight: Option<Pending>,
+    /// Close once the write buffer drains (error responses, `Connection:
+    /// close`, shed requests).
+    close_after_flush: bool,
+    /// The peer half-closed its sending side (read returned 0).
+    read_closed: bool,
+    /// Remove the connection at the end of this sweep.
+    dead: bool,
+}
+
+impl Conn {
+    fn adopt(stream: TcpStream, id: u64) -> Self {
+        let _ = stream.set_nonblocking(true);
+        let _ = stream.set_nodelay(true);
+        let now = Instant::now();
+        Self {
+            id,
+            stream,
+            parser: RequestParser::new(),
+            write: WriteBuffer::new(),
+            last_activity: now,
+            last_write_progress: now,
+            request_started: None,
+            inflight: None,
+            close_after_flush: false,
+            read_closed: false,
+            dead: false,
         }
     }
 }
 
-/// Load-sheds one connection the pool refused: a counted `503` +
+/// A loop's mailbox: the accept thread pushes adopted streams, workers
+/// push completed responses, shutdown raises `stop`; the condvar wakes
+/// the loop out of its idle park.
+#[derive(Default)]
+struct LoopInbox {
+    incoming: Vec<TcpStream>,
+    completions: Vec<(u64, Response)>,
+    stop: bool,
+}
+
+#[derive(Default)]
+struct LoopShared {
+    inbox: Mutex<LoopInbox>,
+    wake: Condvar,
+}
+
+/// Records one answered request and stages its response behind the
+/// connection's write queue.
+fn finish_request(conn: &mut Conn, state: &ServerState, response: Response, pending: &Pending) {
+    // 429 only ever means per-session flood control, so the attribution
+    // counter rides the status here.
+    if response.status == 429 {
+        state.metrics.record_rate_limited(pending.started.elapsed());
+    } else {
+        state
+            .metrics
+            .record(response.status, pending.started.elapsed());
+    }
+    stage_response(conn, response, pending.keep_alive);
+}
+
+/// Stages a response (metrics already recorded by the caller).
+fn stage_response(conn: &mut Conn, response: Response, request_keep_alive: bool) {
+    let keep_alive = request_keep_alive && response.keep_alive;
+    let response = Response {
+        keep_alive,
+        ..response
+    };
+    conn.write.push_response(&response);
+    if !keep_alive {
+        conn.close_after_flush = true;
+    }
+    let now = Instant::now();
+    conn.last_activity = now;
+    conn.last_write_progress = now;
+}
+
+/// Routes one parsed request: cheap endpoints answer inline on the loop;
+/// evaluation work goes to the pool (one in flight per connection), and
+/// a pool refusal is shed with a counted 503.
+fn dispatch_request(
+    conn: &mut Conn,
+    request: Request,
+    started: Instant,
+    state: &Arc<ServerState>,
+    shared: &Arc<LoopShared>,
+    pool: &WorkerPool,
+) {
+    let pending = Pending {
+        started,
+        keep_alive: request.keep_alive,
+    };
+    if !needs_pool(&request) {
+        let response = state.handle(&request);
+        finish_request(conn, state, response, &pending);
+        return;
+    }
+    // Fast path: with the whole server idle, two thread handoffs (loop →
+    // worker → loop) dominate a warm request, so evaluate right here.
+    // The gauges race benignly — two loops may both start inline — but
+    // the moment anything is running, new work goes to the pool and the
+    // loop stays free to multiplex.
+    let idle = state.inline_busy.load(Ordering::SeqCst) == 0
+        && state.pool_monitor.queue_depth() == 0
+        && state.pool_monitor.in_flight() == 0;
+    if idle {
+        state.inline_busy.fetch_add(1, Ordering::SeqCst);
+        // `handle` contains its own catch_unwind, so this cannot leak.
+        let response = state.handle(&request);
+        state.inline_busy.fetch_sub(1, Ordering::SeqCst);
+        finish_request(conn, state, response, &pending);
+        return;
+    }
+    let conn_id = conn.id;
+    let job_state = Arc::clone(state);
+    let job_shared = Arc::clone(shared);
+    let submitted = pool.try_submit(move || {
+        let response = job_state.handle(&request);
+        let mut inbox = lock(&job_shared.inbox);
+        inbox.completions.push((conn_id, response));
+        drop(inbox);
+        job_shared.wake.notify_all();
+    });
+    match submitted {
+        Ok(()) => conn.inflight = Some(pending),
+        Err(_refused) => {
+            state.metrics.record_shed(started.elapsed());
+            let response = Response {
+                keep_alive: false,
+                ..Response::overloaded(
+                    503,
+                    "server saturated: every worker is busy and the connection queue is full; \
+                     retry shortly",
+                    RETRY_AFTER_SECS,
+                )
+            };
+            stage_response(conn, response, false);
+        }
+    }
+}
+
+/// One service pass over a connection: flush writes, read fresh bytes,
+/// pop/dispatch requests, enforce deadlines. Returns whether any
+/// progress was made (the loop's spin-window signal).
+fn service_conn(
+    conn: &mut Conn,
+    state: &Arc<ServerState>,
+    shared: &Arc<LoopShared>,
+    pool: &WorkerPool,
+    deadlines: &ConnDeadlines,
+    chunk: &mut [u8],
+) -> bool {
+    if conn.dead {
+        return false;
+    }
+    let mut progress = false;
+
+    // 1. Drain the write buffer as far as the socket allows.
+    if !conn.write.is_empty() {
+        match conn.write.flush(&mut conn.stream) {
+            Ok(0) => {
+                if conn.last_write_progress.elapsed() >= deadlines.write_timeout {
+                    conn.dead = true; // slow reader
+                    return true;
+                }
+            }
+            Ok(_) => {
+                progress = true;
+                let now = Instant::now();
+                conn.last_write_progress = now;
+                conn.last_activity = now;
+            }
+            Err(_) => {
+                conn.dead = true;
+                return true;
+            }
+        }
+    }
+    if conn.write.is_empty() && conn.close_after_flush {
+        conn.dead = true;
+        return true;
+    }
+
+    // 2. Read whatever has arrived — only when able to act on it (one
+    //    request in flight per connection bounds buffering).
+    if conn.inflight.is_none() && !conn.close_after_flush && !conn.read_closed {
+        loop {
+            match conn.stream.read(chunk) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    progress = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.parser.feed(&chunk[..n]);
+                    let now = Instant::now();
+                    conn.last_activity = now;
+                    if conn.request_started.is_none() {
+                        conn.request_started = Some(now);
+                    }
+                    progress = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.dead = true;
+                    return true;
+                }
+            }
+        }
+    }
+
+    // 3. Pop buffered requests (pipelining) until one needs the pool.
+    while conn.inflight.is_none() && !conn.close_after_flush && !conn.dead {
+        let started = conn.request_started;
+        match conn.parser.next_request() {
+            Ok(Some(request)) => {
+                progress = true;
+                conn.request_started = None;
+                let started = started.unwrap_or_else(Instant::now);
+                dispatch_request(conn, request, started, state, shared, pool);
+            }
+            Ok(None) => break,
+            Err(e) => {
+                progress = true;
+                conn.request_started = None;
+                let response = Response::from_error(&e);
+                state.metrics.record(
+                    response.status,
+                    started.map_or(Duration::ZERO, |s| s.elapsed()),
+                );
+                stage_response(conn, response, false);
+                break;
+            }
+        }
+    }
+
+    // 4. A half-closed peer with nothing pending (or an abandoned
+    //    partial request) is reaped silently, like the blocking server's
+    //    EOF return.
+    if conn.read_closed && conn.inflight.is_none() && conn.write.is_empty() {
+        conn.dead = true;
+        return true;
+    }
+
+    // 5. Deadlines: a partial request must beat both the request
+    //    deadline (slowloris) and the read timeout since its last byte;
+    //    an idle keep-alive connection is reclaimed silently.
+    if conn.inflight.is_none() && !conn.close_after_flush {
+        if let Some(started) = conn.request_started {
+            if started.elapsed() >= deadlines.request_deadline
+                || conn.last_activity.elapsed() >= deadlines.read_timeout
+            {
+                progress = true;
+                conn.request_started = None;
+                state.metrics.record_timeout(started.elapsed());
+                let response = Response {
+                    keep_alive: false,
+                    ..Response::error(
+                        408,
+                        "request did not complete within the server's request deadline",
+                    )
+                };
+                stage_response(conn, response, false);
+            }
+        } else if conn.write.is_empty()
+            && conn.parser.buffered() == 0
+            && conn.last_activity.elapsed() >= deadlines.read_timeout
+        {
+            progress = true;
+            conn.dead = true;
+        }
+    }
+    progress
+}
+
+/// An event loop: owns its connections, sweeps them for readiness, and
+/// parks on the inbox condvar when idle.
+fn run_event_loop(
+    state: &Arc<ServerState>,
+    shared: &Arc<LoopShared>,
+    pool: &WorkerPool,
+    deadlines: ConnDeadlines,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut next_conn_id: u64 = 0;
+    let mut chunk = [0u8; 4096];
+    let mut spin_until = Instant::now();
+    loop {
+        let (incoming, completions, stop) = {
+            let mut inbox = lock(&shared.inbox);
+            (
+                std::mem::take(&mut inbox.incoming),
+                std::mem::take(&mut inbox.completions),
+                inbox.stop,
+            )
+        };
+        if stop {
+            state
+                .live_connections
+                .fetch_sub(conns.len(), Ordering::SeqCst);
+            return;
+        }
+        let mut progress = !incoming.is_empty() || !completions.is_empty();
+        for stream in incoming {
+            next_conn_id += 1;
+            conns.push(Conn::adopt(stream, next_conn_id));
+        }
+        for (conn_id, response) in completions {
+            // The owning connection may have died while the job ran; the
+            // request is still recorded (it was answered, the answer was
+            // undeliverable) so the accounting invariant holds.
+            if let Some(conn) = conns.iter_mut().find(|c| c.id == conn_id) {
+                if let Some(pending) = conn.inflight.take() {
+                    finish_request(conn, state, response, &pending);
+                }
+            }
+        }
+        for conn in &mut conns {
+            progress |= service_conn(conn, state, shared, pool, &deadlines, &mut chunk);
+        }
+        // A dead connection with a job still in flight lingers as a
+        // tombstone until its completion arrives, so the response is
+        // recorded against the real first-byte instant.
+        let before = conns.len();
+        conns.retain(|c| !c.dead || c.inflight.is_some());
+        let reaped = before - conns.len();
+        if reaped > 0 {
+            state.live_connections.fetch_sub(reaped, Ordering::SeqCst);
+            progress = true;
+        }
+
+        let now = Instant::now();
+        if progress {
+            spin_until = now + SPIN_WINDOW;
+            continue;
+        }
+        if now < spin_until {
+            std::thread::yield_now();
+            continue;
+        }
+        let tick = if conns.is_empty() {
+            EMPTY_TICK
+        } else {
+            IDLE_TICK
+        };
+        let inbox = lock(&shared.inbox);
+        if inbox.incoming.is_empty() && inbox.completions.is_empty() && !inbox.stop {
+            let _ = shared.wake.wait_timeout(inbox, tick);
+        }
+    }
+}
+
+/// Load-sheds one connection at admission: a counted `503` +
 /// `Retry-After`, written on the accept thread with a short timeout so a
 /// slow client cannot stall admission.
-fn shed_connection(slot: &Mutex<Option<TcpStream>>, state: &ServerState, started: Instant) {
-    let Some(mut stream) = lock(slot).take() else {
-        return;
-    };
+fn shed_connection(mut stream: TcpStream, state: &ServerState, started: Instant) {
     state.metrics.record_shed(started.elapsed());
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     let response = Response {
@@ -591,12 +1053,63 @@ fn shed_connection(slot: &Mutex<Option<TcpStream>>, state: &ServerState, started
     let _ = response.write_to(&mut stream);
 }
 
-/// A running server: background accept loop + worker pool, shut down via
-/// [`Server::shutdown`] (or drop).
+/// The accept loop: admission control, accept-error backoff, and
+/// round-robin handoff to the event loops.
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<ServerState>,
+    loops: &[Arc<LoopShared>],
+    max_connections: usize,
+    stop: &AtomicBool,
+) {
+    let mut next_loop = 0usize;
+    let mut consecutive_errors: u32 = 0;
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(stream) => {
+                consecutive_errors = 0;
+                stream
+            }
+            Err(_) => {
+                // Persistent accept errors (fd exhaustion and friends)
+                // must not busy-spin this thread at 100% CPU: count the
+                // error and back off, doubling from 1 ms to ~128 ms.
+                state.metrics.record_accept_error();
+                let backoff = Duration::from_millis(1 << consecutive_errors.min(7));
+                consecutive_errors = consecutive_errors.saturating_add(1);
+                std::thread::sleep(backoff);
+                continue;
+            }
+        };
+        let started = Instant::now();
+        if state.live_connections.load(Ordering::SeqCst) >= max_connections {
+            shed_connection(stream, state, started);
+            continue;
+        }
+        state.live_connections.fetch_add(1, Ordering::SeqCst);
+        let target = &loops[next_loop % loops.len()];
+        next_loop = next_loop.wrapping_add(1);
+        let mut inbox = lock(&target.inbox);
+        inbox.incoming.push(stream);
+        drop(inbox);
+        target.wake.notify_all();
+    }
+}
+
+/// A running server: accept thread + event loops + worker pool, shut
+/// down via [`Server::shutdown`] (or drop).
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_handle: Option<std::thread::JoinHandle<()>>,
+    loop_handles: Vec<std::thread::JoinHandle<()>>,
+    loops: Vec<Arc<LoopShared>>,
+    /// Dropped last in shutdown so queued evaluations drain after the
+    /// loops exit.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl std::fmt::Debug for Server {
@@ -607,72 +1120,79 @@ impl std::fmt::Debug for Server {
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// accept loop on a background thread.
+    /// accept thread and event loops in the background.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind failure (or a thread-spawn failure).
     pub fn start(addr: &str, config: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        // The pool is created out here so the shared state can hold its
-        // (weak) monitor; it still moves into the accept thread, which
-        // drop-joins it on shutdown so in-flight connections drain
-        // before `Server::shutdown` returns.
-        let pool = match config.queue_capacity {
+        let pool = Arc::new(match config.queue_capacity {
             Some(cap) => WorkerPool::with_queue_capacity(config.workers, cap),
             None => WorkerPool::new(config.workers),
-        };
+        });
+        let max_connections = config
+            .max_connections
+            .unwrap_or(config.workers + pool.queue_capacity());
         let state = Arc::new(ServerState {
             engine: ChipEngine::new()
                 .with_workers(1)
                 .with_scenario_cache_cap(config.scenario_cache_cap)
                 .with_matrix_cache_cap(config.matrix_cache_cap),
-            sessions: Mutex::new(LruCache::new(config.max_sessions)),
+            sessions: ShardedLru::new(config.max_sessions, config.session_shards),
             next_id: AtomicU64::new(1),
             metrics: Metrics::new(),
             max_tiles: config.max_tiles,
             max_pending_updates: config.max_pending_updates,
             pool_monitor: pool.monitor(),
             faults: config.faults.clone(),
+            live_connections: AtomicUsize::new(0),
+            inline_busy: AtomicUsize::new(0),
         });
-        let stop = Arc::new(AtomicBool::new(false));
-        let accept_stop = Arc::clone(&stop);
         let deadlines = ConnDeadlines {
             read_timeout: config.read_timeout,
             write_timeout: config.write_timeout,
             request_deadline: config.request_deadline,
         };
+        let mut loops = Vec::with_capacity(config.event_loops);
+        let mut loop_handles = Vec::with_capacity(config.event_loops);
+        for i in 0..config.event_loops.max(1) {
+            let shared = Arc::new(LoopShared::default());
+            let loop_state = Arc::clone(&state);
+            let loop_shared = Arc::clone(&shared);
+            let loop_pool = Arc::clone(&pool);
+            loop_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ttsv-serve-loop-{i}"))
+                    .spawn(move || {
+                        run_event_loop(&loop_state, &loop_shared, &loop_pool, deadlines);
+                    })?,
+            );
+            loops.push(shared);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_state = Arc::clone(&state);
+        let accept_loops = loops.clone();
         let accept_handle = std::thread::Builder::new()
             .name("ttsv-serve-accept".into())
             .spawn(move || {
-                for conn in listener.incoming() {
-                    if accept_stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = conn else { continue };
-                    let started = Instant::now();
-                    // `try_submit` hands a rejected job back, but the
-                    // stream can't be unpacked from the closure — park
-                    // it in a shared slot so the shed path can recover
-                    // it and answer 503 on the accept thread.
-                    let slot = Arc::new(Mutex::new(Some(stream)));
-                    let job_slot = Arc::clone(&slot);
-                    let job_state = Arc::clone(&state);
-                    let admitted = pool.try_submit(move || {
-                        if let Some(mut stream) = lock(&job_slot).take() {
-                            handle_connection(&mut stream, &job_state, &deadlines);
-                        }
-                    });
-                    if admitted.is_err() {
-                        shed_connection(&slot, &state, started);
-                    }
-                }
+                accept_loop(
+                    &listener,
+                    &accept_state,
+                    &accept_loops,
+                    max_connections,
+                    &accept_stop,
+                );
             })?;
         Ok(Self {
             addr: local,
             stop,
             accept_handle: Some(accept_handle),
+            loop_handles,
+            loops,
+            pool: Some(pool),
         })
     }
 
@@ -682,20 +1202,30 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting, drains in-flight connections, and joins the
-    /// accept thread.
+    /// Stops accepting, closes the event loops, drains in-flight
+    /// evaluations, and joins every background thread.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
-        let Some(handle) = self.accept_handle.take() else {
-            return;
-        };
         self.stop.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        let _ = handle.join();
+        if let Some(handle) = self.accept_handle.take() {
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+        for shared in &self.loops {
+            lock(&shared.inbox).stop = true;
+            shared.wake.notify_all();
+        }
+        for handle in self.loop_handles.drain(..) {
+            let _ = handle.join();
+        }
+        // Last out: dropping the pool joins the workers, so in-flight
+        // evaluations finish (their completions land in dead inboxes)
+        // before shutdown returns.
+        self.pool = None;
     }
 }
 

@@ -13,6 +13,9 @@
 //!   per-session lock is held, so the lock is genuinely poisoned)
 //!   answers a typed 500, and every later request on every session is
 //!   byte-identical to a fault-free run.
+//! * **Rollback** — a power update whose evaluation fails (injected
+//!   engine error or contained panic) leaves the session bitwise
+//!   unchanged: the staged mutation is rolled back before the 500.
 //! * **Overload control** — a saturated pool sheds new connections with
 //!   `503` + `Retry-After` promptly; one session flooded past its
 //!   pending cap answers `429` + `Retry-After`; a slowloris half-request
@@ -101,10 +104,12 @@ fn drive_session(addr: &str, session: usize, chaos_seed: Option<u64>) -> Vec<Str
         .expect("envelope close")
         .to_string()];
     for round in 0..ROUNDS {
+        // `?full=1` opts out of delta responses so every body compares
+        // bitwise against direct engine evaluation.
         let (status, body) = client
             .request(
                 "POST",
-                &format!("/sessions/{id}/power"),
+                &format!("/sessions/{id}/power?full=1"),
                 &trace_power_body(GRID, session, round),
             )
             .expect("power update");
@@ -208,14 +213,15 @@ fn injected_panic_answers_500_then_serves_bitwise_correct_reports() {
     assert_eq!(status, 500, "{body}");
     assert!(body.contains("panicked"), "typed panic response: {body}");
 
-    // The panicked update's delta *was* applied before the panic, so
-    // replaying round 0 re-applies the identical absolute watt values —
-    // every report from here on must match the fault-free ground truth.
+    // The panicked update's staged mutation was rolled back, so the
+    // session is bitwise back at its registered state; replaying round 0
+    // applies the same absolute watt values and every report from here
+    // on must match the fault-free ground truth.
     for round in 0..ROUNDS {
         let (status, body) = client
             .request(
                 "POST",
-                "/sessions/1/power",
+                "/sessions/1/power?full=1",
                 &trace_power_body(GRID, 0, round),
             )
             .expect("post-panic power update");
@@ -235,6 +241,66 @@ fn injected_panic_answers_500_then_serves_bitwise_correct_reports() {
 
     let doc = fetch_metrics(&addr);
     assert_eq!(field(&doc, "overload", "panics"), 1);
+    assert_metrics_reconcile(&doc);
+    server.shutdown();
+}
+
+/// A power update whose evaluation fails must leave the session exactly
+/// as it was: the staged mutation rolls back, so the next read is
+/// bitwise identical to the pre-update report and a clean retry
+/// evaluates the same state a fault-free server would.
+#[test]
+fn failed_update_rolls_back_session_state() {
+    // Ordinal 1 registers, ordinal 2 is the baseline read; ordinal 3
+    // (the first power update) fails inside evaluation with an injected
+    // engine error *after* its mutation was staged.
+    let faults = Arc::new(ServerFaults::new().engine_error_on(3));
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig::default().with_workers(2).with_faults(faults),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+    let expected = direct_session(0);
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let (status, body) = client
+        .request("POST", "/sessions", &trace_register_body(GRID, 0))
+        .expect("register");
+    assert_eq!(status, 201, "{body}");
+    let (status, before) = client.request("GET", "/sessions/1", "").expect("read");
+    assert_eq!(status, 200, "{before}");
+    assert_eq!(before, expected[0], "baseline read matches ground truth");
+
+    let (status, body) = client
+        .request("POST", "/sessions/1/power", &trace_power_body(GRID, 0, 0))
+        .expect("failed update is still answered");
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("injected engine fault"), "{body}");
+
+    // The 500'd update must not have mutated the plan: the next read is
+    // bitwise identical to the pre-update report.
+    let (status, after) = client.request("GET", "/sessions/1", "").expect("re-read");
+    assert_eq!(status, 200, "{after}");
+    assert_eq!(
+        after, before,
+        "a failed update must leave the session bitwise unchanged"
+    );
+
+    // A clean retry now evaluates the same pre-update state and lands
+    // the fault-free round-0 report.
+    let (status, body) = client
+        .request(
+            "POST",
+            "/sessions/1/power?full=1",
+            &trace_power_body(GRID, 0, 0),
+        )
+        .expect("retry");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, expected[1], "retry matches the fault-free run");
+
+    let doc = fetch_metrics(&addr);
+    assert_eq!(field(&doc, "responses", "server_5xx"), 1);
     assert_metrics_reconcile(&doc);
     server.shutdown();
 }

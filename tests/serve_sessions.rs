@@ -16,7 +16,7 @@
 use proptest::prelude::*;
 use ttsv::serve::client::{trace_power_body, trace_register_body, Client};
 use ttsv::serve::lru::LruCache;
-use ttsv::serve::protocol::{parse_power_update, parse_register};
+use ttsv::serve::protocol::{apply_delta, parse_power_update, parse_register};
 use ttsv::serve::server::{Server, ServerConfig};
 use ttsv_chip::ChipEngine;
 
@@ -45,10 +45,12 @@ fn drive_session(addr: &str, session: usize) -> Vec<String> {
         .expect("envelope close")
         .to_string()];
     for round in 0..ROUNDS {
+        // `?full=1` opts out of delta responses so every body compares
+        // bitwise against direct engine evaluation.
         let (status, body) = client
             .request(
                 "POST",
-                &format!("/sessions/{id}/power"),
+                &format!("/sessions/{id}/power?full=1"),
                 &trace_power_body(GRID, session, round),
             )
             .expect("power update");
@@ -102,6 +104,97 @@ fn concurrent_sessions_match_direct_evaluation_at_any_worker_count() {
             assert_eq!(
                 got, expected[s],
                 "session {s} responses diverged from direct evaluation at {workers} workers"
+            );
+        }
+        server.shutdown();
+    }
+}
+
+/// Default power responses are deltas: only the tiles whose ΔT changed,
+/// plus updated summary statistics. Applying each delta to the previous
+/// full report client-side must reproduce the full `ChipReport` JSON
+/// bitwise — and the delta must actually be smaller than the full
+/// report for a two-tile update.
+#[test]
+fn delta_responses_reconcile_bitwise_with_full_reports() {
+    let expected = direct_session(0);
+    let server = Server::start("127.0.0.1:0", ServerConfig::default().with_workers(2))
+        .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let (status, body) = client
+        .request("POST", "/sessions", &trace_register_body(GRID, 0))
+        .expect("register");
+    assert_eq!(status, 201, "{body}");
+    let mut full = expected[0].clone();
+
+    for round in 0..ROUNDS {
+        let (status, delta) = client
+            .request(
+                "POST",
+                "/sessions/1/power",
+                &trace_power_body(GRID, 0, round),
+            )
+            .expect("power update");
+        assert_eq!(status, 200, "{delta}");
+        assert!(
+            delta.starts_with("{\"delta\":true,"),
+            "default responses are deltas: {delta}"
+        );
+        assert!(
+            delta.len() < expected[round + 1].len(),
+            "a two-tile delta ({}B) must be smaller than the full report ({}B)",
+            delta.len(),
+            expected[round + 1].len()
+        );
+        full = apply_delta(&full, &delta).expect("delta applies cleanly");
+        assert_eq!(
+            full,
+            expected[round + 1],
+            "round {round}: applying the delta must rebuild the full report bitwise"
+        );
+    }
+    // The server's own full view agrees with the client's rebuilt one.
+    let (status, body) = client.request("GET", "/sessions/1", "").expect("read");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        body, full,
+        "server full report matches the delta-rebuilt one"
+    );
+    server.shutdown();
+}
+
+/// The multiplexed path at 32 concurrent connections: responses stay
+/// bitwise deterministic no matter how many workers, event loops, or
+/// session shards serve them.
+#[test]
+fn thirty_two_concurrent_connections_stay_deterministic() {
+    const FANOUT: usize = 32;
+    let expected: Vec<Vec<String>> = (0..FANOUT).map(direct_session).collect();
+    for (workers, event_loops, shards) in [(1, 1, 1), (2, 2, 8), (4, 3, 5)] {
+        let server = Server::start(
+            "127.0.0.1:0",
+            ServerConfig::default()
+                .with_workers(workers)
+                .with_event_loops(event_loops)
+                .with_session_shards(shards)
+                .with_max_connections(2 * FANOUT)
+                .with_queue_capacity(2 * FANOUT),
+        )
+        .expect("bind ephemeral port");
+        let addr = server.addr().to_string();
+        let handles: Vec<_> = (0..FANOUT)
+            .map(|s| {
+                let addr = addr.clone();
+                std::thread::spawn(move || drive_session(&addr, s))
+            })
+            .collect();
+        for (s, handle) in handles.into_iter().enumerate() {
+            let got = handle.join().expect("client thread");
+            assert_eq!(
+                got, expected[s],
+                "session {s} diverged at {workers} workers / {event_loops} loops / {shards} shards"
             );
         }
         server.shutdown();
