@@ -4,7 +4,7 @@
 //!
 //! Usage:
 //! `cargo run --release -p ttsv-bench --bin bench_json [-- PATH [--check COMMITTED]]`
-//! (default output: `BENCH_8.json` in the current directory). With
+//! (default output: `BENCH_9.json` in the current directory). With
 //! `--check COMMITTED`, the freshly measured medians are compared against
 //! the committed recording and the process exits nonzero if any shared
 //! row regressed more than 1.5× — the CI regression guard. See the
@@ -28,38 +28,40 @@ const TARGET_SAMPLES: usize = 15;
 const CHECK_HEADROOM_NUM: u128 = 3;
 const CHECK_HEADROOM_DEN: u128 = 2;
 
-/// PR-6 numbers for the carried-over workloads (the medians recorded in
-/// the committed `BENCH_6.json`) — the baseline the PR-8 acceptance
+/// PR-8 numbers for the carried-over workloads (the medians recorded in
+/// the committed `BENCH_8.json`) — the baseline the PR-9 acceptance
 /// criteria compare against. The `serve/*` rows recorded here were
-/// measured on the blocking connection-per-worker server, so they price
-/// exactly what the multiplexed rewrite must not regress;
-/// `serve/warm_delta_response` and `serve/sustained_fanout` are new in
-/// PR 8 and have no earlier baseline.
-const BASELINE_PR6_NS: &[(&str, u128)] = &[
-    ("fig4_radius_sweep/fem_coarse", 657_823),
-    ("fig4_radius_sweep/model_b_100", 70_175),
-    ("table1_segments/B(500)", 61_045),
-    ("table1_segments/B(1000)", 165_127),
-    ("table1_segments/banded_lu/1000", 309_777),
-    ("ablation_fem_precond/ssor/coarse", 1_684_105),
-    ("ablation_fem_precond/multigrid/coarse", 844_184),
-    ("ablation_fem_precond/multigrid_cheby/coarse", 948_486),
-    ("ablation_fem_precond/direct_banded/coarse", 110_369),
-    ("mg_hierarchy/build/box32k", 5_978_258),
-    ("mg_hierarchy/refresh/box32k", 1_328_409),
-    ("mg_hierarchy/refresh_flat/box32k", 6_052_764),
-    ("mg_vcycle/jacobi/box32k", 806_524),
-    ("mg_vcycle/chebyshev3/box32k", 2_133_156),
-    ("fem_mg_sweep/rebuild", 86_940_380),
-    ("fem_mg_sweep/reuse", 67_274_865),
-    ("floorplan_chip/hotspot32/model_b100", 115_113),
-    ("floorplan_chip/hotspot32/model_b100/no_dedup", 14_202_668),
-    ("floorplan_chip/gradient32/model_b100", 14_300_479),
-    ("floorplan_chip/gradient32/factor_shared", 2_418_502),
-    ("sweep_runner/fig4_quick", 900_811),
-    ("serve/cold_session", 3_883_437),
-    ("serve/warm_delta", 261_931),
-    ("serve/sustained_32req", 7_380_242),
+/// measured on the sweep-tick event loops, so they price exactly what
+/// the `poll(2)` readiness backend must not regress;
+/// `serve/parked_request` and `serve/parked_request_sweep` are new in
+/// PR 9 and have no earlier baseline.
+const BASELINE_PR8_NS: &[(&str, u128)] = &[
+    ("fig4_radius_sweep/fem_coarse", 713_719),
+    ("fig4_radius_sweep/model_b_100", 73_553),
+    ("table1_segments/B(500)", 64_437),
+    ("table1_segments/B(1000)", 168_845),
+    ("table1_segments/banded_lu/1000", 315_777),
+    ("ablation_fem_precond/ssor/coarse", 1_761_603),
+    ("ablation_fem_precond/multigrid/coarse", 873_536),
+    ("ablation_fem_precond/multigrid_cheby/coarse", 981_646),
+    ("ablation_fem_precond/direct_banded/coarse", 149_546),
+    ("mg_hierarchy/build/box32k", 6_009_184),
+    ("mg_hierarchy/refresh/box32k", 1_393_586),
+    ("mg_hierarchy/refresh_flat/box32k", 5_764_181),
+    ("mg_vcycle/jacobi/box32k", 790_322),
+    ("mg_vcycle/chebyshev3/box32k", 2_081_015),
+    ("fem_mg_sweep/rebuild", 82_852_316),
+    ("fem_mg_sweep/reuse", 65_057_422),
+    ("floorplan_chip/hotspot32/model_b100", 104_439),
+    ("floorplan_chip/hotspot32/model_b100/no_dedup", 13_635_953),
+    ("floorplan_chip/gradient32/model_b100", 13_682_439),
+    ("floorplan_chip/gradient32/factor_shared", 2_380_632),
+    ("sweep_runner/fig4_quick", 822_568),
+    ("serve/cold_session", 3_325_304),
+    ("serve/warm_delta", 155_384),
+    ("serve/warm_delta_response", 131_698),
+    ("serve/sustained_32req", 3_967_144),
+    ("serve/sustained_fanout", 5_864_247),
 ];
 
 struct Sampler {
@@ -67,11 +69,25 @@ struct Sampler {
 }
 
 impl Sampler {
-    fn bench<O>(&mut self, name: &str, mut f: impl FnMut() -> O) {
+    fn bench<O>(&mut self, name: &str, f: impl FnMut() -> O) {
+        self.bench_prepared(name, || {}, f);
+    }
+
+    /// Like [`Sampler::bench`], but runs `prepare` untimed before every
+    /// sample — for rows whose setup (e.g. parking a connection past the
+    /// event loops' spin window) must not pollute the measured latency.
+    fn bench_prepared<O>(
+        &mut self,
+        name: &str,
+        mut prepare: impl FnMut(),
+        mut f: impl FnMut() -> O,
+    ) {
+        prepare();
         std::hint::black_box(f()); // warm-up
         let start = Instant::now();
         let mut samples = Vec::with_capacity(TARGET_SAMPLES);
         while samples.len() < TARGET_SAMPLES && start.elapsed() < TIME_BUDGET {
+            prepare();
             let t = Instant::now();
             std::hint::black_box(f());
             samples.push(t.elapsed().as_nanos());
@@ -86,7 +102,7 @@ impl Sampler {
     }
 
     fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": \"ttsv-bench-json/1\",\n  \"pr\": 8,\n");
+        let mut out = String::from("{\n  \"schema\": \"ttsv-bench-json/1\",\n  \"pr\": 9,\n");
         out.push_str(
             "  \"generated_by\": \"cargo run --release -p ttsv-bench --bin bench_json\",\n",
         );
@@ -97,9 +113,9 @@ impl Sampler {
                 "    \"{name}\": {{\"median_ns\": {median}, \"samples\": {samples}}}{comma}\n"
             ));
         }
-        out.push_str("  },\n  \"baseline_pr6_ns\": {\n");
-        for (i, (name, ns)) in BASELINE_PR6_NS.iter().enumerate() {
-            let comma = if i + 1 < BASELINE_PR6_NS.len() {
+        out.push_str("  },\n  \"baseline_pr8_ns\": {\n");
+        for (i, (name, ns)) in BASELINE_PR8_NS.iter().enumerate() {
+            let comma = if i + 1 < BASELINE_PR8_NS.len() {
                 ","
             } else {
                 ""
@@ -167,7 +183,7 @@ fn main() {
         .enumerate()
         .find(|&(i, a)| !a.starts_with("--") && Some(i) != check_pos.map(|c| c + 1))
         .map(|(_, a)| a.clone())
-        .unwrap_or_else(|| "BENCH_8.json".into());
+        .unwrap_or_else(|| "BENCH_9.json".into());
     if check_against.as_deref() == Some(path.as_str()) {
         eprintln!("--check target and output path are the same file ({path}) — refusing");
         std::process::exit(2);
@@ -338,7 +354,7 @@ fn main() {
     {
         use ttsv::serve::client::{trace_power_body, Client};
         use ttsv::serve::protocol::render_register_body;
-        use ttsv::serve::server::{Server, ServerConfig};
+        use ttsv::serve::server::{ReadinessBackend, Server, ServerConfig};
         const GRID: usize = 12;
         const FANOUT: usize = 32;
         // A never-seen chip configuration per id: per-session power scale
@@ -360,11 +376,17 @@ fn main() {
             let body = render_register_body(GRID, GRID, &planes, density);
             format!("{},\"segments\":[10,1000]}}", &body[..body.len() - 1])
         };
+        // Pinned to the poll(2) backend so the serve rows (and especially
+        // `serve/parked_request`) price the readiness backend, not
+        // whatever TTSV_SERVE_READINESS happens to be set to. On hosts
+        // without poll(2) the server falls back to sweep at startup and
+        // the two parked rows converge.
         let config = ServerConfig::default()
             .with_workers(2)
             .with_max_sessions(128)
             .with_max_connections(2 * FANOUT)
-            .with_queue_capacity(2 * FANOUT);
+            .with_queue_capacity(2 * FANOUT)
+            .with_readiness(ReadinessBackend::Poll);
         let server = Server::start("127.0.0.1:0", config).expect("bind ephemeral port");
         let addr = server.addr().to_string();
         let mut client = Client::connect(&addr).expect("connect");
@@ -457,7 +479,49 @@ fn main() {
             });
             last
         });
+
+        // The idle-connection rows: park a keep-alive connection past the
+        // event loops' 200 µs spin window (untimed, via bench_prepared),
+        // then time one /healthz round-trip on it. On the poll(2) backend
+        // the parked loop blocks in poll and the socket itself wakes it,
+        // so the row sits in the microseconds; the sweep fallback only
+        // notices parked sockets on its 1 ms idle tick, which quantizes
+        // the same round-trip to the tick — the latency floor the
+        // readiness backend exists to remove.
+        let park = Duration::from_millis(1);
+        let mut parked = Client::connect(&addr).expect("connect parked client");
+        sampler.bench_prepared(
+            "serve/parked_request",
+            || std::thread::sleep(park),
+            || {
+                let (status, body) = parked.request("GET", "/healthz", "").expect("healthz");
+                assert_eq!(status, 200, "{body}");
+                body
+            },
+        );
+        drop(parked);
         server.shutdown();
+
+        let sweep_server = Server::start(
+            "127.0.0.1:0",
+            ServerConfig::default()
+                .with_workers(2)
+                .with_readiness(ReadinessBackend::Sweep),
+        )
+        .expect("bind sweep server");
+        let sweep_addr = sweep_server.addr().to_string();
+        let mut parked = Client::connect(&sweep_addr).expect("connect parked sweep client");
+        sampler.bench_prepared(
+            "serve/parked_request_sweep",
+            || std::thread::sleep(park),
+            || {
+                let (status, body) = parked.request("GET", "/healthz", "").expect("healthz");
+                assert_eq!(status, 200, "{body}");
+                body
+            },
+        );
+        drop(parked);
+        sweep_server.shutdown();
     }
 
     let json = sampler.to_json();

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo run --release -p ttsv-serve --bin bench-client -- \
-//!     --spawn [--trace SESSIONS:ROUNDS:GRID] [--check] [--chaos SEED]
+//!     --spawn [--trace SESSIONS:ROUNDS:GRID] [--check] [--chaos SEED] \
+//!     [--readiness poll|sweep]
 //! cargo run --release -p ttsv-serve --bin bench-client -- \
 //!     --addr 127.0.0.1:7071 [--sessions N | --fanout N] [--rounds N] \
 //!     [--grid N] [--delta]
@@ -34,7 +35,9 @@
 //! flight), which fails if connections are served one at a time — and
 //! the replay itself already fails on any shed or wrong response.
 //! `--delta` switches the power rounds from `?full=1` full reports to
-//! the server's default delta responses.
+//! the server's default delta responses. `--readiness` (only with
+//! `--spawn`) forwards the readiness backend to the spawned server, so
+//! CI can smoke both the `poll(2)` backend and the sweep fallback.
 //!
 //! A connection the server refuses or resets exits 1 with a diagnostic
 //! naming the address, instead of an opaque panic.
@@ -56,7 +59,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: bench-client (--addr HOST:PORT | --spawn) \
          [--trace SESSIONS:ROUNDS:GRID] [--sessions N | --fanout N] [--rounds N] \
-         [--grid N] [--delta] [--check] [--chaos SEED]"
+         [--grid N] [--delta] [--check] [--chaos SEED] [--readiness poll|sweep]"
     );
     std::process::exit(2);
 }
@@ -94,22 +97,26 @@ fn parse_flag<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T 
 
 /// Spawns the sibling `serve` binary on an ephemeral port and reads the
 /// bound address from its `listening on <addr>` stdout line.
-fn spawn_server() -> (Child, String) {
+fn spawn_server(readiness: Option<&str>) -> (Child, String) {
     let serve = std::env::current_exe()
         .expect("current exe path")
         .with_file_name(if cfg!(windows) { "serve.exe" } else { "serve" });
-    let mut child = Command::new(&serve)
-        // Raised caps: a wide --fanout replay must multiplex, not shed.
-        .args([
-            "--addr",
-            "127.0.0.1:0",
-            "--max-connections",
-            "256",
-            "--queue-capacity",
-            "256",
-            "--max-sessions",
-            "256",
-        ])
+    let mut command = Command::new(&serve);
+    // Raised caps: a wide --fanout replay must multiplex, not shed.
+    command.args([
+        "--addr",
+        "127.0.0.1:0",
+        "--max-connections",
+        "256",
+        "--queue-capacity",
+        "256",
+        "--max-sessions",
+        "256",
+    ]);
+    if let Some(readiness) = readiness {
+        command.args(["--readiness", readiness]);
+    }
+    let mut child = command
         .stdout(Stdio::piped())
         .spawn()
         .unwrap_or_else(|e| panic!("spawn {}: {e}", serve.display()));
@@ -131,6 +138,7 @@ fn main() {
     let mut spawn = false;
     let mut check = false;
     let mut fanout = false;
+    let mut readiness: Option<String> = None;
     let mut config = TraceConfig::default();
     let mut args = std::env::args();
     let _ = args.next();
@@ -148,6 +156,16 @@ fn main() {
             "--grid" => config.grid = parse_flag(&mut args, "--grid"),
             "--delta" => config.full_reports = false,
             "--chaos" => config.chaos = Some(parse_flag(&mut args, "--chaos")),
+            "--readiness" => {
+                // Validate here (same names the server accepts), so a
+                // typo fails fast instead of inside the spawned child.
+                let value: String = parse_flag(&mut args, "--readiness");
+                if value.parse::<ttsv_serve::ReadinessBackend>().is_err() {
+                    eprintln!("--readiness {value:?} is not \"poll\" or \"sweep\"");
+                    usage();
+                }
+                readiness = Some(value);
+            }
             "--trace" => {
                 let spec: String = parse_flag(&mut args, "--trace");
                 let parts: Vec<&str> = spec.split(':').collect();
@@ -182,11 +200,16 @@ fn main() {
         usage();
     }
 
+    if readiness.is_some() && !spawn {
+        eprintln!("--readiness only makes sense with --spawn (it configures the spawned server)");
+        usage();
+    }
+
     let mut child = None;
     let addr = match (addr, spawn) {
         (Some(addr), false) => addr,
         (None, true) => {
-            let (spawned, addr) = spawn_server();
+            let (spawned, addr) = spawn_server(readiness.as_deref());
             child = Some(spawned);
             addr
         }

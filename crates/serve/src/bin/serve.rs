@@ -5,7 +5,7 @@
 //!     [--addr 127.0.0.1:7071] [--workers N] [--event-loops N] \
 //!     [--max-sessions N] [--session-shards N] [--max-tiles N] \
 //!     [--queue-capacity N] [--max-connections N] [--max-pending-updates N] \
-//!     [--request-deadline-ms MS] [--write-timeout-ms MS]
+//!     [--request-deadline-ms MS] [--write-timeout-ms MS] [--readiness poll|sweep]
 //! ```
 //!
 //! Prints exactly one `listening on <addr>` line to stdout once the
@@ -16,12 +16,16 @@ use std::time::Duration;
 
 use ttsv_serve::server::{Server, ServerConfig};
 
+// `--readiness` defaults to poll on unix, sweep elsewhere; the
+// `TTSV_SERVE_READINESS` environment variable overrides the default and
+// the flag overrides both (see `ServerConfig::readiness`).
+
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--workers N] [--event-loops N] \
          [--max-sessions N] [--session-shards N] [--max-tiles N] \
          [--queue-capacity N] [--max-connections N] [--max-pending-updates N] \
-         [--request-deadline-ms MS] [--write-timeout-ms MS]"
+         [--request-deadline-ms MS] [--write-timeout-ms MS] [--readiness poll|sweep]"
     );
     std::process::exit(2);
 }
@@ -78,6 +82,9 @@ fn main() {
                     &mut args,
                     "--write-timeout-ms",
                 )));
+            }
+            "--readiness" => {
+                config = config.with_readiness(parse_flag(&mut args, "--readiness"));
             }
             "--help" | "-h" => usage(),
             other => {

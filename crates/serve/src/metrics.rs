@@ -44,6 +44,21 @@ pub struct Metrics {
     accept_errors: AtomicU64,
     /// Connections currently inside `handle_connection` (gauge).
     inflight: AtomicU64,
+    /// Blocked-`poll(2)` returns across all event loops (poll backend
+    /// only; the spin window and sweep backend never touch this). An
+    /// idle server should hold this near zero — that is the whole point
+    /// of the poll backend, and the CI idle smoke pins it.
+    poll_wakeups: AtomicU64,
+    /// Poll wakeups that reported socket readiness but whose service
+    /// pass then made no progress with an empty inbox (readiness races,
+    /// e.g. a peer reset between `poll` and `read`). Persistent growth
+    /// here means interest tracking is wrong.
+    poll_spurious: AtomicU64,
+    /// Connections dropped at adoption because `set_nonblocking` /
+    /// `set_nodelay` failed — a socket left blocking would wedge its
+    /// whole event loop on the next read, so adoption failure is fatal
+    /// to the connection and counted here.
+    adopt_errors: AtomicU64,
     latency: [AtomicU64; BUCKETS],
 }
 
@@ -82,6 +97,16 @@ pub struct MetricsSnapshot {
     pub accept_errors: u64,
     /// Connections currently being handled (gauge, not a total).
     pub inflight: u64,
+    /// Blocked-`poll(2)` returns across all event loops (outside the
+    /// accounting invariant: wakeups are not requests).
+    pub poll_wakeups: u64,
+    /// Poll wakeups whose readiness produced no progress (subset of
+    /// `poll_wakeups`).
+    pub poll_spurious: u64,
+    /// Connections dropped because adoption (`set_nonblocking` /
+    /// `set_nodelay`) failed — no request was parsed, so these stay
+    /// outside the accounting invariant, like `accept_errors`.
+    pub adopt_errors: u64,
 }
 
 impl Default for Metrics {
@@ -106,6 +131,9 @@ impl Metrics {
             panics: AtomicU64::new(0),
             accept_errors: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
+            poll_wakeups: AtomicU64::new(0),
+            poll_spurious: AtomicU64::new(0),
+            adopt_errors: AtomicU64::new(0),
             latency: [(); BUCKETS].map(|()| AtomicU64::new(0)),
         }
     }
@@ -153,6 +181,25 @@ impl Metrics {
     /// `requests` nor the histogram.
     pub fn record_accept_error(&self) {
         self.accept_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one blocked-`poll(2)` return on an event loop.
+    pub fn record_poll_wakeup(&self) {
+        self.poll_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a poll wakeup that reported readiness but yielded no
+    /// progress on the following service pass.
+    pub fn record_poll_spurious(&self) {
+        self.poll_spurious.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one connection dropped because adoption failed. Like
+    /// accept errors, adoption failures are not requests — nothing was
+    /// parsed or answered — so this touches neither `requests` nor the
+    /// histogram.
+    pub fn record_adopt_error(&self) {
+        self.adopt_errors.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Marks one connection entering service; the returned guard
@@ -213,6 +260,9 @@ impl Metrics {
             panics: self.panics.load(Ordering::Relaxed),
             accept_errors: self.accept_errors.load(Ordering::Relaxed),
             inflight: self.inflight.load(Ordering::Relaxed),
+            poll_wakeups: self.poll_wakeups.load(Ordering::Relaxed),
+            poll_spurious: self.poll_spurious.load(Ordering::Relaxed),
+            adopt_errors: self.adopt_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -314,6 +364,24 @@ mod tests {
         let snap = m.snapshot();
         assert_eq!(snap.accept_errors, 2);
         assert_eq!(snap.requests, 0, "accept errors are not requests");
+        assert_eq!(snap.latency_samples, 0);
+    }
+
+    #[test]
+    fn readiness_counters_stay_outside_the_request_invariant() {
+        let m = Metrics::new();
+        m.record_poll_wakeup();
+        m.record_poll_wakeup();
+        m.record_poll_spurious();
+        m.record_adopt_error();
+        let snap = m.snapshot();
+        assert_eq!(snap.poll_wakeups, 2);
+        assert_eq!(snap.poll_spurious, 1);
+        assert_eq!(snap.adopt_errors, 1);
+        assert_eq!(
+            snap.requests, 0,
+            "wakeups and adopt errors are not requests"
+        );
         assert_eq!(snap.latency_samples, 0);
     }
 

@@ -20,11 +20,20 @@
 //! queued, in flight, or already inline — the loop evaluates right on
 //! its own thread, skipping two thread handoffs; concurrent load
 //! immediately shifts evaluation back to the pool.)
-//! Std has no portable readiness API, so the loops sweep their sockets:
-//! a short yield-spin window after the last progress keeps hot traffic
-//! at near-blocking latency, then the loop parks on a condvar (woken by
-//! the accept thread and worker completions) with a millisecond tick
-//! for deadline enforcement.
+//! Readiness comes from one of two backends
+//! ([`ServerConfig::readiness`]). On unix the default is **poll**: a
+//! short yield-spin window after the last progress keeps hot traffic at
+//! near-blocking latency, then the loop blocks in real `poll(2)` (via
+//! [`crate::poller`], std-only) over its connections' fds plus a
+//! self-pipe that the accept thread and worker completions write to, so
+//! inbox activity interrupts the block immediately. The poll timeout is
+//! derived from the nearest connection deadline, so an idle server
+//! makes *zero* wakeups instead of ticking every millisecond (the
+//! `/metrics` `readiness` block counts wakeups). Everywhere else — and
+//! under `--readiness sweep` — the loops fall back to **sweep**: try
+//! every socket, collect `WouldBlock`, park on a condvar with a
+//! millisecond tick for deadline enforcement. Both backends run the
+//! same service pass, so responses are bitwise identical across them.
 //!
 //! Every worker shares one [`ChipEngine`] whose two cache tiers are
 //! bounded by the config's caps — a warm power-delta request re-solves
@@ -52,11 +61,13 @@
 //! * **Admission control** — connections past
 //!   [`ServerConfig::max_connections`] (default: workers + job-queue
 //!   capacity, i.e. exactly the evaluation slots available) are
-//!   answered `503 Service Unavailable` with a `Retry-After` hint
-//!   directly on the accept thread and closed, so tail latency stays
-//!   bounded instead of queue depth growing without limit. A request
-//!   the pool itself refuses is shed the same way. Shed requests are
-//!   counted in `/metrics`.
+//!   answered `503 Service Unavailable` with a `Retry-After` hint and
+//!   closed, so tail latency stays bounded instead of queue depth
+//!   growing without limit. The 503 is written *nonblocking by an event
+//!   loop* (the stream is handed over uncounted), so a stalled shed
+//!   client can never serialize the accept thread. A request the pool
+//!   itself refuses is shed the same way. Shed requests are counted in
+//!   `/metrics`.
 //! * **Accept-error backoff** — a failing `accept(2)` (fd exhaustion,
 //!   aborted handshakes) counts an `accept_errors` metric and backs the
 //!   accept thread off exponentially (1 ms doubling to ~128 ms) instead
@@ -87,8 +98,10 @@
 //!   errors, stalls) so the chaos suite can reproduce failure storms
 //!   bit-for-bit.
 
+use std::collections::HashMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -100,6 +113,7 @@ use crate::faults::{FaultDirective, ServerFaults};
 use crate::http::{Method, Request, RequestParser, Response, WriteBuffer};
 use crate::lru::ShardedLru;
 use crate::metrics::Metrics;
+use crate::poller::{self, PollInterest, Poller, Waker};
 use crate::protocol::{self, SessionSpec};
 
 /// The `Retry-After` hint (seconds) on overload responses (503/429).
@@ -109,10 +123,69 @@ pub const RETRY_AFTER_SECS: u64 = 1;
 /// before parking on its condvar. Continuous traffic never leaves the
 /// window, so the hot path stays at near-blocking latency.
 const SPIN_WINDOW: Duration = Duration::from_micros(200);
-/// The parked loop's tick: deadline checks run at least this often.
-const IDLE_TICK: Duration = Duration::from_millis(1);
-/// The parked loop's tick with no connections at all to watch.
+/// The sweep backend's parked tick: deadline checks run at least this
+/// often there — and a request landing on a parked connection eats up
+/// to this much added latency, which is exactly what the poll backend
+/// eliminates (`tests/serve_readiness.rs` pins parked-request latency
+/// well under this on poll).
+pub const IDLE_TICK: Duration = Duration::from_millis(1);
+/// The sweep backend's parked tick with no connections at all to watch.
 const EMPTY_TICK: Duration = Duration::from_millis(100);
+
+/// How the event loops discover socket readiness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadinessBackend {
+    /// Block in real `poll(2)` with a deadline-derived timeout; woken by
+    /// a self-pipe on inbox activity. Unix only — requesting it
+    /// elsewhere (or when poller setup fails) falls back to sweep.
+    Poll,
+    /// Sweep every socket for `WouldBlock` and park on a condvar with a
+    /// millisecond tick. Works everywhere; costs up to [`IDLE_TICK`] of
+    /// added latency on parked connections and idle CPU.
+    Sweep,
+}
+
+impl ReadinessBackend {
+    /// The host default: poll where `poll(2)` exists, sweep elsewhere.
+    #[must_use]
+    pub fn host_default() -> Self {
+        if cfg!(unix) {
+            Self::Poll
+        } else {
+            Self::Sweep
+        }
+    }
+
+    /// The wire/CLI name (`"poll"` / `"sweep"`), as reported in the
+    /// `/metrics` `readiness` block.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Poll => "poll",
+            Self::Sweep => "sweep",
+        }
+    }
+}
+
+impl FromStr for ReadinessBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "poll" => Ok(Self::Poll),
+            "sweep" => Ok(Self::Sweep),
+            other => Err(format!(
+                "unknown readiness backend {other:?} (expected \"poll\" or \"sweep\")"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ReadinessBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Locks a mutex, recovering from poisoning. Handler panics are caught
 /// at the request boundary, but a panic *while holding* a lock still
@@ -165,6 +238,12 @@ pub struct ServerConfig {
     /// Deterministic fault schedule for chaos testing (`None` in
     /// production: one `Option` check per request).
     pub faults: Option<Arc<ServerFaults>>,
+    /// How the event loops discover readiness. Defaults to the host
+    /// default (poll on unix, sweep elsewhere), overridable via the
+    /// `TTSV_SERVE_READINESS` environment variable (`poll` / `sweep` —
+    /// how CI forces the sweep leg) and the serve binary's
+    /// `--readiness` flag.
+    pub readiness: ReadinessBackend,
 }
 
 impl Default for ServerConfig {
@@ -184,6 +263,10 @@ impl Default for ServerConfig {
             max_connections: None,
             max_pending_updates: 8,
             faults: None,
+            readiness: std::env::var("TTSV_SERVE_READINESS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(ReadinessBackend::host_default),
         }
     }
 }
@@ -315,6 +398,13 @@ impl ServerConfig {
         self.faults = Some(faults);
         self
     }
+
+    /// Overrides the readiness backend (see [`ReadinessBackend`]).
+    #[must_use]
+    pub fn with_readiness(mut self, readiness: ReadinessBackend) -> Self {
+        self.readiness = readiness;
+        self
+    }
 }
 
 /// The connection-level timeout bundle the event loops enforce.
@@ -369,6 +459,9 @@ struct ServerState {
     /// cheaper, which is most of a warm request's latency — and this
     /// gauge routes concurrent work to the pool instead.
     inline_busy: AtomicUsize,
+    /// The readiness backend the loops actually run (after fallback),
+    /// reported in `/metrics`.
+    readiness: ReadinessBackend,
 }
 
 impl ServerState {
@@ -557,6 +650,7 @@ impl ServerState {
              \"requests_per_sec\":{:.3},\"latency_ns\":{{\"p50\":{},\"p99\":{},\"samples\":{}}},\
              \"overload\":{{\"shed_503\":{},\"rate_limited_429\":{},\"timeouts_408\":{},\"panics\":{},\
              \"accept_errors\":{},\"inflight\":{},\"queue_depth\":{},\"busy_workers\":{}}},\
+             \"readiness\":{{\"backend\":\"{}\",\"poll_wakeups\":{},\"spurious_wakeups\":{},\"adopt_errors\":{}}},\
              \"sessions\":{{\"live\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\"shards\":[{shards}]}},\
              \"engine\":{{\"solves\":{},\"factorizations\":{},\"scenario_hits\":{},\"scenario_misses\":{},\"evictions\":{},\
              \"scenario_entries\":{scenario_entries},\"matrix_entries\":{matrix_entries}}}}}",
@@ -577,6 +671,10 @@ impl ServerState {
             self.live_connections.load(Ordering::SeqCst),
             self.pool_monitor.queue_depth(),
             self.pool_monitor.in_flight(),
+            self.readiness.name(),
+            snap.poll_wakeups,
+            snap.poll_spurious,
+            snap.adopt_errors,
             total.live,
             total.capacity,
             total.hits,
@@ -690,12 +788,26 @@ struct Conn {
     read_closed: bool,
     /// Remove the connection at the end of this sweep.
     dead: bool,
+    /// Whether this connection holds an admission slot
+    /// (`live_connections`). Shed connections are adopted *past* the
+    /// cap just to deliver their 503, so they must not hold — or
+    /// release — a slot.
+    counted: bool,
 }
 
 impl Conn {
-    fn adopt(stream: TcpStream, id: u64) -> Self {
-        let _ = stream.set_nonblocking(true);
-        let _ = stream.set_nodelay(true);
+    /// Adopts an accepted stream into the loop. A socket that cannot be
+    /// made nonblocking would wedge the whole event loop on its next
+    /// read, so a failed `set_nonblocking` (or `set_nodelay`) marks the
+    /// connection dead on arrival — it is reaped before ever being
+    /// read — and counts an adopt error in `/metrics`.
+    fn adopt(stream: TcpStream, id: u64, counted: bool, metrics: &Metrics) -> Self {
+        let adopted = stream
+            .set_nonblocking(true)
+            .and_then(|()| stream.set_nodelay(true));
+        if adopted.is_err() {
+            metrics.record_adopt_error();
+        }
         let now = Instant::now();
         Self {
             id,
@@ -708,25 +820,63 @@ impl Conn {
             inflight: None,
             close_after_flush: false,
             read_closed: false,
-            dead: false,
+            dead: adopted.is_err(),
+            counted,
         }
     }
 }
 
-/// A loop's mailbox: the accept thread pushes adopted streams, workers
-/// push completed responses, shutdown raises `stop`; the condvar wakes
-/// the loop out of its idle park.
+/// A loop's mailbox: the accept thread pushes adopted streams (and
+/// over-cap streams owed a 503), workers push completed responses,
+/// shutdown raises `stop`; [`LoopShared::notify`] wakes the loop out of
+/// its idle park.
 #[derive(Default)]
 struct LoopInbox {
     incoming: Vec<TcpStream>,
+    /// Connections shed at admission: the loop adopts them uncounted,
+    /// stages the 503, and lets the normal write/timeout machinery
+    /// deliver it — the accept thread never blocks on a slow client.
+    shed: Vec<TcpStream>,
     completions: Vec<(u64, Response)>,
     stop: bool,
 }
 
-#[derive(Default)]
+impl LoopInbox {
+    /// Whether the loop has anything to pick up (parking would be
+    /// wrong).
+    fn has_work(&self) -> bool {
+        !self.incoming.is_empty()
+            || !self.shed.is_empty()
+            || !self.completions.is_empty()
+            || self.stop
+    }
+}
+
 struct LoopShared {
     inbox: Mutex<LoopInbox>,
     wake: Condvar,
+    /// Self-pipe write side (poll backend only): interrupts the loop's
+    /// blocked `poll(2)`. The condvar above covers the sweep backend.
+    waker: Option<Waker>,
+}
+
+impl LoopShared {
+    fn new(waker: Option<Waker>) -> Self {
+        Self {
+            inbox: Mutex::new(LoopInbox::default()),
+            wake: Condvar::new(),
+            waker,
+        }
+    }
+
+    /// Wakes the owning loop out of whichever park its backend uses.
+    /// Call after pushing into the inbox (and dropping the lock).
+    fn notify(&self) {
+        self.wake.notify_all();
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
+    }
 }
 
 /// Records one answered request and stages its response behind the
@@ -804,7 +954,7 @@ fn dispatch_request(
         let mut inbox = lock(&job_shared.inbox);
         inbox.completions.push((conn_id, response));
         drop(inbox);
-        job_shared.wake.notify_all();
+        job_shared.notify();
     });
     match submitted {
         Ok(()) => conn.inflight = Some(pending),
@@ -959,43 +1109,130 @@ fn service_conn(
     progress
 }
 
-/// An event loop: owns its connections, sweeps them for readiness, and
-/// parks on the inbox condvar when idle.
+/// The nearest future instant at which `service_conn` would take a
+/// deadline action on `conn`, mirroring its checks exactly: the
+/// slow-reader clock while the write buffer is non-empty, the request
+/// deadline and read-stall clock while a request is being parsed, and
+/// the idle-reclaim clock on a quiet keep-alive connection. `None` when
+/// no deadline applies (e.g. the request is in flight on the pool — its
+/// completion arrives via the waker, not a timeout).
+fn conn_deadline(conn: &Conn, deadlines: &ConnDeadlines) -> Option<Instant> {
+    if conn.dead {
+        return None;
+    }
+    let mut nearest: Option<Instant> = None;
+    let mut consider = |t: Instant| match nearest {
+        Some(n) if n <= t => {}
+        _ => nearest = Some(t),
+    };
+    if !conn.write.is_empty() {
+        consider(conn.last_write_progress + deadlines.write_timeout);
+    }
+    if conn.inflight.is_none() && !conn.close_after_flush {
+        if let Some(started) = conn.request_started {
+            consider(started + deadlines.request_deadline);
+            consider(conn.last_activity + deadlines.read_timeout);
+        } else if conn.write.is_empty() && conn.parser.buffered() == 0 {
+            consider(conn.last_activity + deadlines.read_timeout);
+        }
+    }
+    nearest
+}
+
+/// The directions `service_conn` can currently act on for `conn`: read
+/// while a fresh request could be parsed, write while the buffer has
+/// bytes to drain. `None` (don't poll this fd at all) when neither —
+/// e.g. a request is in flight on the pool, where polling the fd with
+/// no interest bits would still surface hang-ups and busy-spin the
+/// loop.
+fn conn_interest(conn: &Conn) -> Option<PollInterest> {
+    if conn.dead {
+        return None;
+    }
+    let read = conn.inflight.is_none() && !conn.close_after_flush && !conn.read_closed;
+    let write = !conn.write.is_empty();
+    if !read && !write {
+        return None;
+    }
+    Some(PollInterest {
+        fd: poller::stream_fd(&conn.stream),
+        read,
+        write,
+    })
+}
+
+/// An event loop: owns its connections, discovers readiness via its
+/// backend (a blocking `poll(2)` with deadline-derived timeout, or the
+/// sweep fallback's condvar tick), and runs the same service pass either
+/// way.
 fn run_event_loop(
     state: &Arc<ServerState>,
     shared: &Arc<LoopShared>,
     pool: &WorkerPool,
     deadlines: ConnDeadlines,
+    mut backend: Option<Poller>,
 ) {
     let mut conns: Vec<Conn> = Vec::new();
+    // Completion routing: conn id → slot in `conns`, rebuilt on reap —
+    // O(1) delivery per completion instead of a linear scan (quadratic
+    // at high fanout).
+    let mut slots: HashMap<u64, usize> = HashMap::new();
     let mut next_conn_id: u64 = 0;
     let mut chunk = [0u8; 4096];
+    let mut interests: Vec<PollInterest> = Vec::new();
     let mut spin_until = Instant::now();
+    // Set when the last blocked poll reported socket readiness; if the
+    // following service pass then makes no progress, that readiness was
+    // spurious (e.g. a peer reset between poll and read) and is counted.
+    let mut poll_reported_ready = false;
     loop {
-        let (incoming, completions, stop) = {
+        let (incoming, shed, completions, stop) = {
             let mut inbox = lock(&shared.inbox);
             (
                 std::mem::take(&mut inbox.incoming),
+                std::mem::take(&mut inbox.shed),
                 std::mem::take(&mut inbox.completions),
                 inbox.stop,
             )
         };
         if stop {
-            state
-                .live_connections
-                .fetch_sub(conns.len(), Ordering::SeqCst);
+            let counted = conns.iter().filter(|c| c.counted).count();
+            state.live_connections.fetch_sub(counted, Ordering::SeqCst);
             return;
         }
-        let mut progress = !incoming.is_empty() || !completions.is_empty();
+        let mut progress = !incoming.is_empty() || !shed.is_empty() || !completions.is_empty();
         for stream in incoming {
             next_conn_id += 1;
-            conns.push(Conn::adopt(stream, next_conn_id));
+            slots.insert(next_conn_id, conns.len());
+            conns.push(Conn::adopt(stream, next_conn_id, true, &state.metrics));
+        }
+        for stream in shed {
+            // An over-cap connection owed its 503: adopt it *uncounted*
+            // (it must not consume or release an admission slot) with
+            // the response already staged; the normal nonblocking write
+            // path — and its slow-reader timeout — delivers it.
+            next_conn_id += 1;
+            slots.insert(next_conn_id, conns.len());
+            let mut conn = Conn::adopt(stream, next_conn_id, false, &state.metrics);
+            let response = Response {
+                keep_alive: false,
+                ..Response::overloaded(
+                    503,
+                    "server saturated: every worker is busy and the connection queue is full; \
+                     retry shortly",
+                    RETRY_AFTER_SECS,
+                )
+            };
+            stage_response(&mut conn, response, false);
+            conns.push(conn);
         }
         for (conn_id, response) in completions {
             // The owning connection may have died while the job ran; the
             // request is still recorded (it was answered, the answer was
             // undeliverable) so the accounting invariant holds.
-            if let Some(conn) = conns.iter_mut().find(|c| c.id == conn_id) {
+            if let Some(&slot) = slots.get(&conn_id) {
+                let conn = &mut conns[slot];
+                debug_assert_eq!(conn.id, conn_id, "stale completion slot");
                 if let Some(pending) = conn.inflight.take() {
                     finish_request(conn, state, response, &pending);
                 }
@@ -1008,11 +1245,31 @@ fn run_event_loop(
         // tombstone until its completion arrives, so the response is
         // recorded against the real first-byte instant.
         let before = conns.len();
-        conns.retain(|c| !c.dead || c.inflight.is_some());
-        let reaped = before - conns.len();
-        if reaped > 0 {
-            state.live_connections.fetch_sub(reaped, Ordering::SeqCst);
+        let mut reaped_counted = 0usize;
+        conns.retain(|c| {
+            let keep = !c.dead || c.inflight.is_some();
+            if !keep && c.counted {
+                reaped_counted += 1;
+            }
+            keep
+        });
+        if conns.len() != before {
             progress = true;
+            if reaped_counted > 0 {
+                state
+                    .live_connections
+                    .fetch_sub(reaped_counted, Ordering::SeqCst);
+            }
+            slots.clear();
+            for (slot, conn) in conns.iter().enumerate() {
+                slots.insert(conn.id, slot);
+            }
+        }
+        if poll_reported_ready {
+            poll_reported_ready = false;
+            if !progress {
+                state.metrics.record_poll_spurious();
+            }
         }
 
         let now = Instant::now();
@@ -1024,33 +1281,63 @@ fn run_event_loop(
             std::thread::yield_now();
             continue;
         }
-        let tick = if conns.is_empty() {
-            EMPTY_TICK
-        } else {
-            IDLE_TICK
-        };
-        let inbox = lock(&shared.inbox);
-        if inbox.incoming.is_empty() && inbox.completions.is_empty() && !inbox.stop {
-            let _ = shared.wake.wait_timeout(inbox, tick);
+        match backend.as_mut() {
+            Some(poller) => {
+                // Re-check the inbox under its lock before blocking; a
+                // wake issued after this check still ends the poll,
+                // because the wake byte stays queued in the self-pipe.
+                if lock(&shared.inbox).has_work() {
+                    continue;
+                }
+                interests.clear();
+                interests.extend(conns.iter().filter_map(conn_interest));
+                let timeout = conns
+                    .iter()
+                    .filter_map(|c| conn_deadline(c, &deadlines))
+                    .min()
+                    .map(|t| t.saturating_duration_since(now));
+                match poller.wait(&interests, timeout) {
+                    Ok(outcome) => {
+                        state.metrics.record_poll_wakeup();
+                        poll_reported_ready = outcome.ready > 0 && !outcome.woken;
+                    }
+                    Err(_) => {
+                        // poll(2) failing outright (ENOMEM and friends)
+                        // has no recovery that preserves blocking
+                        // semantics; degrade to the sweep tick for this
+                        // park rather than spin.
+                        let inbox = lock(&shared.inbox);
+                        if !inbox.has_work() {
+                            let _ = shared.wake.wait_timeout(inbox, IDLE_TICK);
+                        }
+                    }
+                }
+            }
+            None => {
+                let tick = if conns.is_empty() {
+                    EMPTY_TICK
+                } else {
+                    IDLE_TICK
+                };
+                let inbox = lock(&shared.inbox);
+                if !inbox.has_work() {
+                    let _ = shared.wake.wait_timeout(inbox, tick);
+                }
+            }
         }
     }
 }
 
-/// Load-sheds one connection at admission: a counted `503` +
-/// `Retry-After`, written on the accept thread with a short timeout so a
-/// slow client cannot stall admission.
-fn shed_connection(mut stream: TcpStream, state: &ServerState, started: Instant) {
+/// Load-sheds one connection at admission: the `503` + `Retry-After` is
+/// counted here, but *written* by an event loop (uncounted nonblocking
+/// adoption), so a stalled or slow shed client can never serialize the
+/// accept thread — admission keeps flowing while the 503 drains.
+fn shed_connection(stream: TcpStream, state: &ServerState, started: Instant, target: &LoopShared) {
     state.metrics.record_shed(started.elapsed());
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-    let response = Response {
-        keep_alive: false,
-        ..Response::overloaded(
-            503,
-            "server saturated: every worker is busy and the connection queue is full; retry shortly",
-            RETRY_AFTER_SECS,
-        )
-    };
-    let _ = response.write_to(&mut stream);
+    let mut inbox = lock(&target.inbox);
+    inbox.shed.push(stream);
+    drop(inbox);
+    target.notify();
 }
 
 /// The accept loop: admission control, accept-error backoff, and
@@ -1085,17 +1372,17 @@ fn accept_loop(
             }
         };
         let started = Instant::now();
+        let target = &loops[next_loop % loops.len()];
+        next_loop = next_loop.wrapping_add(1);
         if state.live_connections.load(Ordering::SeqCst) >= max_connections {
-            shed_connection(stream, state, started);
+            shed_connection(stream, state, started, target);
             continue;
         }
         state.live_connections.fetch_add(1, Ordering::SeqCst);
-        let target = &loops[next_loop % loops.len()];
-        next_loop = next_loop.wrapping_add(1);
         let mut inbox = lock(&target.inbox);
         inbox.incoming.push(stream);
         drop(inbox);
-        target.wake.notify_all();
+        target.notify();
     }
 }
 
@@ -1135,6 +1422,28 @@ impl Server {
         let max_connections = config
             .max_connections
             .unwrap_or(config.workers + pool.queue_capacity());
+        let loop_count = config.event_loops.max(1);
+        // Resolve the readiness backend once, before anything spawns:
+        // the backend must be uniform across loops, so a poller that
+        // fails to build (non-unix, fd exhaustion) falls the whole
+        // server back to sweep rather than mixing.
+        let mut readiness = config.readiness;
+        let mut backends: Vec<(Option<Poller>, Option<Waker>)> = Vec::with_capacity(loop_count);
+        if readiness == ReadinessBackend::Poll {
+            for _ in 0..loop_count {
+                match Poller::new() {
+                    Ok((poller, waker)) => backends.push((Some(poller), Some(waker))),
+                    Err(_) => {
+                        readiness = ReadinessBackend::Sweep;
+                        break;
+                    }
+                }
+            }
+        }
+        if readiness == ReadinessBackend::Sweep {
+            backends.clear();
+            backends.resize_with(loop_count, || (None, None));
+        }
         let state = Arc::new(ServerState {
             engine: ChipEngine::new()
                 .with_workers(1)
@@ -1149,16 +1458,17 @@ impl Server {
             faults: config.faults.clone(),
             live_connections: AtomicUsize::new(0),
             inline_busy: AtomicUsize::new(0),
+            readiness,
         });
         let deadlines = ConnDeadlines {
             read_timeout: config.read_timeout,
             write_timeout: config.write_timeout,
             request_deadline: config.request_deadline,
         };
-        let mut loops = Vec::with_capacity(config.event_loops);
-        let mut loop_handles = Vec::with_capacity(config.event_loops);
-        for i in 0..config.event_loops.max(1) {
-            let shared = Arc::new(LoopShared::default());
+        let mut loops = Vec::with_capacity(loop_count);
+        let mut loop_handles = Vec::with_capacity(loop_count);
+        for (i, (poller, waker)) in backends.into_iter().enumerate() {
+            let shared = Arc::new(LoopShared::new(waker));
             let loop_state = Arc::clone(&state);
             let loop_shared = Arc::clone(&shared);
             let loop_pool = Arc::clone(&pool);
@@ -1166,7 +1476,7 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("ttsv-serve-loop-{i}"))
                     .spawn(move || {
-                        run_event_loop(&loop_state, &loop_shared, &loop_pool, deadlines);
+                        run_event_loop(&loop_state, &loop_shared, &loop_pool, deadlines, poller);
                     })?,
             );
             loops.push(shared);
@@ -1217,7 +1527,7 @@ impl Server {
         }
         for shared in &self.loops {
             lock(&shared.inbox).stop = true;
-            shared.wake.notify_all();
+            shared.notify();
         }
         for handle in self.loop_handles.drain(..) {
             let _ = handle.join();

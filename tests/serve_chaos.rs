@@ -34,7 +34,7 @@ use proptest::prelude::*;
 use ttsv::serve::client::{trace_power_body, trace_register_body, Client};
 use ttsv::serve::faults::{FaultConfig, ServerFaults};
 use ttsv::serve::metrics::Metrics;
-use ttsv::serve::server::{Server, ServerConfig, RETRY_AFTER_SECS};
+use ttsv::serve::server::{ReadinessBackend, Server, ServerConfig, RETRY_AFTER_SECS};
 use ttsv_chip::ChipEngine;
 
 const GRID: usize = 4;
@@ -150,37 +150,48 @@ fn direct_session(session: usize) -> Vec<String> {
 /// Lossless transport storm: short reads, short writes, and delays on
 /// every client — yet each response is byte-identical to direct engine
 /// evaluation, and the server's totals reconcile exactly with the
-/// requests issued.
+/// requests issued. Runs on both readiness backends (real `poll(2)` and
+/// the sweep fallback), which must behave identically: short writes are
+/// precisely what exercises partial-read wakeups.
 #[test]
 fn lossless_fault_storm_is_bitwise_transparent_and_metrics_reconcile() {
     const CLIENTS: usize = 3;
     let expected: Vec<Vec<String>> = (0..CLIENTS).map(direct_session).collect();
-    let server = Server::start("127.0.0.1:0", ServerConfig::default().with_workers(CLIENTS))
+    for readiness in [ReadinessBackend::Poll, ReadinessBackend::Sweep] {
+        let server = Server::start(
+            "127.0.0.1:0",
+            ServerConfig::default()
+                .with_workers(CLIENTS)
+                .with_readiness(readiness),
+        )
         .expect("bind ephemeral port");
-    let addr = server.addr().to_string();
-    let handles: Vec<_> = (0..CLIENTS)
-        .map(|s| {
-            let addr = addr.clone();
-            std::thread::spawn(move || drive_session(&addr, s, Some(0xC4A05 + s as u64)))
-        })
-        .collect();
-    for (s, handle) in handles.into_iter().enumerate() {
-        let got = handle.join().expect("chaos client thread");
+        let addr = server.addr().to_string();
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|s| {
+                let addr = addr.clone();
+                std::thread::spawn(move || drive_session(&addr, s, Some(0xC4A05 + s as u64)))
+            })
+            .collect();
+        for (s, handle) in handles.into_iter().enumerate() {
+            let got = handle.join().expect("chaos client thread");
+            assert_eq!(
+                got, expected[s],
+                "session {s} responses diverged under a lossless fault storm \
+                 on the {readiness} backend"
+            );
+        }
+        let doc = fetch_metrics(&addr);
+        let issued = CLIENTS * (1 + ROUNDS);
         assert_eq!(
-            got, expected[s],
-            "session {s} responses diverged under a lossless fault storm"
+            doc.get("requests").and_then(serde::json::Value::as_usize),
+            Some(issued),
+            "every issued request must be answered and counted exactly once \
+             on the {readiness} backend"
         );
+        assert_eq!(field(&doc, "responses", "ok_2xx"), issued);
+        assert_metrics_reconcile(&doc);
+        server.shutdown();
     }
-    let doc = fetch_metrics(&addr);
-    let issued = CLIENTS * (1 + ROUNDS);
-    assert_eq!(
-        doc.get("requests").and_then(serde::json::Value::as_usize),
-        Some(issued),
-        "every issued request must be answered and counted exactly once"
-    );
-    assert_eq!(field(&doc, "responses", "ok_2xx"), issued);
-    assert_metrics_reconcile(&doc);
-    server.shutdown();
 }
 
 /// One injected panic fires mid-evaluation of a power update — while the
@@ -307,8 +318,8 @@ fn failed_update_rolls_back_session_state() {
 
 /// With one worker and a one-slot queue, the first connection pins the
 /// worker, the second fills the queue, and the third is shed promptly
-/// with `503` + `Retry-After` — written on the accept thread before a
-/// single request byte is read.
+/// with `503` + `Retry-After` — staged by an event loop before a single
+/// request byte is read.
 #[test]
 fn saturated_pool_sheds_with_503_and_retry_after() {
     let server = Server::start(
