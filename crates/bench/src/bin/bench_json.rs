@@ -4,7 +4,7 @@
 //!
 //! Usage:
 //! `cargo run --release -p ttsv-bench --bin bench_json [-- PATH [--check COMMITTED]]`
-//! (default output: `BENCH_9.json` in the current directory). With
+//! (default output: `BENCH_10.json` in the current directory). With
 //! `--check COMMITTED`, the freshly measured medians are compared against
 //! the committed recording and the process exits nonzero if any shared
 //! row regressed more than 1.5× — the CI regression guard. See the
@@ -28,40 +28,42 @@ const TARGET_SAMPLES: usize = 15;
 const CHECK_HEADROOM_NUM: u128 = 3;
 const CHECK_HEADROOM_DEN: u128 = 2;
 
-/// PR-8 numbers for the carried-over workloads (the medians recorded in
-/// the committed `BENCH_8.json`) — the baseline the PR-9 acceptance
-/// criteria compare against. The `serve/*` rows recorded here were
-/// measured on the sweep-tick event loops, so they price exactly what
-/// the `poll(2)` readiness backend must not regress;
-/// `serve/parked_request` and `serve/parked_request_sweep` are new in
-/// PR 9 and have no earlier baseline.
-const BASELINE_PR8_NS: &[(&str, u128)] = &[
-    ("fig4_radius_sweep/fem_coarse", 713_719),
-    ("fig4_radius_sweep/model_b_100", 73_553),
-    ("table1_segments/B(500)", 64_437),
-    ("table1_segments/B(1000)", 168_845),
-    ("table1_segments/banded_lu/1000", 315_777),
-    ("ablation_fem_precond/ssor/coarse", 1_761_603),
-    ("ablation_fem_precond/multigrid/coarse", 873_536),
-    ("ablation_fem_precond/multigrid_cheby/coarse", 981_646),
-    ("ablation_fem_precond/direct_banded/coarse", 149_546),
-    ("mg_hierarchy/build/box32k", 6_009_184),
-    ("mg_hierarchy/refresh/box32k", 1_393_586),
-    ("mg_hierarchy/refresh_flat/box32k", 5_764_181),
-    ("mg_vcycle/jacobi/box32k", 790_322),
-    ("mg_vcycle/chebyshev3/box32k", 2_081_015),
-    ("fem_mg_sweep/rebuild", 82_852_316),
-    ("fem_mg_sweep/reuse", 65_057_422),
-    ("floorplan_chip/hotspot32/model_b100", 104_439),
-    ("floorplan_chip/hotspot32/model_b100/no_dedup", 13_635_953),
-    ("floorplan_chip/gradient32/model_b100", 13_682_439),
-    ("floorplan_chip/gradient32/factor_shared", 2_380_632),
-    ("sweep_runner/fig4_quick", 822_568),
-    ("serve/cold_session", 3_325_304),
-    ("serve/warm_delta", 155_384),
-    ("serve/warm_delta_response", 131_698),
-    ("serve/sustained_32req", 3_967_144),
-    ("serve/sustained_fanout", 5_864_247),
+/// PR-9 numbers for the carried-over workloads (the medians recorded in
+/// the committed `BENCH_9.json`) — the baseline the PR-10 acceptance
+/// criteria compare against. Every `serve/*` row recorded here was
+/// measured on a server with persistence off, so they price exactly
+/// what the write-ahead journal must not regress when it is disabled;
+/// `serve/warm_delta_journaled` is new in PR 10 and has no earlier
+/// baseline (its pin is same-run: < 2× `serve/warm_delta_response`).
+const BASELINE_PR9_NS: &[(&str, u128)] = &[
+    ("fig4_radius_sweep/fem_coarse", 676_613),
+    ("fig4_radius_sweep/model_b_100", 77_122),
+    ("table1_segments/B(500)", 64_986),
+    ("table1_segments/B(1000)", 172_017),
+    ("table1_segments/banded_lu/1000", 305_070),
+    ("ablation_fem_precond/ssor/coarse", 1_684_448),
+    ("ablation_fem_precond/multigrid/coarse", 892_173),
+    ("ablation_fem_precond/multigrid_cheby/coarse", 1_030_382),
+    ("ablation_fem_precond/direct_banded/coarse", 96_795),
+    ("mg_hierarchy/build/box32k", 6_578_039),
+    ("mg_hierarchy/refresh/box32k", 1_585_385),
+    ("mg_hierarchy/refresh_flat/box32k", 6_375_282),
+    ("mg_vcycle/jacobi/box32k", 871_143),
+    ("mg_vcycle/chebyshev3/box32k", 2_260_219),
+    ("fem_mg_sweep/rebuild", 93_949_634),
+    ("fem_mg_sweep/reuse", 73_632_158),
+    ("floorplan_chip/hotspot32/model_b100", 122_667),
+    ("floorplan_chip/hotspot32/model_b100/no_dedup", 14_810_663),
+    ("floorplan_chip/gradient32/model_b100", 15_519_996),
+    ("floorplan_chip/gradient32/factor_shared", 2_649_204),
+    ("sweep_runner/fig4_quick", 832_982),
+    ("serve/cold_session", 3_668_501),
+    ("serve/warm_delta", 161_472),
+    ("serve/warm_delta_response", 151_863),
+    ("serve/sustained_32req", 4_749_031),
+    ("serve/sustained_fanout", 6_250_026),
+    ("serve/parked_request", 49_313),
+    ("serve/parked_request_sweep", 207_822),
 ];
 
 struct Sampler {
@@ -102,7 +104,7 @@ impl Sampler {
     }
 
     fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": \"ttsv-bench-json/1\",\n  \"pr\": 9,\n");
+        let mut out = String::from("{\n  \"schema\": \"ttsv-bench-json/1\",\n  \"pr\": 10,\n");
         out.push_str(
             "  \"generated_by\": \"cargo run --release -p ttsv-bench --bin bench_json\",\n",
         );
@@ -113,9 +115,9 @@ impl Sampler {
                 "    \"{name}\": {{\"median_ns\": {median}, \"samples\": {samples}}}{comma}\n"
             ));
         }
-        out.push_str("  },\n  \"baseline_pr8_ns\": {\n");
-        for (i, (name, ns)) in BASELINE_PR8_NS.iter().enumerate() {
-            let comma = if i + 1 < BASELINE_PR8_NS.len() {
+        out.push_str("  },\n  \"baseline_pr9_ns\": {\n");
+        for (i, (name, ns)) in BASELINE_PR9_NS.iter().enumerate() {
+            let comma = if i + 1 < BASELINE_PR9_NS.len() {
                 ","
             } else {
                 ""
@@ -183,7 +185,7 @@ fn main() {
         .enumerate()
         .find(|&(i, a)| !a.starts_with("--") && Some(i) != check_pos.map(|c| c + 1))
         .map(|(_, a)| a.clone())
-        .unwrap_or_else(|| "BENCH_9.json".into());
+        .unwrap_or_else(|| "BENCH_10.json".into());
     if check_against.as_deref() == Some(path.as_str()) {
         eprintln!("--check target and output path are the same file ({path}) — refusing");
         std::process::exit(2);
@@ -522,6 +524,53 @@ fn main() {
         );
         drop(parked);
         sweep_server.shutdown();
+
+        // Durable sessions (PR 10): the same warm delta against a server
+        // that journals every mutation to a write-ahead log under a
+        // fresh temp state dir, at the default `interval:100` fsync
+        // policy. The gap to `serve/warm_delta_response` prices the
+        // journal append on the hot path; the crate's schema test pins
+        // the journaled row to < 2× the unjournaled one same-run.
+        use ttsv::serve::persist::PersistConfig;
+        let state_dir =
+            std::env::temp_dir().join(format!("ttsv-bench-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&state_dir);
+        let journaled_server = Server::start(
+            "127.0.0.1:0",
+            ServerConfig::default()
+                .with_workers(2)
+                .with_readiness(ReadinessBackend::Poll)
+                .with_persist(PersistConfig::new(&state_dir)),
+        )
+        .expect("bind journaled server");
+        let journaled_addr = journaled_server.addr().to_string();
+        let mut journaled = Client::connect(&journaled_addr).expect("connect journaled client");
+        let (status, body) = journaled
+            .request("POST", "/sessions", &register_body(2000))
+            .expect("register journaled session");
+        assert_eq!(status, 201, "{body}");
+        let journaled_id: u64 = body
+            .strip_prefix("{\"session\":")
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|id| id.parse().ok())
+            .expect("session id in register response");
+        let journaled_path = format!("/sessions/{journaled_id}/power");
+        let mut journaled_round = 0usize;
+        sampler.bench("serve/warm_delta_journaled", || {
+            journaled_round += 1;
+            let (status, body) = journaled
+                .request(
+                    "POST",
+                    &journaled_path,
+                    &trace_power_body(GRID, 2000, journaled_round),
+                )
+                .expect("journaled power update");
+            assert_eq!(status, 200, "{body}");
+            body
+        });
+        drop(journaled);
+        journaled_server.shutdown();
+        let _ = std::fs::remove_dir_all(&state_dir);
     }
 
     let json = sampler.to_json();

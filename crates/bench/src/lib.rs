@@ -282,20 +282,20 @@ mod tests {
 
     #[test]
     fn bench_json_schema_is_sane() {
-        // Parse the committed BENCH_9.json: schema tag, every headline
-        // bench present with a positive median, the PR-8 baseline
+        // Parse the committed BENCH_10.json: schema tag, every headline
+        // bench present with a positive median, the PR-9 baseline
         // embedded — and the acceptance-criteria medians within bounds of
         // that baseline.
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
-        let json = std::fs::read_to_string(path).expect("BENCH_9.json committed at repo root");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_10.json");
+        let json = std::fs::read_to_string(path).expect("BENCH_10.json committed at repo root");
         assert!(
             json.contains("\"schema\": \"ttsv-bench-json/1\""),
             "schema tag missing"
         );
-        assert!(json.contains("\"pr\": 9"), "pr tag missing");
+        assert!(json.contains("\"pr\": 10"), "pr tag missing");
 
         let benches = section_integers(&json, "benches", Some("median_ns"));
-        let baseline = section_integers(&json, "baseline_pr8_ns", None);
+        let baseline = section_integers(&json, "baseline_pr9_ns", None);
         let median = |set: &[(String, u128)], key: &str| -> u128 {
             set.iter()
                 .find(|(k, _)| k == key)
@@ -324,11 +324,12 @@ mod tests {
             "serve/sustained_fanout",
             "serve/parked_request",
             "serve/parked_request_sweep",
+            "serve/warm_delta_journaled",
         ] {
             assert!(median(&benches, key) > 0, "{key} must have a real median");
         }
-        // Carried-over workloads must stay near the PR-8 baseline. The
-        // committed file (recorded on the PR-9 machine) is compared
+        // Carried-over workloads must stay near the PR-9 baseline. The
+        // committed file (recorded on the PR-10 machine) is compared
         // outright; regenerated files from arbitrary hardware only need
         // to avoid a catastrophic regression, since absolute nanoseconds
         // are machine-dependent — 2× headroom absorbs a slower CI runner
@@ -336,22 +337,22 @@ mod tests {
         assert!(
             median(&benches, "fig4_radius_sweep/fem_coarse")
                 < 2 * median(&baseline, "fig4_radius_sweep/fem_coarse"),
-            "fem_coarse regressed far past the PR-8 baseline"
+            "fem_coarse regressed far past the PR-9 baseline"
         );
         assert!(
             median(&benches, "sweep_runner/fig4_quick")
                 < 2 * median(&baseline, "sweep_runner/fig4_quick"),
-            "sweep runner regressed far past the PR-8 baseline"
+            "sweep runner regressed far past the PR-9 baseline"
         );
         assert!(
             median(&benches, "mg_hierarchy/refresh/box32k")
                 < 2 * median(&baseline, "mg_hierarchy/refresh/box32k"),
-            "hierarchy refresh regressed far past the PR-8 baseline"
+            "hierarchy refresh regressed far past the PR-9 baseline"
         );
         assert!(
             median(&benches, "floorplan_chip/gradient32/factor_shared")
                 < 2 * median(&baseline, "floorplan_chip/gradient32/factor_shared"),
-            "factor-once batched gradient map regressed far past the PR-8 baseline"
+            "factor-once batched gradient map regressed far past the PR-9 baseline"
         );
         // PR-6 acceptance criterion (same-run, machine-independent): a
         // warm two-tile power delta on a live session must be ≥5× cheaper
@@ -395,6 +396,16 @@ mod tests {
             median(&benches, "serve/parked_request")
                 < median(&benches, "serve/parked_request_sweep"),
             "poll(2) readiness must beat the sweep idle tick on a parked connection"
+        );
+        // PR-10 acceptance criterion (same-run, machine-independent):
+        // journaling every power update to the write-ahead log (default
+        // interval fsync) must cost less than 2× the unjournaled delta
+        // response for the identical update — durability must not double
+        // the warm hot path.
+        assert!(
+            median(&benches, "serve/warm_delta_journaled")
+                < 2 * median(&benches, "serve/warm_delta_response"),
+            "the write-ahead journal must not double the warm delta hot path"
         );
         // Same-run comparisons (machine-independent): the numeric refresh
         // must undercut a full hierarchy build, the dedup cache must

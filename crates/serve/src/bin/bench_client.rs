@@ -5,10 +5,12 @@
 //! ```text
 //! cargo run --release -p ttsv-serve --bin bench-client -- \
 //!     --spawn [--trace SESSIONS:ROUNDS:GRID] [--check] [--chaos SEED] \
-//!     [--readiness poll|sweep]
+//!     [--readiness poll|sweep] [--state-dir PATH]
 //! cargo run --release -p ttsv-serve --bin bench-client -- \
 //!     --addr 127.0.0.1:7071 [--sessions N | --fanout N] [--rounds N] \
 //!     [--grid N] [--delta]
+//! cargo run --release -p ttsv-serve --bin bench-client -- \
+//!     --addr 127.0.0.1:7071 --probe SESSION_ID
 //! ```
 //!
 //! `--spawn` launches the sibling `serve` binary on an ephemeral port
@@ -38,6 +40,12 @@
 //! the server's default delta responses. `--readiness` (only with
 //! `--spawn`) forwards the readiness backend to the spawned server, so
 //! CI can smoke both the `poll(2)` backend and the sweep fallback.
+//! `--state-dir` (only with `--spawn`) forwards the durable-session
+//! state directory, so the replay exercises the journaled hot path.
+//! `--probe ID` (only with `--addr`) is the restart-recovery smoke:
+//! instead of replaying a trace it asserts `GET /sessions/ID` answers
+//! 200 *and* `/metrics` reports at least one recovered session — run it
+//! against a server restarted from a killed predecessor's state dir.
 //!
 //! A connection the server refuses or resets exits 1 with a diagnostic
 //! naming the address, instead of an opaque panic.
@@ -59,9 +67,57 @@ fn usage() -> ! {
     eprintln!(
         "usage: bench-client (--addr HOST:PORT | --spawn) \
          [--trace SESSIONS:ROUNDS:GRID] [--sessions N | --fanout N] [--rounds N] \
-         [--grid N] [--delta] [--check] [--chaos SEED] [--readiness poll|sweep]"
+         [--grid N] [--delta] [--check] [--chaos SEED] [--readiness poll|sweep] \
+         [--state-dir PATH] [--probe SESSION_ID]"
     );
     std::process::exit(2);
+}
+
+/// The `--probe ID` recovery smoke: the session must answer 200 and the
+/// server must report at least one recovered session in `/metrics`.
+/// Exits the process with a diagnostic on any miss.
+fn probe_recovered_session(addr: &str, id: u64) -> ! {
+    let mut client = ttsv_serve::Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("{}", explain_trace_error(addr, &e));
+        std::process::exit(1);
+    });
+    let (status, body) = client
+        .request("GET", &format!("/sessions/{id}"), "")
+        .unwrap_or_else(|e| {
+            eprintln!("{}", explain_trace_error(addr, &e));
+            std::process::exit(1);
+        });
+    if status != 200 {
+        eprintln!("--probe FAILED: GET /sessions/{id} answered {status}, not 200: {body}");
+        std::process::exit(1);
+    }
+    let (status, metrics) = client.request("GET", "/metrics", "").unwrap_or_else(|e| {
+        eprintln!("{}", explain_trace_error(addr, &e));
+        std::process::exit(1);
+    });
+    if status != 200 {
+        eprintln!("--probe FAILED: GET /metrics answered {status}");
+        std::process::exit(1);
+    }
+    // No JSON dependency here: the persistence block's field is flat.
+    let recovered: u64 = metrics
+        .split_once("\"recovered_sessions\":")
+        .and_then(|(_, rest)| {
+            rest.split(|c: char| !c.is_ascii_digit())
+                .next()?
+                .parse()
+                .ok()
+        })
+        .unwrap_or_else(|| {
+            eprintln!("--probe FAILED: /metrics has no recovered_sessions field: {metrics}");
+            std::process::exit(1);
+        });
+    if recovered == 0 {
+        eprintln!("--probe FAILED: session {id} answered but recovered_sessions is 0 — the server did not actually replay a journal");
+        std::process::exit(1);
+    }
+    println!("--probe: session {id} recovered ({recovered} sessions replayed from the journal)");
+    std::process::exit(0);
 }
 
 /// Turns the usual connection-level failures into actionable one-liners;
@@ -97,7 +153,7 @@ fn parse_flag<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T 
 
 /// Spawns the sibling `serve` binary on an ephemeral port and reads the
 /// bound address from its `listening on <addr>` stdout line.
-fn spawn_server(readiness: Option<&str>) -> (Child, String) {
+fn spawn_server(readiness: Option<&str>, state_dir: Option<&str>) -> (Child, String) {
     let serve = std::env::current_exe()
         .expect("current exe path")
         .with_file_name(if cfg!(windows) { "serve.exe" } else { "serve" });
@@ -115,6 +171,9 @@ fn spawn_server(readiness: Option<&str>) -> (Child, String) {
     ]);
     if let Some(readiness) = readiness {
         command.args(["--readiness", readiness]);
+    }
+    if let Some(state_dir) = state_dir {
+        command.args(["--state-dir", state_dir]);
     }
     let mut child = command
         .stdout(Stdio::piped())
@@ -139,6 +198,8 @@ fn main() {
     let mut check = false;
     let mut fanout = false;
     let mut readiness: Option<String> = None;
+    let mut state_dir: Option<String> = None;
+    let mut probe: Option<u64> = None;
     let mut config = TraceConfig::default();
     let mut args = std::env::args();
     let _ = args.next();
@@ -146,6 +207,8 @@ fn main() {
         match arg.as_str() {
             "--addr" => addr = Some(parse_flag(&mut args, "--addr")),
             "--spawn" => spawn = true,
+            "--state-dir" => state_dir = Some(parse_flag(&mut args, "--state-dir")),
+            "--probe" => probe = Some(parse_flag(&mut args, "--probe")),
             "--check" => check = true,
             "--sessions" => config.sessions = parse_flag(&mut args, "--sessions"),
             "--fanout" => {
@@ -204,12 +267,29 @@ fn main() {
         eprintln!("--readiness only makes sense with --spawn (it configures the spawned server)");
         usage();
     }
+    if state_dir.is_some() && !spawn {
+        eprintln!("--state-dir only makes sense with --spawn (it configures the spawned server)");
+        usage();
+    }
+    if let Some(id) = probe {
+        // The recovery smoke targets an already-restarted server; a
+        // freshly spawned one by definition recovered nothing.
+        let Some(addr) = addr else {
+            eprintln!("--probe needs --addr (point it at the restarted server)");
+            usage();
+        };
+        if spawn {
+            eprintln!("--probe and --spawn are mutually exclusive");
+            usage();
+        }
+        probe_recovered_session(&addr, id);
+    }
 
     let mut child = None;
     let addr = match (addr, spawn) {
         (Some(addr), false) => addr,
         (None, true) => {
-            let (spawned, addr) = spawn_server(readiness.as_deref());
+            let (spawned, addr) = spawn_server(readiness.as_deref(), state_dir.as_deref());
             child = Some(spawned);
             addr
         }

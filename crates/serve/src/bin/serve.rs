@@ -5,8 +5,15 @@
 //!     [--addr 127.0.0.1:7071] [--workers N] [--event-loops N] \
 //!     [--max-sessions N] [--session-shards N] [--max-tiles N] \
 //!     [--queue-capacity N] [--max-connections N] [--max-pending-updates N] \
-//!     [--request-deadline-ms MS] [--write-timeout-ms MS] [--readiness poll|sweep]
+//!     [--request-deadline-ms MS] [--write-timeout-ms MS] [--readiness poll|sweep] \
+//!     [--state-dir PATH] [--fsync always|interval[:MS]|never]
 //! ```
+//!
+//! `--state-dir` turns on durable sessions: a write-ahead journal under
+//! PATH records every registration, power update, deletion, and
+//! eviction, and a restart pointed at the same PATH recovers the
+//! sessions (see `docs/PROTOCOL.md`, "Durability & recovery"). `--fsync`
+//! picks the durability-vs-latency point (default `interval:100`).
 //!
 //! Prints exactly one `listening on <addr>` line to stdout once the
 //! socket is bound (port 0 resolves to the real ephemeral port), which
@@ -14,6 +21,7 @@
 
 use std::time::Duration;
 
+use ttsv_serve::persist::FsyncPolicy;
 use ttsv_serve::server::{Server, ServerConfig};
 
 // `--readiness` defaults to poll on unix, sweep elsewhere; the
@@ -25,7 +33,8 @@ fn usage() -> ! {
         "usage: serve [--addr HOST:PORT] [--workers N] [--event-loops N] \
          [--max-sessions N] [--session-shards N] [--max-tiles N] \
          [--queue-capacity N] [--max-connections N] [--max-pending-updates N] \
-         [--request-deadline-ms MS] [--write-timeout-ms MS] [--readiness poll|sweep]"
+         [--request-deadline-ms MS] [--write-timeout-ms MS] [--readiness poll|sweep] \
+         [--state-dir PATH] [--fsync always|interval[:MS]|never]"
     );
     std::process::exit(2);
 }
@@ -45,11 +54,15 @@ fn parse_flag<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T 
 fn main() {
     let mut addr = "127.0.0.1:7071".to_string();
     let mut config = ServerConfig::default();
+    let mut state_dir: Option<String> = None;
+    let mut fsync: Option<FsyncPolicy> = None;
     let mut args = std::env::args();
     let _ = args.next();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = parse_flag(&mut args, "--addr"),
+            "--state-dir" => state_dir = Some(parse_flag(&mut args, "--state-dir")),
+            "--fsync" => fsync = Some(parse_flag(&mut args, "--fsync")),
             "--workers" => config = config.with_workers(parse_flag(&mut args, "--workers")),
             "--event-loops" => {
                 config = config.with_event_loops(parse_flag(&mut args, "--event-loops"));
@@ -89,6 +102,21 @@ fn main() {
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    // `--state-dir` beats the `TTSV_SERVE_STATE_DIR` env default (which
+    // `ServerConfig::default` may already have filled in); `--fsync`
+    // tunes whichever persistence config ends up active.
+    if let Some(dir) = state_dir {
+        config = config.with_state_dir(dir);
+    }
+    if let Some(policy) = fsync {
+        match config.persist.take() {
+            Some(persist) => config.persist = Some(persist.with_fsync(policy)),
+            None => {
+                eprintln!("--fsync needs --state-dir (or TTSV_SERVE_STATE_DIR) to apply to");
                 usage();
             }
         }

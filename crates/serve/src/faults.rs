@@ -205,6 +205,101 @@ impl<S: Write> Write for FaultyStream<S> {
     }
 }
 
+/// Per-operation fault probabilities for a [`FaultyJournal`].
+///
+/// The interesting journal failures are *partial*: a write that lands a
+/// strict prefix of the record before the device errors (a torn
+/// record), a write that lands nothing, an fsync that fails or stalls.
+/// Each is seeded and independent, so a crash storm replays exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JournalFaultConfig {
+    /// Probability a write accepts only a single byte (re-framing; the
+    /// journal's `write_all` loop absorbs it losslessly).
+    pub short_write: f64,
+    /// Probability a write lands a seeded strict prefix of the buffer
+    /// on the media and then fails — a torn record: bytes are on disk,
+    /// but the writer sees an error.
+    pub torn_write: f64,
+    /// Probability a write fails with nothing landed.
+    pub write_error: f64,
+    /// Probability an fsync fails.
+    pub sync_error: f64,
+    /// A stall injected before every fsync (device latency).
+    pub sync_delay: Option<Duration>,
+}
+
+/// A [`JournalFaultConfig`] plus the seed that schedules it — the unit
+/// [`PersistConfig`](crate::persist::PersistConfig) carries.
+#[derive(Debug, Clone, Copy)]
+pub struct JournalFaultPlan {
+    /// The per-operation probabilities.
+    pub config: JournalFaultConfig,
+    /// Seed for the fault schedule.
+    pub seed: u64,
+}
+
+/// A [`JournalMedia`](crate::persist::JournalMedia) wrapper that
+/// injects seeded journal faults — short writes, torn records, hard
+/// write errors, failed or delayed fsyncs — in front of the real media.
+#[derive(Debug)]
+pub struct FaultyJournal<M> {
+    inner: M,
+    rng: SplitMix64,
+    config: JournalFaultConfig,
+}
+
+impl<M> FaultyJournal<M> {
+    /// Wraps `inner` with the given seeded fault schedule.
+    #[must_use]
+    pub fn new(inner: M, config: JournalFaultConfig, seed: u64) -> Self {
+        Self {
+            inner,
+            rng: SplitMix64::new(seed),
+            config,
+        }
+    }
+
+    /// The wrapped media.
+    pub fn get_ref(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: Write> Write for FaultyJournal<M> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.rng.chance(self.config.write_error) {
+            return Err(io::Error::other("injected journal write fault"));
+        }
+        if buf.len() > 1 && self.rng.chance(self.config.torn_write) {
+            // Land a strict prefix on the media, then report failure:
+            // the on-disk journal now ends in a torn record.
+            let torn = 1 + (self.rng.next_u64() % (buf.len() as u64 - 1)) as usize;
+            self.inner.write_all(&buf[..torn])?;
+            return Err(io::Error::other("injected torn journal write"));
+        }
+        if !buf.is_empty() && self.rng.chance(self.config.short_write) {
+            return self.inner.write(&buf[..1]);
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<M: crate::persist::JournalMedia> crate::persist::JournalMedia for FaultyJournal<M> {
+    fn sync(&mut self) -> io::Result<()> {
+        if let Some(delay) = self.config.sync_delay {
+            std::thread::sleep(delay);
+        }
+        if self.rng.chance(self.config.sync_error) {
+            return Err(io::Error::other("injected journal fsync fault"));
+        }
+        self.inner.sync()
+    }
+}
+
 /// What [`ServerFaults`] tells the server to do with one request.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FaultDirective {
@@ -410,6 +505,46 @@ mod tests {
             "only connection-shaped kinds are injected"
         );
         assert!(a.iter().any(Option::is_some), "p=0.5 over 32 ops fires");
+    }
+
+    #[test]
+    fn faulty_journal_is_seeded_and_tears_strict_prefixes() {
+        let cfg = JournalFaultConfig {
+            torn_write: 0.6,
+            ..JournalFaultConfig::default()
+        };
+        let run = |seed: u64| {
+            let mut j = FaultyJournal::new(Vec::new(), cfg, seed);
+            let outcomes: Vec<bool> = (0..16).map(|_| j.write(&[0xAB; 24]).is_ok()).collect();
+            (outcomes, j.get_ref().clone())
+        };
+        let a = run(77);
+        assert_eq!(a, run(77), "same seed, same storm");
+        let (outcomes, media) = a;
+        let failures = outcomes.iter().filter(|ok| !**ok).count();
+        assert!(failures > 0, "p=0.6 over 16 writes fires");
+        let full: usize = outcomes.iter().filter(|ok| **ok).count() * 24;
+        assert!(media.len() > full, "torn writes landed strict prefixes");
+        assert!(
+            media.len() < full + failures * 24,
+            "torn writes never landed the whole buffer"
+        );
+    }
+
+    #[test]
+    fn faulty_journal_injects_sync_faults() {
+        use crate::persist::JournalMedia;
+        let mut j = FaultyJournal::new(
+            Vec::new(),
+            JournalFaultConfig {
+                sync_error: 1.0,
+                ..JournalFaultConfig::default()
+            },
+            5,
+        );
+        j.write_all(b"ok").expect("writes unaffected");
+        assert!(j.sync().is_err(), "sync fault fires");
+        assert_eq!(j.get_ref(), b"ok");
     }
 
     #[test]

@@ -25,6 +25,12 @@
 //! * [`poller`] — real `poll(2)` readiness for the event loops (a
 //!   hand-rolled std-only binding plus a self-pipe waker; unix-gated,
 //!   with the portable sweep loop as fallback),
+//! * [`persist`] — the per-server write-ahead journal (`--state-dir`):
+//!   CRC32-framed records for registrations, power updates, deletions,
+//!   and eviction tombstones; torn-tail-tolerant crash recovery that
+//!   answers bitwise-identical reports after a restart; snapshot
+//!   compaction; configurable fsync policy; graceful degradation on
+//!   journal I/O errors,
 //! * [`lru`] / [`metrics`] — the sharded session cache and the request
 //!   counters/latency histogram behind it,
 //! * [`client`] — a blocking keep-alive client plus the deterministic
@@ -87,13 +93,15 @@ pub mod faults;
 pub mod http;
 pub mod lru;
 pub mod metrics;
+pub mod persist;
 pub mod poller;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, TraceConfig, TraceOutcome};
+pub use client::{Client, RetryPolicy, TraceConfig, TraceOutcome};
 pub use faults::{FaultConfig, FaultyStream, ServerFaults, SplitMix64};
 pub use http::{HttpError, Request, RequestParser, Response};
 pub use lru::LruCache;
 pub use metrics::Metrics;
+pub use persist::{FsyncPolicy, PersistConfig};
 pub use server::{ReadinessBackend, Server, ServerConfig};

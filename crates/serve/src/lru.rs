@@ -154,14 +154,27 @@ pub struct ShardStats {
     pub evictions: u64,
 }
 
+/// Called with the key of every entry a [`ShardedLru`] evicts under
+/// capacity pressure — the journal's hook for eviction tombstones.
+pub type EvictionHook = Box<dyn Fn(u64) + Send + Sync>;
+
 /// `u64`-keyed exact-LRU cache split across independently locked shards.
 ///
 /// The shard for a key is `key % shards`; the total `capacity` is divided
 /// evenly across shards with the remainder going to the lowest-numbered
 /// ones, so shard capacities always sum to exactly `capacity`.
-#[derive(Debug)]
 pub struct ShardedLru<V> {
     shards: Vec<Mutex<LruCache<u64, V>>>,
+    eviction_hook: Option<EvictionHook>,
+}
+
+impl<V> std::fmt::Debug for ShardedLru<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedLru")
+            .field("shards", &self.shards.len())
+            .field("eviction_hook", &self.eviction_hook.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<V: Clone> ShardedLru<V> {
@@ -184,7 +197,19 @@ impl<V: Clone> ShardedLru<V> {
                 Mutex::new(LruCache::new(cap))
             })
             .collect();
-        Self { shards }
+        Self {
+            shards,
+            eviction_hook: None,
+        }
+    }
+
+    /// Installs a callback invoked (outside any shard lock) with the key
+    /// of every entry evicted by capacity pressure. Explicit
+    /// [`ShardedLru::remove`] calls do not fire it. Install before the
+    /// cache is shared: the hook is part of construction, not runtime
+    /// reconfiguration.
+    pub fn set_eviction_hook(&mut self, hook: EvictionHook) {
+        self.eviction_hook = Some(hook);
     }
 
     fn shard(&self, key: u64) -> MutexGuard<'_, LruCache<u64, V>> {
@@ -210,8 +235,14 @@ impl<V: Clone> ShardedLru<V> {
 
     /// Inserts `key` as most-recently used in its shard, returning the
     /// entry that shard evicted to stay within its slice of the quota.
+    /// A capacity eviction fires the eviction hook (after the shard
+    /// lock is released, so the hook may take unrelated locks freely).
     pub fn insert(&self, key: u64, value: V) -> Option<(u64, V)> {
-        self.shard(key).insert(key, value)
+        let evicted = self.shard(key).insert(key, value);
+        if let (Some((victim, _)), Some(hook)) = (&evicted, &self.eviction_hook) {
+            hook(*victim);
+        }
+        evicted
     }
 
     /// Removes `key` from its shard (not counted as an eviction).
@@ -348,6 +379,24 @@ mod tests {
         assert_eq!(total.capacity, 2);
         assert_eq!(total.evictions, 1);
         assert_eq!((total.hits, total.misses), (2, 1));
+    }
+
+    #[test]
+    fn eviction_hook_sees_capacity_evictions_only() {
+        use std::sync::Arc;
+
+        let evicted = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::clone(&evicted);
+        let mut lru = ShardedLru::new(1, 1);
+        lru.set_eviction_hook(Box::new(move |key| {
+            log.lock().unwrap().push(key);
+        }));
+        lru.insert(1, "a");
+        lru.insert(2, "b"); // evicts 1
+        assert_eq!(lru.remove(2), Some("b")); // explicit: no hook
+        lru.insert(3, "c"); // fits: no hook
+        lru.insert(4, "d"); // evicts 3
+        assert_eq!(*evicted.lock().unwrap(), vec![1, 3]);
     }
 
     #[test]

@@ -267,6 +267,81 @@ impl Metrics {
     }
 }
 
+/// Counters for the write-ahead journal (`crate::persist`), shared
+/// between the journal writer and the server's `/metrics` rendering.
+///
+/// Like `accept_errors` and the readiness counters, everything here
+/// lives **outside** the request accounting invariant: journal records
+/// are not requests, and a replayed record at boot answered nobody.
+#[derive(Debug, Default)]
+pub struct PersistStats {
+    records_written: AtomicU64,
+    bytes_written: AtomicU64,
+    records_replayed: AtomicU64,
+    recovered_sessions: AtomicU64,
+    compactions: AtomicU64,
+    write_errors: AtomicU64,
+}
+
+/// A point-in-time view of [`PersistStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistSnapshot {
+    /// Records appended to the journal since startup.
+    pub records_written: u64,
+    /// Journal bytes appended since startup (frames, not payloads).
+    pub bytes_written: u64,
+    /// Records replayed from the journal at startup.
+    pub records_replayed: u64,
+    /// Sessions rebuilt from the journal at startup.
+    pub recovered_sessions: u64,
+    /// Snapshot+compaction passes completed.
+    pub compactions: u64,
+    /// Journal write/fsync failures. The first one disables persistence
+    /// for the rest of the process (serving continues unjournaled).
+    pub write_errors: u64,
+}
+
+impl PersistStats {
+    /// Counts `n` records appended, totalling `bytes` on the wire.
+    pub fn add_written(&self, n: u64, bytes: u64) {
+        self.records_written.fetch_add(n, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Counts `n` records replayed at startup.
+    pub fn add_replayed(&self, n: u64) {
+        self.records_replayed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts `n` sessions rebuilt at startup.
+    pub fn add_recovered_sessions(&self, n: u64) {
+        self.recovered_sessions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one completed snapshot+compaction pass.
+    pub fn add_compaction(&self) {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one journal write/fsync failure.
+    pub fn add_write_error(&self) {
+        self.write_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshots every counter at once.
+    #[must_use]
+    pub fn snapshot(&self) -> PersistSnapshot {
+        PersistSnapshot {
+            records_written: self.records_written.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            records_replayed: self.records_replayed.load(Ordering::Relaxed),
+            recovered_sessions: self.recovered_sessions.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Decrements the in-flight gauge when the connection finishes (however
 /// it finishes).
 #[derive(Debug)]

@@ -390,6 +390,25 @@ pub fn render_register_body(nx: usize, ny: usize, planes: &[Vec<f64>], via_densi
     body
 }
 
+/// Renders a full-replacement power body (`{"plane": j, "tiles": [W…]}`)
+/// for an existing map — the journal's snapshot+compaction
+/// ([`crate::persist`]) folds a session's whole update history into one
+/// such record per touched plane. Watts are rendered in Rust's default
+/// (shortest round-trip) float form, so parsing the rendered body
+/// recovers every `f64` bit pattern and the fold is bit-exact.
+#[must_use]
+pub fn render_power_body_full(plane: usize, map: &PowerMap) -> String {
+    let mut body = format!("{{\"plane\":{plane},\"tiles\":[");
+    for (i, w) in map.tiles().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!("{}", w.as_watts()));
+    }
+    body.push_str("]}");
+    body
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -526,6 +545,23 @@ mod tests {
             .unwrap_err()
             .0
             .contains("malformed previous report"));
+    }
+
+    #[test]
+    fn full_power_body_render_round_trips_bitwise() {
+        let spec = parse_register(register_body(3, 2).as_bytes()).unwrap();
+        let (plane, map) = parse_power_update(
+            b"{\"plane\":1,\"updates\":[[0,1,9.5],[2,0,0.125]]}",
+            &spec.plan,
+        )
+        .unwrap();
+        let body = render_power_body_full(plane, &map);
+        let (plane2, map2) = parse_power_update(body.as_bytes(), &spec.plan).unwrap();
+        assert_eq!(plane2, plane);
+        let bits = |m: &PowerMap| -> Vec<u64> {
+            m.tiles().iter().map(|w| w.as_watts().to_bits()).collect()
+        };
+        assert_eq!(bits(&map2), bits(&map), "render → parse is bit-exact");
     }
 
     #[test]

@@ -112,7 +112,8 @@ use ttsv_validate::pool::{PoolMonitor, WorkerPool};
 use crate::faults::{FaultDirective, ServerFaults};
 use crate::http::{Method, Request, RequestParser, Response, WriteBuffer};
 use crate::lru::ShardedLru;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, PersistStats};
+use crate::persist::{Journal, PersistConfig};
 use crate::poller::{self, PollInterest, Poller, Waker};
 use crate::protocol::{self, SessionSpec};
 
@@ -244,6 +245,17 @@ pub struct ServerConfig {
     /// how CI forces the sweep leg) and the serve binary's
     /// `--readiness` flag.
     pub readiness: ReadinessBackend,
+    /// Durable-session persistence (`None`: purely in-memory, the
+    /// previous behavior). When set, every registration, applied power
+    /// update, deletion, and LRU eviction appends to a write-ahead
+    /// journal under the configured state directory, and
+    /// [`Server::start`] replays any journal found there — see
+    /// [`crate::persist`]. Defaults from the `TTSV_SERVE_STATE_DIR`
+    /// environment variable (how CI runs the existing suites with
+    /// journaling on): each defaulted config gets a *unique*
+    /// `srv-{pid}-{n}` subdirectory so concurrently started servers
+    /// never share a journal.
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for ServerConfig {
@@ -267,6 +279,15 @@ impl Default for ServerConfig {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or_else(ReadinessBackend::host_default),
+            persist: std::env::var_os("TTSV_SERVE_STATE_DIR").map(|root| {
+                static UNIQUE: AtomicU64 = AtomicU64::new(0);
+                let sub = format!(
+                    "srv-{}-{}",
+                    std::process::id(),
+                    UNIQUE.fetch_add(1, Ordering::Relaxed)
+                );
+                PersistConfig::new(std::path::Path::new(&root).join(sub))
+            }),
         }
     }
 }
@@ -405,6 +426,22 @@ impl ServerConfig {
         self.readiness = readiness;
         self
     }
+
+    /// Enables durable sessions with default journal tuning: a
+    /// write-ahead journal lives in `state_dir` (created if missing) and
+    /// startup replays whatever journal it finds there.
+    #[must_use]
+    pub fn with_state_dir(self, state_dir: impl Into<std::path::PathBuf>) -> Self {
+        self.with_persist(PersistConfig::new(state_dir))
+    }
+
+    /// Enables durable sessions with full journal tuning (fsync policy,
+    /// compaction threshold, fault injection).
+    #[must_use]
+    pub fn with_persist(mut self, persist: PersistConfig) -> Self {
+        self.persist = Some(persist);
+        self
+    }
 }
 
 /// The connection-level timeout bundle the event loops enforce.
@@ -462,6 +499,12 @@ struct ServerState {
     /// The readiness backend the loops actually run (after fallback),
     /// reported in `/metrics`.
     readiness: ReadinessBackend,
+    /// The write-ahead journal (`None`: purely in-memory sessions).
+    journal: Option<Arc<Journal>>,
+    /// Journal counters for the `/metrics` `persistence` block — held
+    /// here (not just inside the journal) so the block renders zeros
+    /// when persistence is off or failed to open.
+    persist: Arc<PersistStats>,
 }
 
 impl ServerState {
@@ -523,6 +566,13 @@ impl ServerState {
             Err(resp) => return resp,
         };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // Journal the raw wire body *before* publishing: if we crash
+        // between the append and the insert, recovery resurrects a
+        // session the client was never told about — harmless — whereas
+        // the reverse order could lose an acknowledged session.
+        if let Some(journal) = &self.journal {
+            journal.record_register(id, body);
+        }
         let json = report.to_json();
         let session = Arc::new(Session {
             state: Mutex::new(SessionState {
@@ -592,6 +642,13 @@ impl ServerState {
         };
         match result {
             Ok(report) => {
+                // The update is now applied state; journal its raw wire
+                // body under the session lock, so the journal's
+                // per-session update order is exactly the serialization
+                // order the responses reflect.
+                if let Some(journal) = &self.journal {
+                    journal.record_update(id, plane, body);
+                }
                 let body = if full {
                     report.to_json()
                 } else {
@@ -626,7 +683,14 @@ impl ServerState {
 
     fn delete_session(&self, id: u64) -> Response {
         match self.sessions.remove(id) {
-            Some(_) => Response::json(200, format!("{{\"deleted\":{id}}}")),
+            Some(_) => {
+                // Tombstone so recovery never resurrects it; an explicit
+                // delete outlives the process.
+                if let Some(journal) = &self.journal {
+                    journal.record_delete(id);
+                }
+                Response::json(204, String::new())
+            }
             None => Response::error(404, &format!("no session {id}")),
         }
     }
@@ -645,12 +709,16 @@ impl ServerState {
             ));
         }
         let (scenario_entries, matrix_entries) = self.engine.cache_entries();
+        let persist = self.persist.snapshot();
+        let persist_enabled = self.journal.as_ref().is_some_and(|j| j.is_enabled());
         format!(
             "{{\"uptime_s\":{:.3},\"requests\":{},\"responses\":{{\"ok_2xx\":{},\"client_4xx\":{},\"server_5xx\":{}}},\
              \"requests_per_sec\":{:.3},\"latency_ns\":{{\"p50\":{},\"p99\":{},\"samples\":{}}},\
              \"overload\":{{\"shed_503\":{},\"rate_limited_429\":{},\"timeouts_408\":{},\"panics\":{},\
              \"accept_errors\":{},\"inflight\":{},\"queue_depth\":{},\"busy_workers\":{}}},\
              \"readiness\":{{\"backend\":\"{}\",\"poll_wakeups\":{},\"spurious_wakeups\":{},\"adopt_errors\":{}}},\
+             \"persistence\":{{\"enabled\":{persist_enabled},\"records_written\":{},\"bytes_written\":{},\
+             \"records_replayed\":{},\"recovered_sessions\":{},\"compactions\":{},\"write_errors\":{}}},\
              \"sessions\":{{\"live\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\"shards\":[{shards}]}},\
              \"engine\":{{\"solves\":{},\"factorizations\":{},\"scenario_hits\":{},\"scenario_misses\":{},\"evictions\":{},\
              \"scenario_entries\":{scenario_entries},\"matrix_entries\":{matrix_entries}}}}}",
@@ -675,6 +743,12 @@ impl ServerState {
             snap.poll_wakeups,
             snap.poll_spurious,
             snap.adopt_errors,
+            persist.records_written,
+            persist.bytes_written,
+            persist.records_replayed,
+            persist.recovered_sessions,
+            persist.compactions,
+            persist.write_errors,
             total.live,
             total.capacity,
             total.hits,
@@ -1397,6 +1471,12 @@ pub struct Server {
     /// Dropped last in shutdown so queued evaluations drain after the
     /// loops exit.
     pool: Option<Arc<WorkerPool>>,
+    /// The write-ahead journal; taken at shutdown so the clean-shutdown
+    /// path runs at most once.
+    journal: Option<Arc<Journal>>,
+    /// Whether shutdown compacts + marks the journal clean. Cleared by
+    /// [`Server::abort`] to simulate a crash in-process.
+    graceful: bool,
 }
 
 impl std::fmt::Debug for Server {
@@ -1444,13 +1524,44 @@ impl Server {
             backends.clear();
             backends.resize_with(loop_count, || (None, None));
         }
+        // Open the journal (and replay any previous run's records)
+        // before the session table exists: the eviction hook has to be
+        // installed while the table is still exclusively owned, and a
+        // journal that fails to open degrades to in-memory serving —
+        // never a startup failure.
+        let persist_stats = Arc::new(PersistStats::default());
+        let mut recovery = None;
+        let journal = match config.persist.clone() {
+            Some(persist_config) => {
+                match Journal::open(persist_config, Arc::clone(&persist_stats)) {
+                    Ok((journal, recovered)) => {
+                        recovery = Some(recovered);
+                        Some(Arc::new(journal))
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "ttsv-serve: warning: persistence disabled: \
+                             opening the journal failed: {e}"
+                        );
+                        persist_stats.add_write_error();
+                        None
+                    }
+                }
+            }
+            None => None,
+        };
+        let mut sessions = ShardedLru::new(config.max_sessions, config.session_shards);
+        if let Some(journal) = &journal {
+            let hook = Arc::clone(journal);
+            sessions.set_eviction_hook(Box::new(move |id| hook.record_evict(id)));
+        }
         let state = Arc::new(ServerState {
             engine: ChipEngine::new()
                 .with_workers(1)
                 .with_scenario_cache_cap(config.scenario_cache_cap)
                 .with_matrix_cache_cap(config.matrix_cache_cap),
-            sessions: ShardedLru::new(config.max_sessions, config.session_shards),
-            next_id: AtomicU64::new(1),
+            sessions,
+            next_id: AtomicU64::new(recovery.as_ref().map_or(1, |r| r.next_id)),
             metrics: Metrics::new(),
             max_tiles: config.max_tiles,
             max_pending_updates: config.max_pending_updates,
@@ -1459,7 +1570,42 @@ impl Server {
             live_connections: AtomicUsize::new(0),
             inline_busy: AtomicUsize::new(0),
             readiness,
+            journal: journal.clone(),
+            persist: persist_stats,
         });
+        // Re-publish the recovered sessions before any thread can serve:
+        // each one is evaluated eagerly so its `last_report` baseline —
+        // and therefore its next delta response — is bitwise what the
+        // never-crashed server would have answered. Insertion order is
+        // the journal's touch order, so LRU recency survives too (and an
+        // over-quota recovery evicts the *stalest* sessions, journaling
+        // their tombstones through the hook like any other eviction).
+        if let Some(recovered) = recovery {
+            for session in recovered.sessions {
+                match state
+                    .engine
+                    .evaluate_factored(&session.spec.plan, &session.spec.model)
+                {
+                    Ok(report) => {
+                        state.sessions.insert(
+                            session.id,
+                            Arc::new(Session {
+                                state: Mutex::new(SessionState {
+                                    spec: session.spec,
+                                    last_report: Some(report),
+                                }),
+                                pending: AtomicUsize::new(0),
+                            }),
+                        );
+                    }
+                    Err(e) => eprintln!(
+                        "ttsv-serve: warning: dropping recovered session {}: \
+                         evaluation failed: {e}",
+                        session.id
+                    ),
+                }
+            }
+        }
         let deadlines = ConnDeadlines {
             read_timeout: config.read_timeout,
             write_timeout: config.write_timeout,
@@ -1503,6 +1649,8 @@ impl Server {
             loop_handles,
             loops,
             pool: Some(pool),
+            journal,
+            graceful: true,
         })
     }
 
@@ -1513,8 +1661,22 @@ impl Server {
     }
 
     /// Stops accepting, closes the event loops, drains in-flight
-    /// evaluations, and joins every background thread.
+    /// evaluations, and joins every background thread. With persistence
+    /// on, the journal is compacted, synced, and stamped with the
+    /// clean-shutdown marker — the next start replays it without the
+    /// "recovering from crash" path.
     pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Shuts down *without* the clean-shutdown path: threads are joined
+    /// (so the process stays reusable) but the journal gets no final
+    /// compaction, fsync, or marker — exactly the on-disk state a
+    /// `SIGKILL` after the last completed append would leave. The
+    /// crash-recovery suite restarts from the same state dir and pins
+    /// recovered responses bitwise.
+    pub fn abort(mut self) {
+        self.graceful = false;
         self.stop_and_join();
     }
 
@@ -1536,6 +1698,14 @@ impl Server {
         // evaluations finish (their completions land in dead inboxes)
         // before shutdown returns.
         self.pool = None;
+        // Only after every thread that could append has exited: compact
+        // and stamp the journal clean (skipped by `abort`, and skipped
+        // automatically once a write error degraded the journal).
+        if let Some(journal) = self.journal.take() {
+            if self.graceful {
+                journal.clean_shutdown();
+            }
+        }
     }
 }
 

@@ -31,7 +31,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
-use ttsv::serve::client::{trace_power_body, trace_register_body, Client};
+use ttsv::serve::client::{trace_power_body, trace_register_body, Client, RetryPolicy};
 use ttsv::serve::faults::{FaultConfig, ServerFaults};
 use ttsv::serve::metrics::Metrics;
 use ttsv::serve::server::{ReadinessBackend, Server, ServerConfig, RETRY_AFTER_SECS};
@@ -373,6 +373,154 @@ fn saturated_pool_sheds_with_503_and_retry_after() {
     std::thread::sleep(Duration::from_millis(100));
     let doc = fetch_metrics(&addr);
     assert_eq!(field(&doc, "overload", "shed_503"), 1);
+    assert_metrics_reconcile(&doc);
+    server.shutdown();
+}
+
+/// A seeded write-error storm against retrying clients: ~40% of request
+/// writes hard-fail with a connection error *before any byte lands*
+/// (`FaultyStream` injects the error ahead of the real write, so a
+/// failed call never half-sends). That is exactly the window where the
+/// retry policy may resend a non-idempotent update — the client
+/// reconnects and replays, and the observable response stream must stay
+/// bitwise identical to direct engine evaluation, with every request
+/// landing on the server exactly once.
+#[test]
+fn retrying_clients_absorb_a_write_error_storm_bitwise() {
+    const CLIENTS: usize = 3;
+    let expected: Vec<Vec<String>> = (0..CLIENTS).map(direct_session).collect();
+    let server = Server::start("127.0.0.1:0", ServerConfig::default().with_workers(CLIENTS))
+        .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+    let policy = RetryPolicy {
+        max_retries: 16,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(20),
+    };
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|s| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let storm = FaultConfig {
+                    write_error: 0.4,
+                    ..FaultConfig::default()
+                };
+                let mut client = Client::connect_with_faults(&addr, storm, 0x57023 + s as u64)
+                    .expect("connect with faults")
+                    .with_retry(policy);
+                let (status, body) = client
+                    .request("POST", "/sessions", &trace_register_body(GRID, s))
+                    .expect("register rides out the storm");
+                assert_eq!(status, 201, "{body}");
+                let (id_part, report) = body
+                    .split_once(",\"report\":")
+                    .expect("register response envelope");
+                let id: u64 = id_part
+                    .strip_prefix("{\"session\":")
+                    .expect("session id field")
+                    .parse()
+                    .expect("numeric session id");
+                let mut reports = vec![report
+                    .strip_suffix('}')
+                    .expect("envelope close")
+                    .to_string()];
+                for round in 0..ROUNDS {
+                    let (status, body) = client
+                        .request(
+                            "POST",
+                            &format!("/sessions/{id}/power?full=1"),
+                            &trace_power_body(GRID, s, round),
+                        )
+                        .expect("power update rides out the storm");
+                    assert_eq!(status, 200, "{body}");
+                    reports.push(body);
+                }
+                (reports, client.reconnects())
+            })
+        })
+        .collect();
+    let mut total_reconnects = 0;
+    for (s, handle) in handles.into_iter().enumerate() {
+        let (got, reconnects) = handle.join().expect("storm client thread");
+        total_reconnects += reconnects;
+        assert_eq!(
+            got, expected[s],
+            "session {s} responses diverged under the write-error storm"
+        );
+    }
+    assert!(
+        total_reconnects > 0,
+        "the seeded storm must actually inject failures for the clients to absorb"
+    );
+    // Failed writes never reached the server, and each retried request
+    // landed exactly once — so the server's view is a fault-free run.
+    let doc = fetch_metrics(&addr);
+    assert_eq!(
+        field(&doc, "responses", "ok_2xx"),
+        CLIENTS * (1 + ROUNDS),
+        "every request must land on the server exactly once"
+    );
+    assert_metrics_reconcile(&doc);
+    server.shutdown();
+}
+
+/// A retrying client against a fully saturated server: both admission
+/// slots (1 worker + 1 queue slot) are pinned by idle connections, so
+/// every attempt is shed with `503` + `Retry-After: 1`. The client
+/// clamps the hint to its own `max_backoff`, reconnects (shed responses
+/// close the connection), and keeps retrying until the slots free up —
+/// then the register lands cleanly.
+#[test]
+fn retrying_client_rides_out_saturation_503s_until_admitted() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(1),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+
+    // max_connections defaults to workers + queue capacity = 2: two
+    // idle connections pin every admission slot.
+    let slot_a = TcpStream::connect(&addr).expect("pin slot a");
+    let slot_b = TcpStream::connect(&addr).expect("pin slot b");
+    std::thread::sleep(Duration::from_millis(100));
+
+    let releaser = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(400));
+        drop(slot_a);
+        drop(slot_b);
+    });
+
+    let started = Instant::now();
+    let mut client = Client::connect(&addr)
+        .expect("connect")
+        .with_retry(RetryPolicy {
+            max_retries: 40,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(50),
+        });
+    let (status, body) = client
+        .request("POST", "/sessions", &trace_register_body(GRID, 0))
+        .expect("register rides out the 503s");
+    assert_eq!(status, 201, "{body}");
+    assert!(
+        client.reconnects() >= 1,
+        "shed 503s close the connection, so success requires reconnecting"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the clamped backoff must converge promptly, took {:?}",
+        started.elapsed()
+    );
+    releaser.join().expect("releaser thread");
+
+    let doc = fetch_metrics(&addr);
+    assert!(
+        field(&doc, "overload", "shed_503") >= 1,
+        "at least one attempt must have been shed"
+    );
     assert_metrics_reconcile(&doc);
     server.shutdown();
 }

@@ -207,6 +207,34 @@ fn thirty_two_concurrent_connections_stay_deterministic() {
     }
 }
 
+/// `DELETE /sessions/{id}` answers `204 No Content` with an empty body,
+/// and the id is gone for good: a later read, update, or second delete
+/// against it is a clean 404.
+#[test]
+fn delete_answers_204_and_the_session_stays_gone() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default().with_workers(1))
+        .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let (status, _) = client
+        .request("POST", "/sessions", &trace_register_body(GRID, 0))
+        .expect("register");
+    assert_eq!(status, 201);
+    let (status, body) = client.request("DELETE", "/sessions/1", "").expect("delete");
+    assert_eq!(status, 204, "{body}");
+    assert!(body.is_empty(), "204 carries no body, got {body:?}");
+    for (method, target, body) in [
+        ("GET", "/sessions/1", String::new()),
+        ("POST", "/sessions/1/power", trace_power_body(GRID, 0, 0)),
+        ("DELETE", "/sessions/1", String::new()),
+    ] {
+        let (status, body) = client.request(method, target, &body).expect("request");
+        assert_eq!(status, 404, "{method} {target} after delete: {body}");
+    }
+    server.shutdown();
+}
+
 #[test]
 fn lru_quota_evicts_oldest_session_and_metrics_report_it() {
     let server = Server::start(
